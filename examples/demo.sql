@@ -1,0 +1,46 @@
+-- A self-contained tour of the shortest-path extension.
+-- Run with:  dune exec bin/sqlgraph_cli.exe -- run examples/demo.sql
+
+CREATE TABLE persons (id INTEGER, firstName VARCHAR, lastName VARCHAR);
+INSERT INTO persons VALUES
+  (933,  'Mahinda', 'Perera'),
+  (1129, 'Carmen',  'Lepland'),
+  (8333, 'Chen',    'Wang'),
+  (4139, 'Hans',    'Johansson');
+
+CREATE TABLE friends (src INTEGER, dst INTEGER, creationDate DATE, weight DOUBLE);
+INSERT INTO friends VALUES
+  (933, 1129,  '2010-03-24', 0.5), (1129, 933,  '2010-03-24', 0.5),
+  (1129, 8333, '2010-12-02', 2.0), (8333, 1129, '2010-12-02', 2.0),
+  (8333, 4139, '2012-05-01', 1.0), (4139, 8333, '2012-05-01', 1.0);
+
+-- reachability is a WHERE-clause predicate (paper appendix A.3)
+SELECT firstName || ' ' || lastName AS person
+FROM persons
+WHERE 933 REACHES id OVER friends EDGE (src, dst);
+
+-- hop distance: CHEAPEST SUM(1) (LDBC Q13, appendix A.1)
+SELECT CHEAPEST SUM(1) AS distance
+WHERE 933 REACHES 8333 OVER friends EDGE (src, dst);
+
+-- weighted shortest paths with the path value, flattened by UNNEST
+-- (appendix A.4's result table)
+SELECT T.person, T.cost, R.src, R.dst
+FROM (
+  WITH friends1 AS (SELECT * FROM friends WHERE creationDate < '2011-01-01')
+  SELECT firstName || ' ' || lastName AS person,
+         CHEAPEST SUM(f: CAST(weight * 2 AS INTEGER)) AS (cost, path)
+  FROM persons
+  WHERE 933 REACHES id OVER friends1 f EDGE (src, dst)
+) T, UNNEST(T.path) AS R;
+
+-- the plan, showing the paper's graph operators
+EXPLAIN SELECT p1.id, p2.id, CHEAPEST SUM(1) AS d
+FROM persons p1, persons p2
+WHERE p1.id = 933 AND p2.id = 4139
+  AND p1.id REACHES p2.id OVER friends EDGE (src, dst);
+
+-- standard SQL still works, of course
+SELECT COUNT(*) AS friendships, AVG(weight) AS avg_affinity,
+       MIN(creationDate) AS earliest
+FROM friends;
