@@ -1,0 +1,192 @@
+(* sqlgraph command-line shell.
+
+   Subcommands:
+     repl              interactive SQL shell (statements end with ';')
+     run FILE          execute a ';'-separated SQL script
+     demo              load a small synthetic social network and open a repl
+
+   The repl understands a few meta-commands:
+     \e SQL;                 EXPLAIN the (rewritten) plan of a SELECT
+     \d;                     list tables
+     \d NAME;                describe one table
+     \i FILE TABLE;          import a CSV (header row names the columns,
+                             all typed VARCHAR; CAST as needed)
+     \save DIR;              persist every table as CSV + manifest
+     \load DIR;              replace the session with a saved database
+     \timing;                toggle per-statement timing
+     \q                      quit *)
+
+let print_outcome = function
+  | Sqlgraph.Db.Created -> print_endline "CREATE TABLE"
+  | Sqlgraph.Db.Dropped -> print_endline "DROP TABLE"
+  | Sqlgraph.Db.Inserted n -> Printf.printf "INSERT %d\n" n
+  | Sqlgraph.Db.Updated n -> Printf.printf "UPDATE %d\n" n
+  | Sqlgraph.Db.Deleted n -> Printf.printf "DELETE %d\n" n
+  | Sqlgraph.Db.Selected r -> print_string (Sqlgraph.Resultset.to_string r)
+  | Sqlgraph.Db.Explained plan -> print_string plan
+  | Sqlgraph.Db.Began -> print_endline "BEGIN"
+  | Sqlgraph.Db.Committed -> print_endline "COMMIT"
+  | Sqlgraph.Db.Rolled_back -> print_endline "ROLLBACK"
+
+let timing = ref false
+
+let execute db sql =
+  let t0 = Sys.time () in
+  (match Sqlgraph.Db.exec db sql with
+  | Ok outcome -> print_outcome outcome
+  | Error e -> Printf.printf "error: %s\n" (Sqlgraph.Error.to_string e));
+  if !timing then Printf.printf "time: %.3fs\n" (Sys.time () -. t0)
+
+let describe db name =
+  match Storage.Catalog.find (Sqlgraph.Db.catalog db) name with
+  | None -> Printf.printf "no table named %s\n" name
+  | Some t ->
+    Printf.printf "%s (%d rows)\n" name (Storage.Table.nrows t);
+    List.iter
+      (fun (f : Storage.Schema.field) ->
+        Printf.printf "  %-24s %s\n" f.Storage.Schema.name
+          (Storage.Dtype.name f.Storage.Schema.ty))
+      (Storage.Schema.fields (Storage.Table.schema t))
+
+let list_tables db =
+  match Storage.Catalog.names (Sqlgraph.Db.catalog db) with
+  | [] -> print_endline "no tables"
+  | names -> List.iter (describe db) names
+
+let import_csv db path table =
+  (* header-driven: every column VARCHAR; refine with CAST in queries *)
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Printf.printf "error: %s\n" m
+  | text -> (
+    match Sqlgraph.Csv.parse_string text with
+    | [] | [ _ ] -> print_endline "error: CSV needs a header and data rows"
+    | header :: _ -> (
+      let schema =
+        Storage.Schema.of_pairs
+          (List.map (fun name -> (name, Storage.Dtype.TStr)) header)
+      in
+      match
+        Sqlgraph.Csv.table_of_string ~schema ~header:true text
+      with
+      | t ->
+        Sqlgraph.Db.load_table db ~name:table t;
+        Printf.printf "loaded %d rows into %s\n" (Storage.Table.nrows t) table
+      | exception Sqlgraph.Csv.Csv_error m -> Printf.printf "error: %s\n" m))
+
+let explain db sql =
+  match Sqlgraph.Db.explain db sql with
+  | Ok plan -> print_string plan
+  | Error e -> Printf.printf "error: %s\n" (Sqlgraph.Error.to_string e)
+
+(* Read statements terminated by ';' (possibly spanning lines). [db] is a
+   ref so \load can swap in a freshly loaded database. *)
+let repl db =
+  let db = ref db in
+  print_endline
+    "sqlgraph shell - SQL with REACHES / CHEAPEST SUM / UNNEST.";
+  print_endline "End statements with ';'.  \\e SQL; explains.  \\q quits.";
+  let buf = Buffer.create 256 in
+  let rec prompt () =
+    print_string (if Buffer.length buf = 0 then "sql> " else "...> ");
+    flush stdout;
+    match In_channel.input_line stdin with
+    | None -> print_newline ()
+    | Some line ->
+      let trimmed = String.trim line in
+      if Buffer.length buf = 0 && trimmed = "\\q" then ()
+      else begin
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        let text = Buffer.contents buf in
+        if String.contains trimmed ';' || String.contains text ';' then begin
+          let stmt = String.trim text in
+          Buffer.clear buf;
+          let stmt =
+            if String.length stmt > 0 && stmt.[String.length stmt - 1] = ';'
+            then String.sub stmt 0 (String.length stmt - 1)
+            else stmt
+          in
+          (let words =
+             String.split_on_char ' ' stmt |> List.filter (( <> ) "")
+           in
+           match words with
+           | "\\e" :: _ ->
+             explain !db (String.sub stmt 2 (String.length stmt - 2))
+           | [ "\\d" ] -> list_tables !db
+           | [ "\\d"; name ] -> describe !db name
+           | [ "\\i"; path; table ] -> import_csv !db path table
+           | [ "\\save"; dir ] -> (
+             match Sqlgraph.Persist.save !db ~dir with
+             | Ok () -> Printf.printf "saved to %s\n" dir
+             | Error e -> Printf.printf "error: %s\n" (Sqlgraph.Error.to_string e))
+           | [ "\\load"; dir ] -> (
+             match Sqlgraph.Persist.load ~dir with
+             | Ok fresh ->
+               db := fresh;
+               Printf.printf "loaded %s\n" dir
+             | Error e -> Printf.printf "error: %s\n" (Sqlgraph.Error.to_string e))
+           | [ "\\timing" ] ->
+             timing := not !timing;
+             Printf.printf "timing %s\n" (if !timing then "on" else "off")
+           | _ -> if String.trim stmt <> "" then execute !db stmt);
+          prompt ()
+        end
+        else prompt ()
+      end
+  in
+  prompt ()
+
+let run_file db path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m ->
+    Printf.eprintf "cannot read %s: %s\n" path m;
+    exit 1
+  | source -> (
+    match Sqlgraph.Db.exec_script db source with
+    | Ok outcomes -> List.iter print_outcome outcomes
+    | Error e ->
+      Printf.eprintf "error: %s\n" (Sqlgraph.Error.to_string e);
+      exit 1)
+
+let load_demo db =
+  let graph = Datagen.Snb.generate ~scale_factor:1 ~ratio:0.1 ~seed:42 () in
+  Sqlgraph.Db.load_table db ~name:"persons" graph.Datagen.Snb.persons;
+  Sqlgraph.Db.load_table db ~name:"friends" graph.Datagen.Snb.friends;
+  Printf.printf
+    "loaded demo social network: persons(%d rows), friends(%d rows)\n"
+    (Storage.Table.nrows graph.Datagen.Snb.persons)
+    (Storage.Table.nrows graph.Datagen.Snb.friends);
+  print_endline
+    "try: SELECT CHEAPEST SUM(1) WHERE 7 REACHES 137 OVER friends EDGE (src, dst);"
+
+open Cmdliner
+
+let repl_cmd =
+  Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL shell.")
+    Term.(const (fun () -> repl (Sqlgraph.Db.create ())) $ const ())
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"SQL script")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script file.")
+    Term.(const (fun f -> run_file (Sqlgraph.Db.create ()) f) $ file)
+
+let demo_cmd =
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:"Open a shell with a synthetic social network preloaded.")
+    Term.(
+      const (fun () ->
+          let db = Sqlgraph.Db.create () in
+          load_demo db;
+          repl db)
+      $ const ())
+
+let () =
+  let info =
+    Cmd.info "sqlgraph"
+      ~doc:"A SQL engine with the REACHES / CHEAPEST SUM shortest-path extension."
+  in
+  let default = Term.(const (fun () -> repl (Sqlgraph.Db.create ())) $ const ()) in
+  exit (Cmd.eval (Cmd.group ~default info [ repl_cmd; run_cmd; demo_cmd ]))

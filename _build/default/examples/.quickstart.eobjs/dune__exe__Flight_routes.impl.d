@@ -1,0 +1,1 @@
+examples/flight_routes.ml: Printf Sqlgraph Storage

@@ -1,0 +1,1 @@
+examples/ip_routing.mli:

@@ -1,0 +1,1 @@
+examples/ldbc_q14_all_paths.ml: Array Datagen Graph List Option Printf Sqlgraph Storage String

@@ -1,0 +1,1 @@
+examples/ldbc_q14_all_paths.mli:

@@ -1,0 +1,1 @@
+examples/ldbc_social.ml: Array Datagen Executor Printf Sqlgraph Storage Sys

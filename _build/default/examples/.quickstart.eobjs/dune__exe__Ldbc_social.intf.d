@@ -1,0 +1,1 @@
+examples/ldbc_social.mli:

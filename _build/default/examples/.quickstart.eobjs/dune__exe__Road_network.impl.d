@@ -1,0 +1,1 @@
+examples/road_network.ml: Buffer Printf Sqlgraph Storage

@@ -1,0 +1,94 @@
+(* Flight-route planning over string-keyed vertices.
+
+   Shows that the graph model is "any table expression": vertices are
+   IATA codes (strings), the edge table carries airline and price
+   attributes, and different virtual graphs are carved out of it with
+   CTEs — one airline's network, a budget network, and the full one.
+   Also demonstrates left-outer UNNEST keeping unreachable/empty rows and
+   reachability joins between two vertex-property tables.
+
+   Run with:  dune exec examples/flight_routes.exe *)
+
+module V = Storage.Value
+
+let () =
+  let db = Sqlgraph.Db.create () in
+  let exec sql = ignore (Sqlgraph.Db.exec_exn db sql) in
+  let show ?params title sql =
+    Printf.printf "-- %s\n%s\n" title
+      (Sqlgraph.Resultset.to_string (Sqlgraph.Db.query_exn db ?params sql))
+  in
+
+  exec "CREATE TABLE airports (code VARCHAR, city VARCHAR, hub BOOLEAN)";
+  exec
+    "INSERT INTO airports VALUES \
+     ('AMS', 'Amsterdam', TRUE), ('LHR', 'London', TRUE), \
+     ('JFK', 'New York', TRUE), ('SFO', 'San Francisco', FALSE), \
+     ('NRT', 'Tokyo', TRUE), ('SYD', 'Sydney', FALSE), \
+     ('GIG', 'Rio de Janeiro', FALSE)";
+  exec
+    "CREATE TABLE flights (orig VARCHAR, dest VARCHAR, airline VARCHAR, \
+     price DOUBLE)";
+  exec
+    "INSERT INTO flights VALUES \
+     ('AMS', 'LHR', 'KL', 120.0), ('LHR', 'AMS', 'KL', 110.0), \
+     ('AMS', 'JFK', 'KL', 450.0), ('JFK', 'AMS', 'KL', 430.0), \
+     ('LHR', 'JFK', 'BA', 380.0), ('JFK', 'LHR', 'BA', 390.0), \
+     ('JFK', 'SFO', 'UA', 210.0), ('SFO', 'JFK', 'UA', 220.0), \
+     ('SFO', 'NRT', 'UA', 520.0), ('NRT', 'SFO', 'UA', 530.0), \
+     ('NRT', 'SYD', 'QF', 410.0), ('SYD', 'NRT', 'QF', 400.0), \
+     ('AMS', 'NRT', 'KL', 640.0), ('NRT', 'AMS', 'KL', 630.0), \
+     ('LHR', 'GIG', 'BA', 580.0)";
+
+  show "connections and cheapest fares from Amsterdam"
+    "SELECT a.code, a.city, \
+            CHEAPEST SUM(f: 1) AS legs, \
+            CHEAPEST SUM(f: price) AS fare \
+     FROM airports a \
+     WHERE 'AMS' REACHES a.code OVER flights f EDGE (orig, dest) \
+     ORDER BY fare";
+
+  (* Restrict the graph to one airline with a CTE: a different virtual
+     graph over the same base table. *)
+  show "KLM-only network from Amsterdam"
+    "WITH kl AS (SELECT * FROM flights WHERE airline = 'KL') \
+     SELECT a.code, CHEAPEST SUM(f: price) AS fare \
+     FROM airports a \
+     WHERE 'AMS' REACHES a.code OVER kl f EDGE (orig, dest) \
+     ORDER BY fare";
+
+  (* Budget network: only cheap legs survive; Sydney drops out. *)
+  show "destinations reachable on <500 legs only"
+    "WITH cheap AS (SELECT * FROM flights WHERE price < 500.0) \
+     SELECT a.code FROM airports a \
+     WHERE 'AMS' REACHES a.code OVER cheap EDGE (orig, dest) ORDER BY a.code";
+
+  (* Itinerary with legs: unnest the cheapest AMS -> SYD routing. *)
+  show "cheapest AMS -> SYD itinerary, leg by leg"
+    "SELECT R.ordinality AS leg, R.orig, R.dest, R.airline, R.price FROM ( \
+       SELECT CHEAPEST SUM(f: price) AS (total, path) \
+       WHERE 'AMS' REACHES 'SYD' OVER flights f EDGE (orig, dest) \
+     ) T, UNNEST(T.path) WITH ORDINALITY AS R";
+
+  (* Hub-to-hub reachability join: both endpoints range over airports. *)
+  show "hub pairs more than one leg apart"
+    "SELECT h1.code AS from_hub, h2.code AS to_hub, CHEAPEST SUM(1) AS legs \
+     FROM airports h1, airports h2 \
+     WHERE h1.hub = TRUE AND h2.hub = TRUE AND h1.code <> h2.code \
+       AND h1.code REACHES h2.code OVER flights EDGE (orig, dest) \
+       AND h1.code <> 'X' \
+     ORDER BY legs DESC, from_hub, to_hub LIMIT 5";
+
+  (* Left-outer unnest keeps zero-leg rows: the origin itself. *)
+  show "left outer unnest keeps the origin's empty path"
+    "SELECT T.code, T.legs, R.orig, R.dest FROM ( \
+       SELECT a.code, CHEAPEST SUM(f: 1) AS (legs, path) \
+       FROM airports a \
+       WHERE 'GIG' REACHES a.code OVER flights f EDGE (orig, dest) \
+     ) T LEFT JOIN UNNEST(T.path) AS R ON TRUE ORDER BY T.legs";
+
+  (* One-way routes: GIG has an inbound flight but no outbound. *)
+  show "nobody can fly out of Rio in this dataset"
+    "SELECT COUNT(*) AS reachable_from_gig FROM airports a \
+     WHERE a.code <> 'GIG' \
+       AND 'GIG' REACHES a.code OVER flights EDGE (orig, dest)"

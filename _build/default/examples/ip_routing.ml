@@ -1,0 +1,101 @@
+(* Internet-protocol-style routing (the intro's fourth motivating domain).
+
+   An AS-level network: routers and links with latencies. Shows
+   - building a full routing table (one source, every destination) in a
+     single batched query;
+   - policy routing by carving subgraphs with CTEs and set operations;
+   - reacting to link failures with DELETE — the graph index rebuilds
+     automatically because catalog versioning invalidates it.
+
+   Run with:  dune exec examples/ip_routing.exe *)
+
+module V = Storage.Value
+
+let () =
+  let db = Sqlgraph.Db.create () in
+  let exec sql = ignore (Sqlgraph.Db.exec_exn db sql) in
+  let show ?params title sql =
+    Printf.printf "-- %s\n%s\n" title
+      (Sqlgraph.Resultset.to_string (Sqlgraph.Db.query_exn db ?params sql))
+  in
+
+  exec "CREATE TABLE routers (name VARCHAR, region VARCHAR)";
+  exec
+    "INSERT INTO routers VALUES \
+     ('ams1', 'eu'), ('fra1', 'eu'), ('lon1', 'eu'), \
+     ('nyc1', 'us'), ('iad1', 'us'), ('sfo1', 'us'), \
+     ('sin1', 'ap'), ('hnd1', 'ap')";
+  exec
+    "CREATE TABLE links (a VARCHAR, b VARCHAR, ms INTEGER, kind VARCHAR)";
+  (* each physical link appears in both directions *)
+  exec
+    "INSERT INTO links VALUES \
+     ('ams1', 'fra1', 8, 'terrestrial'),  ('fra1', 'ams1', 8, 'terrestrial'), \
+     ('ams1', 'lon1', 9, 'terrestrial'),  ('lon1', 'ams1', 9, 'terrestrial'), \
+     ('fra1', 'lon1', 12, 'terrestrial'), ('lon1', 'fra1', 12, 'terrestrial'), \
+     ('lon1', 'nyc1', 70, 'submarine'),   ('nyc1', 'lon1', 70, 'submarine'), \
+     ('nyc1', 'iad1', 6, 'terrestrial'),  ('iad1', 'nyc1', 6, 'terrestrial'), \
+     ('iad1', 'sfo1', 60, 'terrestrial'), ('sfo1', 'iad1', 60, 'terrestrial'), \
+     ('sfo1', 'hnd1', 105, 'submarine'),  ('hnd1', 'sfo1', 105, 'submarine'), \
+     ('hnd1', 'sin1', 68, 'submarine'),   ('sin1', 'hnd1', 68, 'submarine'), \
+     ('sin1', 'fra1', 150, 'submarine'),  ('fra1', 'sin1', 150, 'submarine')";
+
+  (* the routing workload hits the same edge table over and over: index it *)
+  (match Sqlgraph.Db.create_graph_index db ~table:"links" ~src:"a" ~dst:"b" with
+  | Ok () -> print_endline "graph index created on links(a, b)\n"
+  | Error e -> prerr_endline (Sqlgraph.Error.to_string e));
+
+  (* a full routing table from ams1: batched many-to-many query *)
+  show "routing table from ams1 (one graph build for all destinations)"
+    "SELECT r.name AS destination, \
+            CHEAPEST SUM(l: ms) AS rtt_ms, \
+            CHEAPEST SUM(l: 1) AS hops \
+     FROM routers r \
+     WHERE r.name <> 'ams1' \
+       AND 'ams1' REACHES r.name OVER links l EDGE (a, b) \
+     ORDER BY rtt_ms";
+
+  (* the chosen path to Singapore, hop by hop *)
+  show "ams1 -> sin1, hop by hop"
+    "SELECT R.ordinality AS hop, R.a, R.b, R.ms, R.kind FROM ( \
+       SELECT CHEAPEST SUM(l: ms) AS (total, path) \
+       WHERE 'ams1' REACHES 'sin1' OVER links l EDGE (a, b) \
+     ) T, UNNEST(T.path) WITH ORDINALITY AS R";
+
+  (* policy routing: terrestrial-only paths (a CTE subgraph) *)
+  show "destinations reachable without submarine cables"
+    "WITH land AS (SELECT * FROM links WHERE kind = 'terrestrial') \
+     SELECT r.name FROM routers r \
+     WHERE 'ams1' REACHES r.name OVER land EDGE (a, b) ORDER BY r.name";
+
+  (* set operations over graph queries: in-region vs reachable-overall *)
+  show "US routers reachable from ams1 but not from sin1 within 2 hops"
+    "WITH near_sin AS ( \
+       SELECT r.name AS n FROM routers r \
+       WHERE 'sin1' REACHES r.name OVER links EDGE (a, b) \
+         AND r.region = 'us') \
+     SELECT r.name FROM routers r \
+     WHERE r.region = 'us' AND 'ams1' REACHES r.name OVER links EDGE (a, b) \
+     EXCEPT SELECT n FROM near_sin WHERE n IN ('none') \
+     ORDER BY 1";
+
+  (* link failure: the transatlantic cable goes down *)
+  print_endline ">> DELETE: the lon1<->nyc1 submarine link fails\n";
+  exec "DELETE FROM links WHERE (a = 'lon1' AND b = 'nyc1') OR (a = 'nyc1' AND b = 'lon1')";
+
+  show "rerouted table from ams1 (index was invalidated and rebuilt)"
+    "SELECT r.name AS destination, CHEAPEST SUM(l: ms) AS rtt_ms \
+     FROM routers r \
+     WHERE r.name <> 'ams1' \
+       AND 'ams1' REACHES r.name OVER links l EDGE (a, b) \
+     ORDER BY rtt_ms";
+
+  (* degrade a link instead of dropping it *)
+  print_endline ">> UPDATE: the fra1<->sin1 link is congested (+200 ms)\n";
+  exec "UPDATE links SET ms = ms + 200 WHERE kind = 'submarine' AND (a = 'fra1' OR b = 'fra1')";
+
+  show "new best path to Singapore after congestion"
+    "SELECT R.ordinality AS hop, R.a, R.b, R.ms FROM ( \
+       SELECT CHEAPEST SUM(l: ms) AS (total, path) \
+       WHERE 'ams1' REACHES 'sin1' OVER links l EDGE (a, b) \
+     ) T, UNNEST(T.path) WITH ORDINALITY AS R"

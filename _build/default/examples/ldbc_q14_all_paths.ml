@@ -1,0 +1,104 @@
+(* Full LDBC Q14 — the query the paper could not run.
+
+   §4: "We cannot perform Q14 as it is defined in the LDBC specification
+   since it involves computing all shortest paths between two persons,
+   while with our proposal we can only report one of them."
+
+   This example closes that gap at the library level: Graph.All_paths
+   materialises the shortest-path DAG of the friendship graph, counts and
+   enumerates every (unweighted) shortest path between two persons, and
+   scores each path by the sum of its precomputed affinity weights —
+   which is LDBC Q14's actual shape. The SQL extension is still used for
+   what it can express (the single cheapest path, for comparison).
+
+   Run with:  dune exec examples/ldbc_q14_all_paths.exe *)
+
+module V = Storage.Value
+
+let () =
+  let graph = Datagen.Snb.generate ~scale_factor:1 ~ratio:0.1 ~seed:5 () in
+  let friends = graph.Datagen.Snb.friends in
+  let db = Sqlgraph.Db.create () in
+  Sqlgraph.Db.load_table db ~name:"persons" graph.Datagen.Snb.persons;
+  Sqlgraph.Db.load_table db ~name:"friends" friends;
+  Printf.printf "social network: %d persons, %d directed edges\n\n"
+    graph.Datagen.Snb.n_persons graph.Datagen.Snb.n_directed_edges;
+
+  let ids = Datagen.Snb.person_ids graph in
+  let source_id = ids.(1) and target_id = ids.(Array.length ids - 2) in
+
+  (* what the paper's extension CAN do: one shortest path *)
+  let one =
+    Sqlgraph.Db.query_exn db
+      ~params:[| V.Int source_id; V.Int target_id |]
+      "SELECT CHEAPEST SUM(1) AS hops WHERE ? REACHES ? OVER friends EDGE (src, dst)"
+  in
+  Printf.printf "SQL extension (one path): %d -> %d\n%s\n" source_id target_id
+    (Sqlgraph.Resultset.to_string one);
+
+  (* what LDBC Q14 actually needs: every shortest path *)
+  let src_col = Option.get (Storage.Table.column_by_name friends "src") in
+  let dst_col = Option.get (Storage.Table.column_by_name friends "dst") in
+  let weight_col = Option.get (Storage.Table.column_by_name friends "weight") in
+  let dict = Graph.Vertex_dict.build [ src_col; dst_col ] in
+  let csr =
+    Graph.Csr.build
+      ~vertex_count:(Graph.Vertex_dict.cardinality dict)
+      ~src:(Graph.Vertex_dict.encode_column dict src_col)
+      ~dst:(Graph.Vertex_dict.encode_column dict dst_col)
+  in
+  let source = Option.get (Graph.Vertex_dict.encode dict (V.Int source_id)) in
+  let target = Option.get (Graph.Vertex_dict.encode dict (V.Int target_id)) in
+  let dag = Graph.All_paths.build csr ~source in
+  let count = Graph.All_paths.count_paths dag ~target in
+  Printf.printf "all shortest paths %d -> %d: %d distinct path(s), %s hops each\n\n"
+    source_id target_id count
+    (match Graph.All_paths.distance dag target with
+    | Some d -> string_of_int d
+    | None -> "-");
+
+  (* Q14's scoring: the weight of a path is the sum of the affinities of
+     its friendship edges; report paths by descending weight *)
+  let path_weight rows =
+    Array.fold_left
+      (fun acc row -> acc +. Storage.Column.float_at weight_col row)
+      0. rows
+  in
+  let render rows =
+    let hops =
+      Array.to_list rows
+      |> List.map (fun row ->
+             Printf.sprintf "%s->%s"
+               (V.to_display (Storage.Table.get friends ~row ~col:0))
+               (V.to_display (Storage.Table.get friends ~row ~col:1)))
+    in
+    String.concat " " hops
+  in
+  let paths = Graph.All_paths.enumerate dag ~target ~limit:100 () in
+  let scored =
+    List.map (fun p -> (path_weight p, p)) paths
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+  in
+  print_endline "LDBC Q14: shortest paths ranked by affinity weight (top 5):";
+  List.iteri
+    (fun i (w, p) ->
+      if i < 5 then Printf.printf "  weight %6.2f  %s\n" w (render p))
+    scored;
+  (match scored with
+  | (best, _) :: _ ->
+    Printf.printf "\nQ14 answer: max path weight = %.2f over %d shortest paths\n"
+      best count
+  | [] -> print_endline "\nunreachable pair");
+
+  (* sanity: the SQL extension's single path is one of the enumerated set *)
+  let rs =
+    Sqlgraph.Db.query_exn db
+      ~params:[| V.Int source_id; V.Int target_id |]
+      "SELECT CHEAPEST SUM(e: 1) AS (c, p) \
+       WHERE ? REACHES ? OVER friends e EDGE (src, dst)"
+  in
+  match Sqlgraph.Resultset.cell rs ~row:0 ~col:1 with
+  | V.Path { rows; _ } ->
+    Printf.printf "the extension's path is in the enumeration: %b\n"
+      (List.exists (fun p -> p = rows) paths)
+  | _ -> ()

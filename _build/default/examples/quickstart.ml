@@ -1,0 +1,44 @@
+(* Quickstart: the whole extension in one minute.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  let db = Sqlgraph.Db.create () in
+  let exec sql = ignore (Sqlgraph.Db.exec_exn db sql) in
+  let show ?params sql =
+    Printf.printf "sql> %s\n%s\n" sql
+      (Sqlgraph.Resultset.to_string (Sqlgraph.Db.query_exn db ?params sql))
+  in
+
+  (* An edge table is any table with a source and a destination column. *)
+  exec "CREATE TABLE hops (src VARCHAR, dst VARCHAR, ms INTEGER)";
+  exec
+    "INSERT INTO hops VALUES \
+     ('a', 'b', 10), ('b', 'c', 10), ('a', 'c', 35), \
+     ('c', 'd', 10), ('b', 'd', 50)";
+
+  (* Reachability: REACHES is a WHERE-clause predicate over that graph. *)
+  show "SELECT 'a reaches d' AS fact WHERE 'a' REACHES 'd' OVER hops EDGE (src, dst)";
+
+  (* Unweighted shortest path: CHEAPEST SUM(1) counts hops. *)
+  show "SELECT CHEAPEST SUM(1) AS hops WHERE 'a' REACHES 'd' OVER hops EDGE (src, dst)";
+
+  (* Weighted: any positive columnar expression works as the weight. *)
+  show
+    "SELECT CHEAPEST SUM(e: ms) AS latency_ms \
+     WHERE 'a' REACHES 'd' OVER hops e EDGE (src, dst)";
+
+  (* Ask for the path too, then flatten it with UNNEST. *)
+  show
+    "SELECT R.ordinality AS step, R.src, R.dst, R.ms FROM ( \
+       SELECT CHEAPEST SUM(e: ms) AS (cost, path) \
+       WHERE 'a' REACHES 'd' OVER hops e EDGE (src, dst) \
+     ) T, UNNEST(T.path) WITH ORDINALITY AS R";
+
+  (* The optimizer view: EXPLAIN shows the graph operators of the paper. *)
+  match
+    Sqlgraph.Db.explain db
+      "SELECT CHEAPEST SUM(1) WHERE 'a' REACHES 'd' OVER hops EDGE (src, dst)"
+  with
+  | Ok plan -> Printf.printf "explain>\n%s" plan
+  | Error e -> prerr_endline (Sqlgraph.Error.to_string e)

@@ -1,0 +1,1 @@
+lib/baselines/native_bfs.mli: Storage

@@ -1,0 +1,1 @@
+lib/baselines/sql_bfs.ml: List Printf Sqlgraph Storage String

@@ -1,0 +1,1 @@
+lib/baselines/sql_bfs.mli: Sqlgraph

@@ -1,0 +1,38 @@
+(* Reuses the graph runtime's dictionary + CSR + workspace machinery, but
+   holds them prebuilt — the "graph framework" usage pattern. *)
+
+type t = {
+  dict : Graph.Vertex_dict.t;
+  csr : Graph.Csr.t;
+  ws : Graph.Workspace.t;
+}
+
+let of_table table ~src_col ~dst_col =
+  let col name =
+    match Storage.Table.column_by_name table name with
+    | Some c -> c
+    | None -> invalid_arg ("Native_bfs.of_table: no column " ^ name)
+  in
+  let src = col src_col and dst = col dst_col in
+  let dict = Graph.Vertex_dict.build [ src; dst ] in
+  let csr =
+    Graph.Csr.build
+      ~vertex_count:(Graph.Vertex_dict.cardinality dict)
+      ~src:(Graph.Vertex_dict.encode_column dict src)
+      ~dst:(Graph.Vertex_dict.encode_column dict dst)
+  in
+  { dict; csr; ws = Graph.Workspace.create (Graph.Vertex_dict.cardinality dict) }
+
+let vertex_count t = Graph.Vertex_dict.cardinality t.dict
+
+let distance t ~source ~target =
+  match
+    ( Graph.Vertex_dict.encode t.dict (Storage.Value.Int source),
+      Graph.Vertex_dict.encode t.dict (Storage.Value.Int target) )
+  with
+  | Some s, Some d ->
+    Graph.Bfs.run t.ws t.csr ~source:s ~targets:[| d |];
+    if Graph.Workspace.visited t.ws d then
+      Some t.ws.Graph.Workspace.dist_int.(d)
+    else None
+  | _ -> None

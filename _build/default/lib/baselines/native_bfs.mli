@@ -1,0 +1,17 @@
+(** The "specialized graph framework" comparison point of the paper's
+    introduction: a plain in-memory BFS over a prebuilt adjacency
+    structure, with none of the SQL stack on the critical path. The gap
+    between this and the SQL extension is the engine overhead the paper
+    hopes built-in operators can shrink. *)
+
+type t
+
+(** [of_table table ~src_col ~dst_col] — build the adjacency once from an
+    edge table (integer vertex keys). *)
+val of_table : Storage.Table.t -> src_col:string -> dst_col:string -> t
+
+val vertex_count : t -> int
+
+(** [distance t ~source ~target] — unweighted shortest-path distance, or
+    [None] when unreachable or either endpoint is unknown. *)
+val distance : t -> source:int -> target:int -> int option

@@ -1,0 +1,141 @@
+let exec_exn db sql =
+  match Sqlgraph.Db.exec db sql with
+  | Ok o -> o
+  | Error e -> failwith (Sqlgraph.Error.to_string e)
+
+let query_exn db ?params sql =
+  match Sqlgraph.Db.query db ?params sql with
+  | Ok r -> r
+  | Error e -> failwith (Sqlgraph.Error.to_string e)
+
+let scalar_int rs =
+  match Sqlgraph.Resultset.value rs with
+  | Storage.Value.Int n -> n
+  | v -> failwith ("expected an integer, got " ^ Storage.Value.to_display v)
+
+(* Unique temp-table names so concurrent baselines on one Db don't clash. *)
+let counter = ref 0
+
+let fresh_name prefix =
+  incr counter;
+  Printf.sprintf "%s_%d" prefix !counter
+
+(* The single-query recursion style of the paper's §1. The depth bound
+   keeps the (node, d) fixpoint finite on cyclic graphs. *)
+let recursive_distance db ~edge_table ~src_col ~dst_col ~source ~target
+    ~max_hops () =
+  let sql =
+    Printf.sprintf
+      "WITH RECURSIVE reach (node, d) AS ( \
+         SELECT %d, 0 \
+         UNION \
+         SELECT e.%s, r.d + 1 FROM reach r JOIN %s e ON r.node = e.%s \
+         WHERE r.d < %d) \
+       SELECT MIN(d) FROM reach WHERE node = %d"
+      source dst_col edge_table src_col max_hops target
+  in
+  match Sqlgraph.Resultset.value (query_exn db sql) with
+  | Storage.Value.Int d -> Some d
+  | Storage.Value.Null -> None
+  | v -> failwith ("unexpected " ^ Storage.Value.to_display v)
+
+let frontier_distance db ~edge_table ~src_col ~dst_col ~source ~target
+    ?(max_hops = 64) () =
+  if source = target then Some 0
+  else begin
+    let visited = fresh_name "baseline_visited" in
+    let frontier = fresh_name "baseline_frontier" in
+    let cleanup () =
+      ignore (Sqlgraph.Db.exec db (Printf.sprintf "DROP TABLE %s" visited));
+      ignore (Sqlgraph.Db.exec db (Printf.sprintf "DROP TABLE %s" frontier))
+    in
+    let finish r =
+      cleanup ();
+      r
+    in
+    ignore (exec_exn db (Printf.sprintf "CREATE TABLE %s (node INTEGER)" visited));
+    ignore (exec_exn db (Printf.sprintf "CREATE TABLE %s (node INTEGER)" frontier));
+    ignore
+      (exec_exn db (Printf.sprintf "INSERT INTO %s VALUES (%d)" visited source));
+    ignore
+      (exec_exn db (Printf.sprintf "INSERT INTO %s VALUES (%d)" frontier source));
+    (* one SQL round per BFS level: expand, dedupe, subtract visited *)
+    let expand_sql =
+      Printf.sprintf
+        "SELECT DISTINCT e.%s AS node FROM %s e JOIN %s f ON e.%s = f.node \
+         WHERE e.%s NOT IN (SELECT node FROM %s)"
+        dst_col edge_table frontier src_col dst_col visited
+    in
+    let rec level k =
+      if k > max_hops then finish None
+      else begin
+        let next = query_exn db expand_sql in
+        let nodes =
+          List.filter_map
+            (function
+              | [ Storage.Value.Int n ] -> Some n
+              | _ -> None)
+            (Sqlgraph.Resultset.rows next)
+        in
+        if nodes = [] then finish None
+        else if List.mem target nodes then finish (Some k)
+        else begin
+          let values =
+            String.concat ", " (List.map (Printf.sprintf "(%d)") nodes)
+          in
+          ignore
+            (exec_exn db (Printf.sprintf "INSERT INTO %s VALUES %s" visited values));
+          ignore (exec_exn db (Printf.sprintf "DELETE FROM %s" frontier));
+          ignore
+            (exec_exn db
+               (Printf.sprintf "INSERT INTO %s VALUES %s" frontier values));
+          level (k + 1)
+        end
+      end
+    in
+    match level 1 with
+    | r -> r
+    | exception e ->
+      cleanup ();
+      raise e
+  end
+
+(* One query per candidate distance: e1 JOIN e2 JOIN ... JOIN ek. *)
+let chain_query ~edge_table ~src_col ~dst_col k =
+  let aliases = List.init k (fun i -> Printf.sprintf "e%d" (i + 1)) in
+  let joins =
+    match aliases with
+    | [] -> assert false
+    | first :: rest ->
+      List.fold_left
+        (fun (acc, prev) alias ->
+          ( acc
+            ^ Printf.sprintf " JOIN %s %s ON %s.%s = %s.%s" edge_table alias
+                prev dst_col alias src_col,
+            alias ))
+        (Printf.sprintf "%s %s" edge_table first, first)
+        rest
+      |> fst
+  in
+  Printf.sprintf "SELECT COUNT(*) FROM %s WHERE e1.%s = ? AND e%d.%s = ?"
+    joins src_col k dst_col
+
+let join_chain_distance db ~edge_table ~src_col ~dst_col ~source ~target
+    ~max_hops () =
+  if source = target then Some 0
+  else begin
+    let rec try_k k =
+      if k > max_hops then None
+      else begin
+        let sql = chain_query ~edge_table ~src_col ~dst_col k in
+        let n =
+          scalar_int
+            (query_exn db
+               ~params:[| Storage.Value.Int source; Storage.Value.Int target |]
+               sql)
+        in
+        if n > 0 then Some k else try_k (k + 1)
+      end
+    in
+    try_k 1
+  end

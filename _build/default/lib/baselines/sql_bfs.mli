@@ -1,0 +1,64 @@
+(** The paper's §1 baselines: shortest paths in *standard* SQL.
+
+    "Currently there are three customary means to perform reachability and
+    shortest path queries in standard SQL: recursion, persistent stored
+    modules (PSM) and, to a more limited extent, explicit chains of
+    joins." This module implements two of them against the engine, so the
+    extension can be compared with what users do without it:
+
+    - {!frontier_distance} — the PSM/recursion style: a procedural driver
+      that maintains frontier/visited tables and issues one SQL join per
+      BFS level (interpretation overhead, many round trips);
+    - {!join_chain_distance} — the "N-1 self-joins" style: one k-way
+      self-join query per candidate distance k (full path enumeration,
+      combinatorial blow-up on dense graphs).
+
+    Both compute the same unweighted shortest-path distance as
+    [CHEAPEST SUM(1)], which the tests assert. *)
+
+(** [recursive_distance db ~edge_table ~src_col ~dst_col ~source ~target
+     ~max_hops ()] — the *recursion* baseline: a single
+    [WITH RECURSIVE reach (node, d) AS (... UNION ...)] query bounded at
+    [max_hops] (the bound is what makes it terminate on cyclic graphs —
+    one of the pitfalls the paper's §1 alludes to), answered with
+    [MIN(d)]. *)
+val recursive_distance :
+  Sqlgraph.Db.t ->
+  edge_table:string ->
+  src_col:string ->
+  dst_col:string ->
+  source:int ->
+  target:int ->
+  max_hops:int ->
+  unit ->
+  int option
+
+(** [frontier_distance db ~edge_table ~src_col ~dst_col ~source ~target
+     ?max_hops ()] — BFS levels as SQL joins over temporary frontier /
+    visited tables (dropped afterwards). [None] when unreachable within
+    [max_hops] (default 64). *)
+val frontier_distance :
+  Sqlgraph.Db.t ->
+  edge_table:string ->
+  src_col:string ->
+  dst_col:string ->
+  source:int ->
+  target:int ->
+  ?max_hops:int ->
+  unit ->
+  int option
+
+(** [join_chain_distance db ~edge_table ~src_col ~dst_col ~source ~target
+     ~max_hops ()] — for k = 0, 1, ..., [max_hops]: one query with k
+    self-joins testing whether a k-hop path exists. Exponential on dense
+    graphs; keep [max_hops] small. *)
+val join_chain_distance :
+  Sqlgraph.Db.t ->
+  edge_table:string ->
+  src_col:string ->
+  dst_col:string ->
+  source:int ->
+  target:int ->
+  max_hops:int ->
+  unit ->
+  int option

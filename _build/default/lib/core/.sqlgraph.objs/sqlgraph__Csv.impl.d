@@ -1,0 +1,1 @@
+lib/core/csv.ml: Array Buffer Db Error In_channel List Out_channel Printf Resultset Storage String

@@ -1,0 +1,1 @@
+lib/core/csv.mli: Db Error Resultset Storage

@@ -1,0 +1,1 @@
+lib/core/db.ml: Array Buffer Error Executor Fun Graph List Logs Option Printf Relalg Resultset Sql Storage String Sys

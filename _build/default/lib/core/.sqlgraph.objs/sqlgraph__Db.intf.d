@@ -1,0 +1,1 @@
+lib/core/db.mli: Error Executor Logs Relalg Resultset Storage

@@ -1,0 +1,1 @@
+lib/core/persist.ml: Buffer Csv Db Error Filename Hashtbl In_channel List Option Out_channel Printf Relalg Resultset Storage Sys

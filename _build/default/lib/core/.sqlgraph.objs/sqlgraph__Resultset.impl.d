@@ -1,0 +1,1 @@
+lib/core/resultset.ml: Array Buffer Format List Printf Storage String

@@ -1,0 +1,1 @@
+lib/core/resultset.mli: Format Storage

@@ -1,0 +1,107 @@
+exception Csv_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Csv_error s)) fmt
+
+(* A small state machine over the raw text; handles quoted fields with
+   doubled quotes, bare CR before LF, and a missing final newline. *)
+let parse_string s =
+  let n = String.length s in
+  let rows = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let started = ref false in
+  (* row has content *)
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := [];
+    started := false
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    (match c with
+    | '"' ->
+      started := true;
+      incr i;
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then err "unterminated quoted field"
+        else if s.[!i] = '"' then
+          if !i + 1 < n && s.[!i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf s.[!i];
+          incr i
+        end
+      done;
+      decr i
+    | ',' ->
+      started := true;
+      flush_field ()
+    | '\n' -> if !started || Buffer.length buf > 0 || !fields <> [] then flush_row ()
+    | '\r' -> () (* swallow; the \n does the work *)
+    | c ->
+      started := true;
+      Buffer.add_char buf c);
+    incr i
+  done;
+  if !started || Buffer.length buf > 0 || !fields <> [] then flush_row ();
+  List.rev !rows
+
+let cell_of_string ty text =
+  if text = "" then Storage.Value.Null
+  else
+    match Storage.Value.cast (Storage.Value.Str text) ty with
+    | Ok v -> v
+    | Error m -> err "CSV: %s" m
+
+let table_of_string ~schema ?(header = true) s =
+  let rows = parse_string s in
+  let rows = if header && rows <> [] then List.tl rows else rows in
+  let arity = Storage.Schema.arity schema in
+  let table = Storage.Table.create schema in
+  List.iteri
+    (fun rownum fields ->
+      if List.length fields <> arity then
+        err "CSV row %d has %d fields, expected %d" (rownum + 1)
+          (List.length fields) arity;
+      let cells =
+        List.mapi
+          (fun col text ->
+            cell_of_string (Storage.Schema.field schema col).Storage.Schema.ty
+              text)
+          fields
+      in
+      Storage.Table.append_row table (Array.of_list cells))
+    rows;
+  table
+
+let load_file db ~path ~table ~schema ?(header = true) () =
+  match
+    let text = In_channel.with_open_text path In_channel.input_all in
+    let t = table_of_string ~schema ~header text in
+    Db.load_table db ~name:table t;
+    Storage.Table.nrows t
+  with
+  | n -> Ok n
+  | exception Csv_error m -> Error (Error.Runtime_error m)
+  | exception Sys_error m -> Error (Error.Runtime_error m)
+
+let save_file rs ~path =
+  match
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Resultset.to_csv rs))
+  with
+  | () -> Ok ()
+  | exception Sys_error m -> Error (Error.Runtime_error m)

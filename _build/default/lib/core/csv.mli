@@ -1,0 +1,29 @@
+(** CSV import/export (RFC-4180-style: quoted fields, embedded commas,
+    doubled quotes, CRLF tolerated). The bulk-loading path for bringing
+    external edge lists and vertex tables into the engine. *)
+
+exception Csv_error of string
+
+(** [parse_string s] — rows of fields; no header handling, no typing. *)
+val parse_string : string -> string list list
+
+(** [table_of_string ~schema ?header s] — build a typed table. Fields are
+    cast to the schema's column types ([""] becomes NULL); [header]
+    (default [true]) skips the first row. Raises {!Csv_error} on arity or
+    conversion failures. *)
+val table_of_string :
+  schema:Storage.Schema.t -> ?header:bool -> string -> Storage.Table.t
+
+(** [load_file db ~path ~table ~schema ?header ()] — read a CSV file into
+    a (new or replaced) table of [db]. *)
+val load_file :
+  Db.t ->
+  path:string ->
+  table:string ->
+  schema:Storage.Schema.t ->
+  ?header:bool ->
+  unit ->
+  (int, Error.t) result
+
+(** [save_file resultset ~path] — write a result set with a header row. *)
+val save_file : Resultset.t -> path:string -> (unit, Error.t) result

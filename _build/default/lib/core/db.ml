@@ -1,0 +1,415 @@
+module V = Storage.Value
+
+(* Debug tracing: enable with Logs.Src.set_level Db.log_src (Some Debug). *)
+let log_src = Logs.Src.create "sqlgraph.db" ~doc:"sqlgraph query lifecycle"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  catalog : Storage.Catalog.t;
+  indices : Executor.Graph_index.t;
+  mutable last_stats : Executor.Interp.stats option;
+  mutable snapshot : (string * Storage.Table.t) list option;
+      (* deep copy of every table at BEGIN; None = autocommit mode *)
+}
+
+let create () =
+  {
+    catalog = Storage.Catalog.create ();
+    indices = Executor.Graph_index.create ();
+    last_stats = None;
+    snapshot = None;
+  }
+
+let catalog t = t.catalog
+let load_table t ~name table = Storage.Catalog.replace t.catalog name table
+
+type exec_outcome =
+  | Created
+  | Dropped
+  | Inserted of int
+  | Updated of int
+  | Deleted of int
+  | Selected of Resultset.t
+  | Explained of string
+  | Began
+  | Committed
+  | Rolled_back
+
+(* Run [f], mapping every layer's exception into Error.t. *)
+let guard f =
+  match f () with
+  | v -> Ok v
+  | exception Sql.Lexer.Lex_error (m, line, col) ->
+    Error (Error.Parse_error { message = m; line; col })
+  | exception Sql.Parser.Parse_error (m, line, col) ->
+    Error (Error.Parse_error { message = m; line; col })
+  | exception Relalg.Binder.Bind_error m -> Error (Error.Bind_error m)
+  | exception Relalg.Scalar.Runtime_error m -> Error (Error.Runtime_error m)
+  | exception Graph.Runtime.Weight_error m -> Error (Error.Runtime_error m)
+  | exception Invalid_argument m ->
+    Error (Error.Runtime_error ("internal: " ^ m))
+
+let fresh_ctx t = Executor.Interp.create_ctx ~catalog:t.catalog ~indices:t.indices ()
+
+let run_select t ~params ~optimize q =
+  let timed what f =
+    let t0 = Sys.time () in
+    let r = f () in
+    Log.debug (fun m -> m "%s: %.6fs" what (Sys.time () -. t0));
+    r
+  in
+  let plan =
+    timed "bind" (fun () -> Relalg.Binder.bind_query ~catalog:t.catalog ~params q)
+  in
+  let plan = timed "rewrite" (fun () -> Relalg.Rewriter.rewrite ~options:optimize plan) in
+  let ctx = fresh_ctx t in
+  let table = timed "execute" (fun () -> Executor.Interp.run ctx plan) in
+  let stats = Executor.Interp.stats ctx in
+  Log.debug (fun m ->
+      m "graphs built=%d reused=%d build=%.6fs traverse=%.6fs rows=%d"
+        stats.Executor.Interp.graphs_built stats.Executor.Interp.graphs_reused
+        stats.Executor.Interp.graph_build_seconds
+        stats.Executor.Interp.graph_traverse_seconds
+        (Storage.Table.nrows table));
+  t.last_stats <- Some stats;
+  Resultset.of_table table
+
+(* Evaluate a bound predicate/expression per row of a base table. *)
+let eval_over_rows t table bexpr =
+  let ctx = fresh_ctx t in
+  let run_subplan p = Executor.Interp.run ctx p in
+  let n = Storage.Table.nrows table in
+  let env = Executor.Eval.single ~run_subplan table 0 in
+  List.init n (fun row ->
+      env.Executor.Eval.segments.(0) <- (table, row);
+      Executor.Eval.eval env bexpr)
+
+let find_table t name =
+  match Storage.Catalog.find t.catalog name with
+  | Some tbl -> tbl
+  | None ->
+    raise (Relalg.Binder.Bind_error (Printf.sprintf "unknown table %s" name))
+
+let exec_update t ~params ~table ~assignments ~where =
+  let target = find_table t table in
+  let schema = Storage.Table.schema target in
+  let bind e =
+    Relalg.Binder.bind_over_table ~catalog:t.catalog ~params ~schema e
+  in
+  let bound_assignments =
+    List.map
+      (fun (col, e) ->
+        match Storage.Schema.index_of schema col with
+        | None ->
+          raise
+            (Relalg.Binder.Bind_error
+               (Printf.sprintf "unknown column %s in UPDATE" col))
+        | Some i -> (i, bind e))
+      assignments
+  in
+  let pred =
+    Option.map
+      (fun w ->
+        let bw = bind w in
+        if not (Storage.Dtype.equal bw.Relalg.Lplan.ty Storage.Dtype.TBool)
+        then
+          raise (Relalg.Binder.Bind_error "UPDATE WHERE must be boolean");
+        bw)
+      where
+  in
+  let hits =
+    match pred with
+    | None -> List.init (Storage.Table.nrows target) (fun _ -> true)
+    | Some p -> List.map Relalg.Scalar.is_true (eval_over_rows t target p)
+  in
+  let new_cells =
+    List.map (fun (i, e) -> (i, eval_over_rows t target e)) bound_assignments
+  in
+  let out = Storage.Table.create schema in
+  let updated = ref 0 in
+  List.iteri
+    (fun row hit ->
+      let cells = Storage.Table.row target row in
+      if hit then begin
+        incr updated;
+        List.iter
+          (fun (i, values) ->
+            let v = List.nth values row in
+            let ty = (Storage.Schema.field schema i).Storage.Schema.ty in
+            match Storage.Value.cast v ty with
+            | Ok v' -> cells.(i) <- v'
+            | Error m -> raise (Relalg.Scalar.Runtime_error ("UPDATE: " ^ m)))
+          new_cells
+      end;
+      Storage.Table.append_row out cells)
+    hits;
+  Storage.Catalog.replace t.catalog table out;
+  Updated !updated
+
+let exec_delete t ~params ~table ~where =
+  let target = find_table t table in
+  let schema = Storage.Table.schema target in
+  let hits =
+    match where with
+    | None -> List.init (Storage.Table.nrows target) (fun _ -> true)
+    | Some w ->
+      let bw =
+        Relalg.Binder.bind_over_table ~catalog:t.catalog ~params ~schema w
+      in
+      if not (Storage.Dtype.equal bw.Relalg.Lplan.ty Storage.Dtype.TBool) then
+        raise (Relalg.Binder.Bind_error "DELETE WHERE must be boolean");
+      List.map Relalg.Scalar.is_true (eval_over_rows t target bw)
+  in
+  let keep =
+    hits
+    |> List.mapi (fun row hit -> if hit then None else Some row)
+    |> List.filter_map Fun.id
+    |> Array.of_list
+  in
+  let deleted = Storage.Table.nrows target - Array.length keep in
+  Storage.Catalog.replace t.catalog table (Storage.Table.take target keep);
+  Deleted deleted
+
+let txn_error m = raise (Relalg.Binder.Bind_error m)
+
+let exec_begin t =
+  if t.snapshot <> None then txn_error "already inside a transaction";
+  t.snapshot <-
+    Some
+      (List.map
+         (fun name ->
+           (name, Storage.Table.copy (Option.get (Storage.Catalog.find t.catalog name))))
+         (Storage.Catalog.names t.catalog));
+  Began
+
+let exec_commit t =
+  if t.snapshot = None then txn_error "COMMIT outside a transaction";
+  t.snapshot <- None;
+  Committed
+
+let exec_rollback t =
+  match t.snapshot with
+  | None -> txn_error "ROLLBACK outside a transaction"
+  | Some saved ->
+    (* drop everything touched since BEGIN, restore the copies; version
+       counters may be reused afterwards, so the graph cache must go *)
+    List.iter
+      (fun name -> ignore (Storage.Catalog.drop t.catalog name))
+      (Storage.Catalog.names t.catalog);
+    List.iter
+      (fun (name, table) -> Storage.Catalog.replace t.catalog name table)
+      saved;
+    Executor.Graph_index.clear_cache t.indices;
+    t.snapshot <- None;
+    Rolled_back
+
+let exec_stmt t ~params ~optimize stmt =
+  match stmt with
+  | Sql.Ast.Select q -> Selected (run_select t ~params ~optimize q)
+  | Sql.Ast.Begin_txn -> exec_begin t
+  | Sql.Ast.Commit_txn -> exec_commit t
+  | Sql.Ast.Rollback_txn -> exec_rollback t
+  | Sql.Ast.Explain { query = q; analyze } ->
+    let plan = Relalg.Binder.bind_query ~catalog:t.catalog ~params q in
+    let plan = Relalg.Rewriter.rewrite ~options:optimize plan in
+    let rendered = Relalg.Explain.plan_to_string plan in
+    if not analyze then Explained rendered
+    else begin
+      let ctx =
+        Executor.Interp.create_ctx ~catalog:t.catalog ~indices:t.indices
+          ~tracing:true ()
+      in
+      let table = Executor.Interp.run ctx plan in
+      t.last_stats <- Some (Executor.Interp.stats ctx);
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf rendered;
+      Buffer.add_string buf "-- analyze --\n";
+      (* completion order reversed puts the root first; indentation still
+         shows the tree structure *)
+      List.iter
+        (fun (e : Executor.Interp.trace_entry) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s: rows=%d time=%.6fs\n"
+               (String.make (2 * e.Executor.Interp.tr_depth) ' ')
+               e.Executor.Interp.tr_label e.Executor.Interp.tr_rows
+               e.Executor.Interp.tr_seconds))
+        (List.rev (Executor.Interp.trace ctx));
+      Buffer.add_string buf
+        (Printf.sprintf "result: %d rows\n" (Storage.Table.nrows table));
+      Explained (Buffer.contents buf)
+    end
+  | Sql.Ast.Update { table; assignments; where } ->
+    exec_update t ~params ~table ~assignments ~where
+  | Sql.Ast.Delete { table; where } -> exec_delete t ~params ~table ~where
+  | Sql.Ast.Create_table (name, defs) ->
+    if Storage.Catalog.mem t.catalog name then
+      raise
+        (Relalg.Binder.Bind_error (Printf.sprintf "table %s already exists" name));
+    let fields =
+      List.map
+        (fun (d : Sql.Ast.column_def) ->
+          match Storage.Dtype.of_name d.Sql.Ast.col_type with
+          | Some ty -> { Storage.Schema.name = d.Sql.Ast.col_name; ty }
+          | None ->
+            raise
+              (Relalg.Binder.Bind_error
+                 (Printf.sprintf "unknown type %s for column %s"
+                    d.Sql.Ast.col_type d.Sql.Ast.col_name)))
+        defs
+    in
+    Storage.Catalog.add t.catalog name
+      (Storage.Table.create (Storage.Schema.make fields));
+    Created
+  | Sql.Ast.Drop_table name ->
+    if not (Storage.Catalog.drop t.catalog name) then
+      raise
+        (Relalg.Binder.Bind_error (Printf.sprintf "unknown table %s" name));
+    Dropped
+  | Sql.Ast.Create_table_as (name, q) ->
+    if Storage.Catalog.mem t.catalog name then
+      raise
+        (Relalg.Binder.Bind_error (Printf.sprintf "table %s already exists" name));
+    let rs = run_select t ~params ~optimize q in
+    let result = Resultset.to_table rs in
+    (* results may repeat column names; a stored table may not *)
+    let schema =
+      Storage.Schema.make (Storage.Schema.fields (Storage.Table.schema result))
+    in
+    List.iter
+      (fun (f : Storage.Schema.field) ->
+        if Storage.Dtype.equal f.Storage.Schema.ty Storage.Dtype.TPath then
+          raise
+            (Relalg.Binder.Bind_error
+               (Printf.sprintf
+                  "column %s: paths cannot be permanently stored (flatten \
+                   with UNNEST first)"
+                  f.Storage.Schema.name)))
+      (Storage.Schema.fields schema);
+    Storage.Catalog.add t.catalog name
+      (Storage.Table.of_columns ~nrows:(Storage.Table.nrows result) schema
+         (List.init (Storage.Table.arity result) (Storage.Table.column result)));
+    Created
+  | Sql.Ast.Insert { table; columns; source } -> (
+    match Storage.Catalog.find t.catalog table with
+    | None ->
+      raise (Relalg.Binder.Bind_error (Printf.sprintf "unknown table %s" table))
+    | Some target -> (
+      let schema = Storage.Table.schema target in
+      match source with
+      | Sql.Ast.Insert_values rows ->
+        let cells =
+          Relalg.Binder.bind_values ~catalog:t.catalog ~params ~schema
+            ~columns rows
+        in
+        List.iter (Storage.Table.append_row target) cells;
+        Storage.Catalog.touch t.catalog table;
+        Inserted (List.length cells)
+      | Sql.Ast.Insert_query q ->
+        let rs = run_select t ~params ~optimize q in
+        let src = Resultset.to_table rs in
+        let positions =
+          match columns with
+          | None -> List.init (Storage.Schema.arity schema) Fun.id
+          | Some cols ->
+            List.map
+              (fun c ->
+                match Storage.Schema.index_of schema c with
+                | Some i -> i
+                | None ->
+                  raise
+                    (Relalg.Binder.Bind_error
+                       (Printf.sprintf "unknown column %s in INSERT" c)))
+              cols
+        in
+        if Storage.Table.arity src <> List.length positions then
+          raise
+            (Relalg.Binder.Bind_error
+               (Printf.sprintf
+                  "INSERT ... SELECT provides %d columns, expected %d"
+                  (Storage.Table.arity src) (List.length positions)));
+        let arity = Storage.Schema.arity schema in
+        for row = 0 to Storage.Table.nrows src - 1 do
+          let cells = Array.make arity Storage.Value.Null in
+          List.iteri
+            (fun srccol pos ->
+              let v = Storage.Table.get src ~row ~col:srccol in
+              let ty = (Storage.Schema.field schema pos).Storage.Schema.ty in
+              match Storage.Value.cast v ty with
+              | Ok v' -> cells.(pos) <- v'
+              | Error m ->
+                raise (Relalg.Scalar.Runtime_error ("INSERT: " ^ m)))
+            positions;
+          Storage.Table.append_row target cells
+        done;
+        Storage.Catalog.touch t.catalog table;
+        Inserted (Storage.Table.nrows src)))
+
+let exec t ?(params = [||]) sql =
+  guard (fun () ->
+      exec_stmt t ~params ~optimize:Relalg.Rewriter.default_options
+        (Sql.Parser.parse_stmt sql))
+
+let exec_exn t ?params sql =
+  match exec t ?params sql with
+  | Ok o -> o
+  | Error e -> failwith (Error.to_string e)
+
+let exec_script t sql =
+  guard (fun () ->
+      List.map
+        (exec_stmt t ~params:[||] ~optimize:Relalg.Rewriter.default_options)
+        (Sql.Parser.parse_script sql))
+
+let query t ?(params = [||]) ?(optimize = Relalg.Rewriter.default_options) sql =
+  guard (fun () ->
+      match Sql.Parser.parse_stmt sql with
+      | Sql.Ast.Select q -> run_select t ~params ~optimize q
+      | _ ->
+        raise (Relalg.Binder.Bind_error "query expects a SELECT statement"))
+
+let query_exn t ?params ?optimize sql =
+  match query t ?params ?optimize sql with
+  | Ok r -> r
+  | Error e -> failwith (Error.to_string e)
+
+let explain t ?(params = [||]) ?(optimize = Relalg.Rewriter.default_options) sql
+    =
+  guard (fun () ->
+      match Sql.Parser.parse_stmt sql with
+      | Sql.Ast.Select q ->
+        let plan = Relalg.Binder.bind_query ~catalog:t.catalog ~params q in
+        let plan = Relalg.Rewriter.rewrite ~options:optimize plan in
+        Relalg.Explain.plan_to_string plan
+      | _ ->
+        raise (Relalg.Binder.Bind_error "EXPLAIN expects a SELECT statement"))
+
+let index_key t ~table ~src ~dst =
+  match Storage.Catalog.find t.catalog table with
+  | None ->
+    raise (Relalg.Binder.Bind_error (Printf.sprintf "unknown table %s" table))
+  | Some tbl ->
+    let schema = Storage.Table.schema tbl in
+    let col what name =
+      match Storage.Schema.index_of schema name with
+      | Some i -> i
+      | None ->
+        raise
+          (Relalg.Binder.Bind_error
+             (Printf.sprintf "table %s has no %s column %s" table what name))
+    in
+    {
+      Executor.Graph_index.table;
+      src = [ col "source" src ];
+      dst = [ col "destination" dst ];
+    }
+
+let create_graph_index t ~table ~src ~dst =
+  guard (fun () ->
+      Executor.Graph_index.enable t.indices (index_key t ~table ~src ~dst))
+
+let drop_graph_index t ~table ~src ~dst =
+  guard (fun () ->
+      Executor.Graph_index.disable t.indices (index_key t ~table ~src ~dst))
+
+let last_stats t = t.last_stats

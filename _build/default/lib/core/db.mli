@@ -1,0 +1,94 @@
+(** The public database API.
+
+    {[
+      let db = Db.create () in
+      Db.exec_exn db "CREATE TABLE friends (src INTEGER, dst INTEGER)";
+      Db.exec_exn db "INSERT INTO friends VALUES (1, 2), (2, 3)";
+      let r =
+        Db.query_exn db
+          ~params:[| Int 1; Int 3 |]
+          "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER friends EDGE (src, dst)"
+      in
+      print_string (Resultset.to_string r)
+    ]}
+
+    Host parameters ([?]) are substituted at bind time, so a statement is
+    compiled per execution. All state is in-memory. *)
+
+type t
+
+(** Debug tracing source ("sqlgraph.db"): per-query bind/rewrite/execute
+    timings and graph statistics at [Debug] level. *)
+val log_src : Logs.src
+
+(** [create ()] — an empty in-memory database. *)
+val create : unit -> t
+
+val catalog : t -> Storage.Catalog.t
+
+(** [load_table db ~name table] — register a pre-built columnar table
+    (bulk loading path used by the generators and benchmarks). Replaces
+    any existing table of that name. *)
+val load_table : t -> name:string -> Storage.Table.t -> unit
+
+(** Outcome of a statement. *)
+type exec_outcome =
+  | Created  (** CREATE TABLE *)
+  | Dropped  (** DROP TABLE *)
+  | Inserted of int  (** INSERT: rows added *)
+  | Updated of int  (** UPDATE: rows changed *)
+  | Deleted of int  (** DELETE: rows removed *)
+  | Selected of Resultset.t  (** a SELECT ran through {!exec} *)
+  | Explained of string  (** an EXPLAIN statement: the rendered plan *)
+  | Began  (** BEGIN [TRANSACTION]: tables snapshotted *)
+  | Committed  (** COMMIT: snapshot discarded *)
+  | Rolled_back  (** ROLLBACK: tables restored, graph caches cleared *)
+
+(** [exec db ?params sql] — run any single statement. *)
+val exec :
+  t -> ?params:Storage.Value.t array -> string -> (exec_outcome, Error.t) result
+
+(** [exec_exn] — [exec] raising [Failure] with the rendered error. *)
+val exec_exn : t -> ?params:Storage.Value.t array -> string -> exec_outcome
+
+(** [exec_script db sql] — run a [;]-separated script (no parameters). *)
+val exec_script : t -> string -> (exec_outcome list, Error.t) result
+
+(** [query db ?params ?optimize sql] — run a SELECT. [optimize] overrides
+    the rewriter configuration (used by the optimizer ablations). *)
+val query :
+  t ->
+  ?params:Storage.Value.t array ->
+  ?optimize:Relalg.Rewriter.options ->
+  string ->
+  (Resultset.t, Error.t) result
+
+val query_exn :
+  t ->
+  ?params:Storage.Value.t array ->
+  ?optimize:Relalg.Rewriter.options ->
+  string ->
+  Resultset.t
+
+(** [explain db ?params ?optimize sql] — the bound, rewritten plan as an
+    indented operator tree. *)
+val explain :
+  t ->
+  ?params:Storage.Value.t array ->
+  ?optimize:Relalg.Rewriter.options ->
+  string ->
+  (string, Error.t) result
+
+(** Graph indices (DESIGN.md §6 — the paper's "future work" §6): pre-build
+    and cache the graph of a base edge table so queries skip
+    construction. Invalidated automatically when the table changes. *)
+
+val create_graph_index :
+  t -> table:string -> src:string -> dst:string -> (unit, Error.t) result
+
+val drop_graph_index :
+  t -> table:string -> src:string -> dst:string -> (unit, Error.t) result
+
+(** [last_stats db] — graph build/traversal counters of the most recent
+    {!query}/{!exec} (experiment A1's instrumentation). *)
+val last_stats : t -> Executor.Interp.stats option

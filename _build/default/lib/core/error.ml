@@ -1,0 +1,12 @@
+type t =
+  | Parse_error of { message : string; line : int; col : int }
+  | Bind_error of string
+  | Runtime_error of string
+
+let to_string = function
+  | Parse_error { message; line; col } ->
+    Printf.sprintf "parse error at line %d, column %d: %s" line col message
+  | Bind_error m -> "semantic error: " ^ m
+  | Runtime_error m -> "runtime error: " ^ m
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

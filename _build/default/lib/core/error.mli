@@ -1,0 +1,11 @@
+(** Unified error type of the public API. *)
+
+type t =
+  | Parse_error of { message : string; line : int; col : int }
+  | Bind_error of string  (** semantic errors: unknown names, type errors *)
+  | Runtime_error of string
+      (** execution faults: division by zero, non-positive CHEAPEST SUM
+          weights, scalar subquery cardinality, ... *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,88 @@
+let manifest_file = "_manifest.csv"
+
+let guard f =
+  match f () with
+  | v -> Ok v
+  | exception Sys_error m -> Error (Error.Runtime_error m)
+  | exception Csv.Csv_error m -> Error (Error.Runtime_error m)
+  | exception Relalg.Scalar.Runtime_error m -> Error (Error.Runtime_error m)
+  | exception Invalid_argument m -> Error (Error.Runtime_error m)
+
+let save db ~dir =
+  guard (fun () ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let catalog = Db.catalog db in
+      let manifest = Buffer.create 256 in
+      Buffer.add_string manifest "table,column,type\n";
+      List.iter
+        (fun name ->
+          let table = Option.get (Storage.Catalog.find catalog name) in
+          let schema = Storage.Table.schema table in
+          List.iter
+            (fun (f : Storage.Schema.field) ->
+              if Storage.Dtype.equal f.Storage.Schema.ty Storage.Dtype.TPath
+              then
+                raise
+                  (Relalg.Scalar.Runtime_error
+                     (Printf.sprintf
+                        "table %s column %s: paths cannot be permanently \
+                         stored (flatten with UNNEST first)"
+                        name f.Storage.Schema.name));
+              Buffer.add_string manifest
+                (Printf.sprintf "%s,%s,%s\n" name f.Storage.Schema.name
+                   (Storage.Dtype.name f.Storage.Schema.ty)))
+            (Storage.Schema.fields schema);
+          let rs = Resultset.of_table table in
+          Out_channel.with_open_text
+            (Filename.concat dir (name ^ ".csv"))
+            (fun oc -> Out_channel.output_string oc (Resultset.to_csv rs)))
+        (Storage.Catalog.names catalog);
+      Out_channel.with_open_text
+        (Filename.concat dir manifest_file)
+        (fun oc -> Out_channel.output_string oc (Buffer.contents manifest)))
+
+let load ~dir =
+  guard (fun () ->
+      let manifest_text =
+        In_channel.with_open_text
+          (Filename.concat dir manifest_file)
+          In_channel.input_all
+      in
+      let rows =
+        match Csv.parse_string manifest_text with
+        | _header :: rows -> rows
+        | [] -> raise (Csv.Csv_error "empty manifest")
+      in
+      (* group manifest rows by table, preserving column order *)
+      let tables = Hashtbl.create 8 in
+      let order = ref [] in
+      List.iter
+        (fun row ->
+          match row with
+          | [ table; column; ty_name ] ->
+            let ty =
+              match Storage.Dtype.of_name ty_name with
+              | Some ty -> ty
+              | None ->
+                raise (Csv.Csv_error ("unknown type in manifest: " ^ ty_name))
+            in
+            (match Hashtbl.find_opt tables table with
+            | Some cols -> Hashtbl.replace tables table ((column, ty) :: cols)
+            | None ->
+              order := table :: !order;
+              Hashtbl.replace tables table [ (column, ty) ])
+          | _ -> raise (Csv.Csv_error "malformed manifest row"))
+        rows;
+      let db = Db.create () in
+      List.iter
+        (fun table ->
+          let cols = List.rev (Hashtbl.find tables table) in
+          let schema = Storage.Schema.of_pairs cols in
+          let text =
+            In_channel.with_open_text
+              (Filename.concat dir (table ^ ".csv"))
+              In_channel.input_all
+          in
+          Db.load_table db ~name:table (Csv.table_of_string ~schema text))
+        (List.rev !order);
+      db)

@@ -1,0 +1,16 @@
+(** Save/load a whole database as a directory of CSV files plus a schema
+    manifest. The on-disk format is deliberately plain (one [<table>.csv]
+    per table, [_manifest.csv] describing columns and types) so datasets
+    can be produced or inspected with ordinary tools.
+
+    Path-typed columns refuse to persist, which is the paper's own rule
+    for nested tables: "it cannot be permanently stored into a physical
+    table" (§3.3) — flatten with [UNNEST] first. *)
+
+(** [save db ~dir] — write every catalog table. Creates [dir] if needed;
+    overwrites files of the same names. *)
+val save : Db.t -> dir:string -> (unit, Error.t) result
+
+(** [load ~dir] — a fresh database containing every table of a saved
+    directory. *)
+val load : dir:string -> (Db.t, Error.t) result

@@ -1,0 +1,1 @@
+lib/datagen/snb.ml: Array Float Hashtbl List Names Printf Splitmix Storage

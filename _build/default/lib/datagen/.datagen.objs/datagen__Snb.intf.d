@@ -1,0 +1,1 @@
+lib/datagen/snb.mli: Storage

@@ -1,0 +1,1 @@
+lib/datagen/splitmix.ml: Int64

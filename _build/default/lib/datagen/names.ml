@@ -1,0 +1,34 @@
+let first_names =
+  [|
+    "Mahinda"; "Carmen"; "Chen"; "Hans"; "Jan"; "Abhishek"; "Alexei"; "Ana";
+    "Andrei"; "Anna"; "Antonio"; "Arjun"; "Ayesha"; "Bruno"; "Carlos";
+    "Catalina"; "Daniel"; "Diego"; "Elena"; "Emma"; "Fatima"; "Felix";
+    "Fernando"; "Gabriel"; "Hana"; "Hiroshi"; "Ibrahim"; "Ines"; "Ivan";
+    "Jack"; "Jaime"; "Jana"; "Javier"; "Jing"; "Joao"; "John"; "Jose";
+    "Julia"; "Kenji"; "Lars"; "Laura"; "Lei"; "Li"; "Lin"; "Lucas"; "Maria";
+    "Marko"; "Marta"; "Mehmet"; "Mei"; "Miguel"; "Mikhail"; "Mohamed";
+    "Natalia"; "Nikolai"; "Olga"; "Otto"; "Paulo"; "Pedro"; "Peter"; "Piotr";
+    "Priya"; "Rahul"; "Raj"; "Rosa"; "Ryu"; "Sanjay"; "Sara"; "Sergei";
+    "Sofia"; "Sven"; "Tariq"; "Tomas"; "Viktor"; "Wei"; "Wilhelm"; "Xiang";
+    "Yang"; "Yuki"; "Zhang";
+  |]
+
+let last_names =
+  [|
+    "Perera"; "Lepland"; "Wang"; "Johansson"; "Andersen"; "Bauer"; "Becker";
+    "Bianchi"; "Carvalho"; "Chen"; "Costa"; "Cruz"; "Diaz"; "Fernandez";
+    "Fischer"; "Garcia"; "Gonzalez"; "Gupta"; "Haas"; "Hansen"; "Hernandez";
+    "Hoffmann"; "Huang"; "Ivanov"; "Jensen"; "Khan"; "Kim"; "Kobayashi";
+    "Kowalski"; "Kumar"; "Larsen"; "Lee"; "Li"; "Lim"; "Liu"; "Lopez";
+    "Martin"; "Martinez"; "Mehta"; "Meyer"; "Moreno"; "Mueller"; "Nakamura";
+    "Nguyen"; "Novak"; "Olsen"; "Patel"; "Pavlov"; "Peng"; "Petrov";
+    "Ramirez"; "Reddy"; "Ricci"; "Rodriguez"; "Romano"; "Rossi"; "Santos";
+    "Sato"; "Schmidt"; "Schneider"; "Sharma"; "Silva"; "Singh"; "Smirnov";
+    "Sousa"; "Suzuki"; "Takahashi"; "Tanaka"; "Torres"; "Tran"; "Vasquez";
+    "Virtanen"; "Weber"; "Wong"; "Wu"; "Yamamoto"; "Yilmaz"; "Zhang";
+    "Zhao"; "Zhou";
+  |]
+
+let pick rng =
+  ( first_names.(Splitmix.int rng ~bound:(Array.length first_names)),
+    last_names.(Splitmix.int rng ~bound:(Array.length last_names)) )

@@ -1,0 +1,115 @@
+module V = Storage.Value
+module D = Storage.Dtype
+
+type t = {
+  persons : Storage.Table.t;
+  friends : Storage.Table.t;
+  n_persons : int;
+  n_directed_edges : int;
+}
+
+(* Table 1 of the paper: vertices and (directed) edges per scale factor. *)
+let paper_sizes =
+  [
+    (1, (9_892, 362_000));
+    (3, (24_000, 1_132_000));
+    (10, (65_000, 3_894_000));
+    (30, (165_000, 12_115_000));
+    (100, (448_000, 39_998_000));
+    (300, (1_128_000, 119_225_000));
+  ]
+
+let persons_schema =
+  Storage.Schema.of_pairs
+    [
+      ("id", D.TInt);
+      ("firstName", D.TStr);
+      ("lastName", D.TStr);
+      ("gender", D.TStr);
+    ]
+
+let friends_schema =
+  Storage.Schema.of_pairs
+    [
+      ("src", D.TInt);
+      ("dst", D.TInt);
+      ("creationDate", D.TDate);
+      ("weight", D.TFloat);
+    ]
+
+(* Sparse person ids, LDBC-style (the sample data uses ids like 933). *)
+let person_id i = (i * 13) + 7
+
+let date_lo = Storage.Date.of_ymd ~year:2010 ~month:1 ~day:1
+let date_hi = Storage.Date.of_ymd ~year:2012 ~month:12 ~day:31
+
+(* Degree skew: floor(n * u^2) concentrates picks near low indices,
+   giving a heavy-tailed degree distribution like a social network's. *)
+let skewed_person rng n =
+  let u = Splitmix.float rng in
+  let i = int_of_float (float_of_int n *. u *. u) in
+  if i >= n then n - 1 else i
+
+let generate_custom ~persons ~friendships ~seed () =
+  if persons < 2 then invalid_arg "Snb.generate_custom: need at least 2 persons";
+  let rng = Splitmix.create ~seed in
+  let persons_table = Storage.Table.create persons_schema in
+  for i = 0 to persons - 1 do
+    let first, last = Names.pick rng in
+    let gender = if Splitmix.bool rng then "male" else "female" in
+    Storage.Table.append_row persons_table
+      [| V.Int (person_id i); V.Str first; V.Str last; V.Str gender |]
+  done;
+  let friends_table = Storage.Table.create friends_schema in
+  let seen = Hashtbl.create (2 * friendships) in
+  let made = ref 0 in
+  let attempts = ref 0 in
+  let max_attempts = 20 * friendships in
+  while !made < friendships && !attempts < max_attempts do
+    incr attempts;
+    let a = skewed_person rng persons in
+    let b = Splitmix.int rng ~bound:persons in
+    if a <> b then begin
+      let key = (min a b * persons) + max a b in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        incr made;
+        let date = date_lo + Splitmix.int rng ~bound:(date_hi - date_lo + 1) in
+        (* affinity weight, strictly positive, 2 decimals *)
+        let weight =
+          Float.round ((0.5 +. (Splitmix.float rng *. 4.5)) *. 100.) /. 100.
+        in
+        let ia = person_id a and ib = person_id b in
+        Storage.Table.append_row friends_table
+          [| V.Int ia; V.Int ib; V.Date date; V.Float weight |];
+        Storage.Table.append_row friends_table
+          [| V.Int ib; V.Int ia; V.Date date; V.Float weight |]
+      end
+    end
+  done;
+  {
+    persons = persons_table;
+    friends = friends_table;
+    n_persons = persons;
+    n_directed_edges = Storage.Table.nrows friends_table;
+  }
+
+let generate ~scale_factor ?(ratio = 1.0) ~seed () =
+  match List.assoc_opt scale_factor paper_sizes with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Snb.generate: unknown scale factor %d (known: 1 3 10 30 100 300)"
+         scale_factor)
+  | Some (n_persons, n_edges) ->
+    let scale x = max 2 (int_of_float (float_of_int x *. ratio)) in
+    generate_custom ~persons:(scale n_persons)
+      ~friendships:(scale (n_edges / 2))
+      ~seed ()
+
+let person_ids t =
+  let col =
+    match Storage.Table.column_by_name t.persons "id" with
+    | Some c -> c
+    | None -> assert false
+  in
+  Array.init (Storage.Column.length col) (fun i -> Storage.Column.int_at col i)

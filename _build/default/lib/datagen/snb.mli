@@ -1,0 +1,35 @@
+(** Synthetic LDBC-SNB-like social network (the paper's §4 workload).
+
+    The paper evaluates on the friendship graph of LDBC DATAGEN at scale
+    factors 1–300 (its Table 1). This generator reproduces those |V|/|E|
+    targets with a skewed (power-law-ish) degree distribution, undirected
+    friendships stored as two directed edges, per-friendship creation
+    dates, and precomputed affinity weights (the paper's Q14-variant
+    weighting). Deterministic given the seed. *)
+
+type t = {
+  persons : Storage.Table.t;
+      (** (id INTEGER, firstName VARCHAR, lastName VARCHAR, gender VARCHAR) *)
+  friends : Storage.Table.t;
+      (** (src INTEGER, dst INTEGER, creationDate DATE, weight DOUBLE);
+          both directions of every friendship *)
+  n_persons : int;
+  n_directed_edges : int;
+}
+
+(** Paper Table 1 targets: scale factor → (persons, directed edges). *)
+val paper_sizes : (int * (int * int)) list
+
+(** [generate ~scale_factor ?ratio ~seed ()] — the graph for a paper scale
+    factor, optionally shrunk: [ratio] (default 1.0) scales both the
+    person and edge counts, preserving average degree. Raises
+    [Invalid_argument] for unknown scale factors (known: 1, 3, 10, 30,
+    100, 300). *)
+val generate : scale_factor:int -> ?ratio:float -> seed:int -> unit -> t
+
+(** [generate_custom ~persons ~friendships ~seed ()] — explicit sizes;
+    [friendships] undirected pairs (edges = 2×). *)
+val generate_custom : persons:int -> friendships:int -> seed:int -> unit -> t
+
+(** [person_ids t] — every person id, in generation order. *)
+val person_ids : t -> int array

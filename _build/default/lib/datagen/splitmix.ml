@@ -1,0 +1,29 @@
+(* SplitMix64 after Steele, Lea & Flood (OOPSLA 2014). *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_i64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+(* 62 bits keep the result a non-negative OCaml int on 64-bit platforms. *)
+let next t = Int64.to_int (Int64.shift_right_logical (next_i64 t) 2)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  next t mod bound
+
+let float t = float_of_int (next t) /. 4611686018427387904. (* 2^62 *)
+
+let bool t = Int64.logand (next_i64 t) 1L = 1L
+
+let split t = { state = next_i64 t }

@@ -1,0 +1,23 @@
+(** SplitMix64 — a small, fast, deterministic PRNG.
+
+    Every generator and workload in this repository derives from an
+    explicit seed, so experiments are exactly reproducible run to run. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [next t] — next 64-bit state, as a non-negative 62-bit int. *)
+val next : t -> int
+
+(** [int t ~bound] — uniform in [0, bound); [bound > 0]. *)
+val int : t -> bound:int -> int
+
+(** [float t] — uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t]. *)
+val bool : t -> bool
+
+(** [split t] — an independent child generator (for parallel streams). *)
+val split : t -> t

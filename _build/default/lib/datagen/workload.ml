@@ -1,0 +1,24 @@
+module V = Storage.Value
+
+let random_pairs ~seed ~ids n =
+  if Array.length ids = 0 then invalid_arg "Workload.random_pairs: no ids";
+  let rng = Splitmix.create ~seed in
+  let m = Array.length ids in
+  Array.init n (fun _ ->
+      let a = ids.(Splitmix.int rng ~bound:m) in
+      let b = ids.(Splitmix.int rng ~bound:m) in
+      let b = if a = b && m > 1 then ids.(Splitmix.int rng ~bound:m) else b in
+      (a, b))
+
+let pairs_table pairs =
+  let schema =
+    Storage.Schema.of_pairs
+      [ ("s", Storage.Dtype.TInt); ("d", Storage.Dtype.TInt) ]
+  in
+  let t = Storage.Table.create schema in
+  Array.iter
+    (fun (a, b) -> Storage.Table.append_row t [| V.Int a; V.Int b |])
+    pairs;
+  t
+
+let params_of_pair (s, d) = [| V.Int s; V.Int d |]

@@ -1,0 +1,15 @@
+(** Query-parameter workloads, following the paper's methodology: "the
+    query parameters were randomly generated out of the set of the
+    generated persons and according to a uniform distribution" (§4). *)
+
+(** [random_pairs ~seed ~ids n] — [n] ⟨source, destination⟩ person-id
+    pairs, uniform over [ids], source ≠ destination when possible. *)
+val random_pairs : seed:int -> ids:int array -> int -> (int * int) array
+
+(** [pairs_table pairs] — the pairs as a table (s INTEGER, d INTEGER),
+    the shape used to batch many shortest-path computations into one query
+    (Figure 1b's experiment). *)
+val pairs_table : (int * int) array -> Storage.Table.t
+
+(** [params_of_pair (s, d)] — host parameters for the single-pair form. *)
+val params_of_pair : int * int -> Storage.Value.t array

@@ -1,0 +1,1 @@
+lib/executor/eval.ml: Array Hashtbl List Printf Relalg Sql Storage

@@ -1,0 +1,1 @@
+lib/executor/eval.mli: Relalg Storage

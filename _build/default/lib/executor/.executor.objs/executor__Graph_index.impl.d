@@ -1,0 +1,1 @@
+lib/executor/graph_index.ml: Graph Hashtbl List Storage String

@@ -1,0 +1,1 @@
+lib/executor/graph_index.mli: Graph Storage

@@ -1,0 +1,1 @@
+lib/executor/interp.ml: Array Eval Fun Graph Graph_index Hashtbl List Nested Option Printf Relalg Seq Sql Storage Sys Vectorized

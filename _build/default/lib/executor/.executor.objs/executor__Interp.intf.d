@@ -1,0 +1,1 @@
+lib/executor/interp.mli: Eval Graph_index Relalg Storage

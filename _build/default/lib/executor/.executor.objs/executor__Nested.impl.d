@@ -1,0 +1,1 @@
+lib/executor/nested.ml: Array Option Storage

@@ -1,0 +1,1 @@
+lib/executor/nested.mli: Storage

@@ -1,0 +1,1 @@
+lib/executor/vectorized.ml: Array Relalg Sql Storage

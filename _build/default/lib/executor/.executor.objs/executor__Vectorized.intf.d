@@ -1,0 +1,1 @@
+lib/executor/vectorized.mli: Relalg Storage

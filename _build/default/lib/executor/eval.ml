@@ -1,0 +1,165 @@
+module L = Relalg.Lplan
+module V = Storage.Value
+
+module Vtbl = Hashtbl.Make (struct
+  type t = V.t
+
+  let equal = V.equal
+  let hash = V.hash
+end)
+
+(* Materialised IN (subquery) candidate sets, cached per plan identity so
+   a filter over N rows probes a hash set instead of rescanning the
+   subquery result N times. Only for uncorrelated subqueries. *)
+type in_set = { set : unit Vtbl.t; has_null : bool }
+
+type env = {
+  segments : (Storage.Table.t * int) array;
+  run_subplan : Relalg.Lplan.plan -> Storage.Table.t;
+  mutable in_sets : (Relalg.Lplan.plan * in_set) list;
+  outer : env option;
+      (* the environment of the enclosing operator, for correlated
+         subqueries' Outer_col references *)
+  run_correlated : Relalg.Lplan.plan -> env -> Storage.Table.t;
+      (* re-runs a correlated subplan with the given env as its outer
+         context; not memoised *)
+}
+
+let no_correlation _ _ =
+  raise
+    (Relalg.Scalar.Runtime_error
+       "internal: correlated subquery evaluated without an executor context")
+
+let single ~run_subplan ?outer ?(run_correlated = no_correlation) table row =
+  { segments = [| (table, row) |]; run_subplan; in_sets = []; outer; run_correlated }
+
+let in_set_of env sub =
+  match List.find_opt (fun (p, _) -> p == sub) env.in_sets with
+  | Some (_, s) -> s
+  | None ->
+    let t = env.run_subplan sub in
+    let set = Vtbl.create (max 16 (Storage.Table.nrows t)) in
+    let has_null = ref false in
+    for row = 0 to Storage.Table.nrows t - 1 do
+      match Storage.Table.get t ~row ~col:0 with
+      | V.Null -> has_null := true
+      | v -> Vtbl.replace set v ()
+    done;
+    let s = { set; has_null = !has_null } in
+    env.in_sets <- (sub, s) :: env.in_sets;
+    s
+
+let lookup env i =
+  let rec loop s i =
+    if s >= Array.length env.segments then
+      invalid_arg "Eval.lookup: column index out of range"
+    else
+      let table, row = env.segments.(s) in
+      let a = Storage.Table.arity table in
+      if i < a then Storage.Table.get table ~row ~col:i else loop (s + 1) (i - a)
+  in
+  loop 0 i
+
+let scalar_result t =
+  match Storage.Table.nrows t with
+  | 0 -> V.Null
+  | 1 -> Storage.Table.get t ~row:0 ~col:0
+  | n ->
+    raise
+      (Relalg.Scalar.Runtime_error
+         (Printf.sprintf "scalar subquery returned %d rows" n))
+
+let rec eval env (e : L.expr) =
+  match e.L.node with
+  | L.Const v -> v
+  | L.Col i -> lookup env i
+  | L.Outer_col i -> (
+    match env.outer with
+    | Some o -> lookup o i
+    | None ->
+      raise
+        (Relalg.Scalar.Runtime_error
+           "internal: outer column reference without an outer row"))
+  | L.Bin (Sql.Ast.And, a, b) -> (
+    (* short-circuit: false AND x = false without evaluating x *)
+    match eval env a with
+    | V.Bool false -> V.Bool false
+    | va -> Relalg.Scalar.apply_bin Sql.Ast.And va (eval env b))
+  | L.Bin (Sql.Ast.Or, a, b) -> (
+    match eval env a with
+    | V.Bool true -> V.Bool true
+    | va -> Relalg.Scalar.apply_bin Sql.Ast.Or va (eval env b))
+  | L.Bin (op, a, b) -> Relalg.Scalar.apply_bin op (eval env a) (eval env b)
+  | L.Un (op, a) -> Relalg.Scalar.apply_un op (eval env a)
+  | L.Cast (a, ty) -> Relalg.Scalar.apply_cast (eval env a) ty
+  | L.Case (arms, default) ->
+    let rec loop = function
+      | [] -> ( match default with None -> V.Null | Some d -> eval env d)
+      | (c, v) :: rest ->
+        if Relalg.Scalar.is_true (eval env c) then eval env v else loop rest
+    in
+    loop arms
+  | L.Call (b, args) -> Relalg.Scalar.apply_builtin b (List.map (eval env) args)
+  | L.Agg_call _ ->
+    raise (Relalg.Scalar.Runtime_error "internal: aggregate reached the evaluator")
+  | L.Is_null { negated; arg } ->
+    let isnull = V.is_null (eval env arg) in
+    V.Bool (if negated then not isnull else isnull)
+  | L.In_list { negated; arg; candidates } ->
+    Relalg.Scalar.in_list ~negated (eval env arg) (List.map (eval env) candidates)
+  | L.In_subquery { negated; arg; sub } -> (
+    let s = in_set_of env sub in
+    match eval env arg with
+    | V.Null -> V.Null
+    | v ->
+      if Vtbl.mem s.set v then V.Bool (not negated)
+      else if s.has_null then V.Null
+      else V.Bool negated)
+  | L.In_subquery_corr { negated; arg; sub } -> (
+    let t = env.run_correlated sub env in
+    match eval env arg with
+    | V.Null -> V.Null
+    | v ->
+      let candidates =
+        List.init (Storage.Table.nrows t) (fun row ->
+            Storage.Table.get t ~row ~col:0)
+      in
+      Relalg.Scalar.in_list ~negated v candidates)
+  | L.Like { negated; arg; pattern } ->
+    Relalg.Scalar.like ~negated (eval env arg) (eval env pattern)
+  | L.Subquery p -> scalar_result (env.run_subplan p)
+  | L.Subquery_corr p -> scalar_result (env.run_correlated p env)
+  | L.Exists_sub p -> V.Bool (Storage.Table.nrows (env.run_subplan p) > 0)
+  | L.Exists_corr p -> V.Bool (Storage.Table.nrows (env.run_correlated p env) > 0)
+
+let eval_column ~run_subplan ?outer ?run_correlated table e =
+  let n = Storage.Table.nrows table in
+  let col = Storage.Column.create ~capacity:(max 1 n) e.L.ty in
+  let env = single ~run_subplan ?outer ?run_correlated table 0 in
+  for row = 0 to n - 1 do
+    env.segments.(0) <- (table, row);
+    Storage.Column.append col (eval env e)
+  done;
+  col
+
+let eval_filter ~run_subplan ?outer ?run_correlated table pred =
+  let n = Storage.Table.nrows table in
+  let kept = ref [] in
+  let count = ref 0 in
+  let env = single ~run_subplan ?outer ?run_correlated table 0 in
+  for row = 0 to n - 1 do
+    env.segments.(0) <- (table, row);
+    if Relalg.Scalar.is_true (eval env pred) then begin
+      kept := row :: !kept;
+      incr count
+    end
+  done;
+  let out = Array.make !count 0 in
+  let rec fill i = function
+    | [] -> ()
+    | r :: rest ->
+      out.(i) <- r;
+      fill (i - 1) rest
+  in
+  fill (!count - 1) !kept;
+  out

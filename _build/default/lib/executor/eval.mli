@@ -1,0 +1,60 @@
+(** Row-at-a-time evaluation of bound expressions over materialised tables.
+
+    An environment is a list of table segments (one for single-input
+    operators, two for joins evaluating their condition over the virtual
+    concatenation of both sides). Uncorrelated subqueries are executed at
+    most once per plan node through a caller-supplied, memoising
+    [run_subplan]; correlated subqueries re-run per row through
+    [run_correlated] with the current environment as their outer context.
+    Runtime faults raise {!Relalg.Scalar.Runtime_error}. *)
+
+(** A materialised IN (subquery) candidate set, cached in the environment
+    by plan identity so per-row evaluation probes a hash set. *)
+type in_set
+
+type env = {
+  segments : (Storage.Table.t * int) array;
+      (** [(table, row)] pairs; global column indices span them in order *)
+  run_subplan : Relalg.Lplan.plan -> Storage.Table.t;
+  mutable in_sets : (Relalg.Lplan.plan * in_set) list;
+  outer : env option;
+      (** the enclosing operator's environment, resolved by
+          [Outer_col] references of correlated subqueries *)
+  run_correlated : Relalg.Lplan.plan -> env -> Storage.Table.t;
+      (** runs a correlated subplan with the given env as outer context *)
+}
+
+(** [single ~run_subplan ?outer ?run_correlated table row] — common
+    one-segment environment. [run_correlated] defaults to a function that
+    raises (contexts without an executor cannot evaluate correlated
+    subqueries). *)
+val single :
+  run_subplan:(Relalg.Lplan.plan -> Storage.Table.t) ->
+  ?outer:env ->
+  ?run_correlated:(Relalg.Lplan.plan -> env -> Storage.Table.t) ->
+  Storage.Table.t ->
+  int ->
+  env
+
+(** [eval env e]. *)
+val eval : env -> Relalg.Lplan.expr -> Storage.Value.t
+
+(** [eval_column ~run_subplan table e] — [e] over every row of [table],
+    materialised as a column of [e]'s type. *)
+val eval_column :
+  run_subplan:(Relalg.Lplan.plan -> Storage.Table.t) ->
+  ?outer:env ->
+  ?run_correlated:(Relalg.Lplan.plan -> env -> Storage.Table.t) ->
+  Storage.Table.t ->
+  Relalg.Lplan.expr ->
+  Storage.Column.t
+
+(** [eval_filter ~run_subplan table pred] — indices of rows where [pred]
+    is true (SQL filter semantics: NULL rejects). *)
+val eval_filter :
+  run_subplan:(Relalg.Lplan.plan -> Storage.Table.t) ->
+  ?outer:env ->
+  ?run_correlated:(Relalg.Lplan.plan -> env -> Storage.Table.t) ->
+  Storage.Table.t ->
+  Relalg.Lplan.expr ->
+  int array

@@ -1,0 +1,45 @@
+type key = { table : string; src : int list; dst : int list }
+
+type entry = {
+  version : int;
+  runtime : Graph.Runtime.t;
+  edges : Storage.Table.t;
+}
+
+type t = {
+  enabled : (key, unit) Hashtbl.t;
+  cache : (key, entry) Hashtbl.t;
+}
+
+let create () = { enabled = Hashtbl.create 8; cache = Hashtbl.create 8 }
+
+let normalise k = { k with table = String.lowercase_ascii k.table }
+
+let enable t k = Hashtbl.replace t.enabled (normalise k) ()
+
+let disable t k =
+  let k = normalise k in
+  Hashtbl.remove t.enabled k;
+  Hashtbl.remove t.cache k
+
+let is_enabled t k = Hashtbl.mem t.enabled (normalise k)
+
+let lookup t k ~version =
+  let k = normalise k in
+  match Hashtbl.find_opt t.cache k with
+  | Some e when e.version = version -> Some (e.runtime, e.edges)
+  | Some _ ->
+    Hashtbl.remove t.cache k;
+    None
+  | None -> None
+
+let store t k ~version runtime edges =
+  let k = normalise k in
+  if Hashtbl.mem t.enabled k then
+    Hashtbl.replace t.cache k { version; runtime; edges }
+
+let keys t =
+  Hashtbl.fold (fun k () acc -> k :: acc) t.enabled []
+  |> List.sort (fun a b -> String.compare a.table b.table)
+
+let clear_cache t = Hashtbl.reset t.cache

@@ -1,0 +1,40 @@
+(** Graph indices — the §6 "future work" of the paper, implemented.
+
+    A graph index pre-builds and caches the dictionary+CSR of a base edge
+    table for a given (source, destination) column pair. When a query's
+    REACHES predicate matches an enabled index, the executor reuses the
+    cached graph instead of rebuilding it, removing the dominating
+    construction cost for single-pair queries. Entries are validated
+    against the catalog's per-table version, so updates to the underlying
+    table invalidate the index automatically. *)
+
+type key = { table : string; src : int list; dst : int list }
+(** Base-table name (normalised) + source/destination column positions
+    (lists for composite keys). *)
+
+type t
+
+val create : unit -> t
+
+(** [enable t key] — start maintaining an index for [key]. *)
+val enable : t -> key -> unit
+
+(** [disable t key] — drop the index (cached graph included). *)
+val disable : t -> key -> unit
+
+val is_enabled : t -> key -> bool
+
+(** [lookup t key ~version] — the cached graph if fresh at [version]. *)
+val lookup : t -> key -> version:int -> (Graph.Runtime.t * Storage.Table.t) option
+
+(** [store t key ~version runtime edges] — cache a built graph; no-op when
+    the key is not enabled. *)
+val store :
+  t -> key -> version:int -> Graph.Runtime.t -> Storage.Table.t -> unit
+
+(** [keys t] — enabled keys, sorted by table name. *)
+val keys : t -> key list
+
+(** [clear_cache t] drops every cached graph (enabled keys stay). Used on
+    transaction rollback, where version counters may be reused. *)
+val clear_cache : t -> unit

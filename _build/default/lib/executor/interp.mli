@@ -1,0 +1,55 @@
+(** The physical layer: a fully-materialising columnar interpreter for
+    bound plans, mirroring MonetDB's execution model ("all intermediate
+    results are fully materialised by its operators", §3.3).
+
+    Joins hash on extracted equi-conjuncts and fall back to nested loops;
+    graph operators drive {!Graph.Runtime}; an optional {!Graph_index}
+    store lets REACHES predicates over indexed base tables skip the
+    dominating graph-construction phase. *)
+
+(** Per-execution counters, for the build-vs-traverse ablation (A1). *)
+type stats = {
+  mutable graph_build_seconds : float;
+  mutable graph_traverse_seconds : float;
+  mutable graphs_built : int;
+  mutable graphs_reused : int;
+}
+
+type ctx
+
+(** One completed operator of a traced execution (EXPLAIN ANALYZE). *)
+type trace_entry = {
+  tr_depth : int;  (** nesting depth in the plan tree *)
+  tr_label : string;
+  tr_rows : int;  (** output cardinality *)
+  tr_seconds : float;  (** inclusive of children *)
+}
+
+(** [create_ctx ~catalog ~indices ~vectorize ~tracing ()]. [vectorize]
+    (default true) tries the column-at-a-time evaluator ({!Vectorized})
+    before the row-at-a-time fallback — the MonetDB-style execution path.
+    [tracing] (default false) records a {!trace_entry} per executed
+    operator. *)
+val create_ctx :
+  catalog:Storage.Catalog.t ->
+  ?indices:Graph_index.t ->
+  ?vectorize:bool ->
+  ?tracing:bool ->
+  unit ->
+  ctx
+
+val stats : ctx -> stats
+
+(** [trace ctx] — completed operators in completion (post-) order; empty
+    unless the context was created with [~tracing:true]. *)
+val trace : ctx -> trace_entry list
+
+(** [reset_stats ctx]. *)
+val reset_stats : ctx -> unit
+
+(** [run ?outer ctx plan] — execute to a materialised table. [outer]
+    supplies the enclosing row context when [plan] is the body of a
+    correlated subquery. Raises {!Relalg.Scalar.Runtime_error} for runtime
+    faults (division by zero, scalar subquery cardinality, non-positive
+    shortest-path weights, ...). *)
+val run : ?outer:Eval.env -> ctx -> Relalg.Lplan.plan -> Storage.Table.t

@@ -1,0 +1,14 @@
+type Storage.Value.nested += Snapshot of Storage.Table.t
+
+let make ~edges ~rows = Storage.Value.Path { tag = Snapshot edges; rows }
+
+let destruct = function
+  | Storage.Value.Path { tag = Snapshot edges; rows } -> Some (edges, rows)
+  | _ -> None
+
+let length = function
+  | Storage.Value.Path { rows; _ } -> Some (Array.length rows)
+  | _ -> None
+
+let to_table v =
+  Option.map (fun (edges, rows) -> Storage.Table.take edges rows) (destruct v)

@@ -1,0 +1,22 @@
+(** Nested-table path values (§3.3).
+
+    A path produced by [CHEAPEST SUM] is "a list of references to the
+    actual rows of the table expression that generated it": here, the
+    materialised edge table (shared snapshot) plus the row ids of the
+    traversed edges. [UNNEST] re-materialises those rows. *)
+
+type Storage.Value.nested += Snapshot of Storage.Table.t
+
+(** [make ~edges ~rows] — a path value over the edge-table snapshot. *)
+val make : edges:Storage.Table.t -> rows:int array -> Storage.Value.t
+
+(** [destruct v] — [Some (edges, rows)] for a path value built by {!make};
+    [None] for anything else (including NULL). *)
+val destruct : Storage.Value.t -> (Storage.Table.t * int array) option
+
+(** [length v] — number of edges in a path value; [None] if not a path. *)
+val length : Storage.Value.t -> int option
+
+(** [to_table v] — the path flattened to a table (the rows of the snapshot
+    it references, in path order). *)
+val to_table : Storage.Value.t -> Storage.Table.t option

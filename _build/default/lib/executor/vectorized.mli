@@ -1,0 +1,20 @@
+(** Column-at-a-time expression evaluation — MonetDB's execution style
+    (the substrate the paper built on evaluates whole columns per
+    primitive, not rows). A supported expression evaluates over unboxed
+    int/float/bool arrays with a separate null mask, skipping the
+    per-row {!Storage.Value.t} boxing of the generic evaluator.
+
+    Supported today: integer and float arithmetic ([+ - *]) over columns
+    and constants, comparisons between them, [AND]/[OR]/[NOT] over the
+    results, [IS NULL], and plain column/constant projection. Anything
+    else returns [None] and the caller falls back to {!Eval}. *)
+
+(** [eval_column table e] — [Some column] when [e] is in the vectorizable
+    subset; the result is pointwise identical (including NULL semantics)
+    to {!Eval.eval_column}. *)
+val eval_column :
+  Storage.Table.t -> Relalg.Lplan.expr -> Storage.Column.t option
+
+(** [eval_filter table pred] — [Some kept_rows] for vectorizable
+    predicates, matching {!Eval.eval_filter}. *)
+val eval_filter : Storage.Table.t -> Relalg.Lplan.expr -> int array option

@@ -1,0 +1,1 @@
+lib/graph/all_paths.ml: Array Bfs Csr List Workspace

@@ -1,0 +1,1 @@
+lib/graph/all_paths.mli: Csr

@@ -1,0 +1,1 @@
+lib/graph/binary_heap.ml: Array

@@ -1,0 +1,1 @@
+lib/graph/dijkstra.ml: Array Binary_heap Csr Radix_heap Workspace

@@ -1,0 +1,1 @@
+lib/graph/path_tree.mli: Csr Workspace

@@ -1,0 +1,1 @@
+lib/graph/radix_heap.ml: Array List

@@ -1,0 +1,1 @@
+lib/graph/runtime.ml: Array Bfs Csr Dijkstra Domain Hashtbl List Path_tree Printf Storage Sys Vertex_dict Workspace

@@ -1,0 +1,1 @@
+lib/graph/runtime.mli: Dijkstra Storage Vertex_dict

@@ -1,0 +1,1 @@
+lib/graph/vertex_dict.ml: Array Hashtbl Int List Storage

@@ -1,0 +1,1 @@
+lib/graph/workspace.ml: Array

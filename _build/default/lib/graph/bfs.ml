@@ -1,0 +1,40 @@
+let run (ws : Workspace.t) (csr : Csr.t) ~source ~targets =
+  Workspace.next_epoch ws;
+  (* Register pending targets; duplicates count once. *)
+  let remaining = ref 0 in
+  Array.iter
+    (fun v ->
+      if not (Workspace.is_pending_target ws v) then begin
+        Workspace.mark_target ws v;
+        incr remaining
+      end)
+    targets;
+  let early_exit = Array.length targets > 0 in
+  let queue = Queue.create () in
+  let settle v =
+    if Workspace.is_pending_target ws v then begin
+      Workspace.clear_target ws v;
+      decr remaining
+    end
+  in
+  Workspace.mark_visited ws source;
+  ws.dist_int.(source) <- 0;
+  ws.parent_vertex.(source) <- -1;
+  ws.parent_slot.(source) <- -1;
+  settle source;
+  Queue.add source queue;
+  let finished = ref (early_exit && !remaining = 0) in
+  while (not !finished) && not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let du = ws.dist_int.(u) in
+    Csr.iter_out csr u (fun ~slot ~target ->
+        if not (Workspace.visited ws target) then begin
+          Workspace.mark_visited ws target;
+          ws.dist_int.(target) <- du + 1;
+          ws.parent_vertex.(target) <- u;
+          ws.parent_slot.(target) <- slot;
+          settle target;
+          Queue.add target queue
+        end);
+    if early_exit && !remaining = 0 then finished := true
+  done

@@ -1,0 +1,15 @@
+(** Breadth-first search for unweighted shortest paths (§3.2).
+
+    Also used to answer bare reachability: the paper notes that when a
+    query only tests the REACHES predicate, "the library still performs a
+    BFS over the source and destination vertices, discarding the computed
+    shortest paths". *)
+
+(** [run ws csr ~source ~targets] searches from [source] until every vertex
+    in [targets] has been discovered (or the whole component is exhausted).
+    After the call, [Workspace.visited ws v] tells reachability and
+    [ws.dist_int.(v)] is the hop count for visited [v];
+    [ws.parent_vertex]/[ws.parent_slot] encode one shortest-path tree.
+
+    [targets = [||]] means "no early exit": traverse the full component. *)
+val run : Workspace.t -> Csr.t -> source:int -> targets:int array -> unit

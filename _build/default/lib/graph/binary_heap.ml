@@ -1,0 +1,66 @@
+type t = {
+  mutable prio : float array;
+  mutable load : int array;
+  mutable len : int;
+}
+
+let create ?(capacity = 64) () =
+  let capacity = max capacity 1 in
+  { prio = Array.make capacity 0.; load = Array.make capacity 0; len = 0 }
+
+let size t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = 2 * Array.length t.prio in
+  let prio = Array.make cap 0. and load = Array.make cap 0 in
+  Array.blit t.prio 0 prio 0 t.len;
+  Array.blit t.load 0 load 0 t.len;
+  t.prio <- prio;
+  t.load <- load
+
+let swap t i j =
+  let p = t.prio.(i) and l = t.load.(i) in
+  t.prio.(i) <- t.prio.(j);
+  t.load.(i) <- t.load.(j);
+  t.prio.(j) <- p;
+  t.load.(j) <- l
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.prio.(i) < t.prio.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && t.prio.(l) < t.prio.(!smallest) then smallest := l;
+  if r < t.len && t.prio.(r) < t.prio.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let insert t ~priority ~payload =
+  if t.len = Array.length t.prio then grow t;
+  t.prio.(t.len) <- priority;
+  t.load.(t.len) <- payload;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let extract_min t =
+  if t.len = 0 then raise Not_found;
+  let p = t.prio.(0) and l = t.load.(0) in
+  t.len <- t.len - 1;
+  if t.len > 0 then begin
+    t.prio.(0) <- t.prio.(t.len);
+    t.load.(0) <- t.load.(t.len);
+    sift_down t 0
+  end;
+  (p, l)
+
+let clear t = t.len <- 0

@@ -1,0 +1,20 @@
+(** Array-based binary min-heap with [float] priorities and [int] payloads.
+
+    Used by Dijkstra for floating-point edge weights, where the radix heap
+    does not apply; also the baseline of the radix-vs-binary ablation. The
+    heap supports duplicate payloads (lazy-deletion Dijkstra). *)
+
+type t
+
+(** [create ()] — empty heap. *)
+val create : ?capacity:int -> unit -> t
+
+val size : t -> int
+val is_empty : t -> bool
+val insert : t -> priority:float -> payload:int -> unit
+
+(** [extract_min t] — [(priority, payload)] of a minimum entry.
+    Raises [Not_found] when empty. *)
+val extract_min : t -> float * int
+
+val clear : t -> unit

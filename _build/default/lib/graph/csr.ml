@@ -1,0 +1,74 @@
+type t = {
+  vertex_count : int;
+  offsets : int array;
+  targets : int array;
+  edge_rows : int array;
+}
+
+type timings = {
+  total : float;
+  count_phase : float;
+  prefix_phase : float;
+  scatter_phase : float;
+}
+
+let build_timed ~vertex_count ~src ~dst =
+  if Array.length src <> Array.length dst then
+    invalid_arg "Csr.build: src/dst length mismatch";
+  let t0 = Sys.time () in
+  let n = Array.length src in
+  (* counting pass: out-degree per vertex, ignoring dropped slots *)
+  let counts = Array.make (vertex_count + 1) 0 in
+  let kept = ref 0 in
+  for i = 0 to n - 1 do
+    let s = src.(i) in
+    if s >= 0 && dst.(i) >= 0 then begin
+      counts.(s + 1) <- counts.(s + 1) + 1;
+      incr kept
+    end
+  done;
+  let t1 = Sys.time () in
+  (* prefix sum -> offsets *)
+  for v = 1 to vertex_count do
+    counts.(v) <- counts.(v) + counts.(v - 1)
+  done;
+  let offsets = counts in
+  let t2 = Sys.time () in
+  (* scatter pass using a moving cursor per vertex *)
+  let cursor = Array.copy offsets in
+  let targets = Array.make !kept 0 in
+  let edge_rows = Array.make !kept 0 in
+  for i = 0 to n - 1 do
+    let s = src.(i) in
+    if s >= 0 && dst.(i) >= 0 then begin
+      let slot = cursor.(s) in
+      targets.(slot) <- dst.(i);
+      edge_rows.(slot) <- i;
+      cursor.(s) <- slot + 1
+    end
+  done;
+  let t3 = Sys.time () in
+  ( { vertex_count; offsets; targets; edge_rows },
+    {
+      total = t3 -. t0;
+      count_phase = t1 -. t0;
+      prefix_phase = t2 -. t1;
+      scatter_phase = t3 -. t2;
+    } )
+
+let build ~vertex_count ~src ~dst =
+  fst (build_timed ~vertex_count ~src ~dst)
+
+let edge_count t = Array.length t.targets
+
+let out_degree t v =
+  if v < 0 || v >= t.vertex_count then
+    invalid_arg "Csr.out_degree: vertex out of range";
+  t.offsets.(v + 1) - t.offsets.(v)
+
+let iter_out t v f =
+  if v < 0 || v >= t.vertex_count then
+    invalid_arg "Csr.iter_out: vertex out of range";
+  for slot = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+    f ~slot ~target:t.targets.(slot)
+  done

@@ -1,0 +1,41 @@
+(** Compressed Sparse Row graph representation (§3.2 of the paper).
+
+    The edge list is sorted by source vertex and a prefix sum over the
+    per-source counts yields the offset array: the outgoing edges of vertex
+    [v] live at positions [offsets.(v) .. offsets.(v+1) - 1] of [targets].
+    Each CSR slot also remembers the row of the original edge table it came
+    from, so a shortest path can be reported as a sequence of edge-table
+    rows — the nested-table representation of §3.3. *)
+
+type t = {
+  vertex_count : int;
+  offsets : int array;   (** length [vertex_count + 1] *)
+  targets : int array;   (** destination vertex id per CSR slot *)
+  edge_rows : int array; (** original edge-table row per CSR slot *)
+}
+
+(** [build ~vertex_count ~src ~dst] builds the CSR by counting sort on the
+    source ids (O(V + E)). Slots with [src.(i) < 0] or [dst.(i) < 0]
+    (non-vertex or NULL endpoints) are skipped. Raises [Invalid_argument]
+    if the two arrays have different lengths. *)
+val build : vertex_count:int -> src:int array -> dst:int array -> t
+
+val edge_count : t -> int
+
+(** [out_degree t v]. *)
+val out_degree : t -> int -> int
+
+(** [iter_out t v f] calls [f ~slot ~target] for every outgoing edge of
+    [v]; [slot] indexes [targets]/[edge_rows]. *)
+val iter_out : t -> int -> (slot:int -> target:int -> unit) -> unit
+
+(** Timing breakdown of a build, for the CSR-cost ablation. *)
+type timings = {
+  total : float;
+  count_phase : float;   (** counting pass *)
+  prefix_phase : float;  (** prefix sum *)
+  scatter_phase : float; (** scatter pass *)
+}
+
+(** [build_timed] — same as {!build}, also reporting wall-clock timings. *)
+val build_timed : vertex_count:int -> src:int array -> dst:int array -> t * timings

@@ -1,0 +1,33 @@
+(** Dijkstra's algorithm for weighted shortest paths (§3.2).
+
+    Integer weights run on the radix heap (the paper's "Dijkstra algorithm
+    combined with the Radix Queue") or, for the ablation, on a binary heap;
+    floating-point weights always use the binary heap. Both variants use
+    lazy deletion: stale heap entries are skipped on extraction, which is
+    what makes the radix heap's monotonicity contract hold. *)
+
+type heap_kind = Radix | Binary
+
+(** [run_int ws csr ~weights ~source ~targets ~heap] — weighted search with
+    per-CSR-slot integer weights (all [> 0]; checked by the caller). Early
+    exit once every target is *settled*. After the call, visited vertices
+    carry their distance in [ws.dist_int] and the shortest-path tree in
+    [ws.parent_vertex]/[ws.parent_slot]. [targets = [||]] disables early
+    exit. *)
+val run_int :
+  Workspace.t ->
+  Csr.t ->
+  weights:int array ->
+  source:int ->
+  targets:int array ->
+  heap:heap_kind ->
+  unit
+
+(** [run_float] — as {!run_int} with [float] weights and [ws.dist_float]. *)
+val run_float :
+  Workspace.t ->
+  Csr.t ->
+  weights:float array ->
+  source:int ->
+  targets:int array ->
+  unit

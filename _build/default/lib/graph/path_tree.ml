@@ -1,0 +1,22 @@
+let check_reached (ws : Workspace.t) dst =
+  if not (Workspace.visited ws dst) then
+    invalid_arg "Path_tree: destination not reached by the last search"
+
+let hop_count (ws : Workspace.t) ~source ~dst =
+  check_reached ws dst;
+  let rec loop v acc =
+    if v = source then acc else loop ws.parent_vertex.(v) (acc + 1)
+  in
+  loop dst 0
+
+let edge_rows (ws : Workspace.t) (csr : Csr.t) ~source ~dst =
+  let hops = hop_count ws ~source ~dst in
+  let rows = Array.make hops 0 in
+  let rec fill v i =
+    if v <> source then begin
+      rows.(i) <- csr.Csr.edge_rows.(ws.parent_slot.(v));
+      fill ws.parent_vertex.(v) (i - 1)
+    end
+  in
+  fill dst (hops - 1);
+  rows

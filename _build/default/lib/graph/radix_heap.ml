@@ -1,0 +1,76 @@
+(* Bucket b holds entries whose priority differs from [last] (the floor:
+   the minimum priority ever extracted) first at bit [b - 1]; bucket 0
+   holds entries equal to the floor. Extracting a new minimum moves the
+   floor up and redistributes one bucket, each entry falling to a strictly
+   lower bucket — giving the amortised O(log C) bound of AMOT'90. *)
+
+type entry = { priority : int; payload : int }
+
+type t = {
+  buckets : entry list array; (* 0 .. 63 *)
+  mutable last : int;
+  mutable count : int;
+}
+
+let bucket_count = 64
+
+let create () = { buckets = Array.make bucket_count []; last = 0; count = 0 }
+
+let size t = t.count
+let is_empty t = t.count = 0
+
+(* Index of the highest set bit, for x > 0. *)
+let msb x =
+  let rec loop x acc = if x = 0 then acc else loop (x lsr 1) (acc + 1) in
+  loop x (-1)
+
+let bucket_of t priority =
+  if priority = t.last then 0 else 1 + msb (priority lxor t.last)
+
+let insert t ~priority ~payload =
+  if priority < 0 then invalid_arg "Radix_heap.insert: negative priority";
+  if priority < t.last then
+    invalid_arg "Radix_heap.insert: priority below the floor (monotonicity)";
+  let b = bucket_of t priority in
+  t.buckets.(b) <- { priority; payload } :: t.buckets.(b);
+  t.count <- t.count + 1
+
+let extract_min t =
+  if t.count = 0 then raise Not_found;
+  let rec first_nonempty b =
+    if t.buckets.(b) <> [] then b else first_nonempty (b + 1)
+  in
+  let b = first_nonempty 0 in
+  if b = 0 then begin
+    match t.buckets.(0) with
+    | e :: rest ->
+      t.buckets.(0) <- rest;
+      t.count <- t.count - 1;
+      (e.priority, e.payload)
+    | [] -> assert false
+  end
+  else begin
+    (* New floor = min priority in bucket b; redistribute the bucket. *)
+    let entries = t.buckets.(b) in
+    t.buckets.(b) <- [];
+    let min_p =
+      List.fold_left (fun acc e -> min acc e.priority) max_int entries
+    in
+    t.last <- min_p;
+    List.iter
+      (fun e ->
+        let b' = bucket_of t e.priority in
+        t.buckets.(b') <- e :: t.buckets.(b'))
+      entries;
+    match t.buckets.(0) with
+    | e :: rest ->
+      t.buckets.(0) <- rest;
+      t.count <- t.count - 1;
+      (e.priority, e.payload)
+    | [] -> assert false
+  end
+
+let clear t =
+  Array.fill t.buckets 0 bucket_count [];
+  t.last <- 0;
+  t.count <- 0

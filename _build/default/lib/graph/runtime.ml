@@ -1,0 +1,178 @@
+exception Weight_error of string
+
+type build_stats = {
+  dict_seconds : float;
+  encode_seconds : float;
+  csr_seconds : float;
+  total_seconds : float;
+  vertex_count : int;
+  edge_count : int;
+}
+
+type t = {
+  dict : Vertex_dict.t;
+  csr : Csr.t;
+  ws : Workspace.t;
+  stats : build_stats;
+}
+
+let build_multi ~src ~dst =
+  (match src, dst with
+  | [], _ | _, [] -> invalid_arg "Runtime.build_multi: empty key"
+  | s :: _, d :: _ ->
+    if Storage.Column.length s <> Storage.Column.length d then
+      invalid_arg "Runtime.build: src/dst column length mismatch");
+  let t0 = Sys.time () in
+  let dict = Vertex_dict.build_groups [ src; dst ] in
+  let t1 = Sys.time () in
+  let src_ids = Vertex_dict.encode_columns dict src in
+  let dst_ids = Vertex_dict.encode_columns dict dst in
+  let t2 = Sys.time () in
+  let vertex_count = Vertex_dict.cardinality dict in
+  let csr = Csr.build ~vertex_count ~src:src_ids ~dst:dst_ids in
+  let t3 = Sys.time () in
+  {
+    dict;
+    csr;
+    ws = Workspace.create vertex_count;
+    stats =
+      {
+        dict_seconds = t1 -. t0;
+        encode_seconds = t2 -. t1;
+        csr_seconds = t3 -. t2;
+        total_seconds = t3 -. t0;
+        vertex_count;
+        edge_count = Csr.edge_count csr;
+      };
+  }
+
+let build ~src ~dst = build_multi ~src:[ src ] ~dst:[ dst ]
+
+let stats t = t.stats
+let vertex_count t = t.stats.vertex_count
+let edge_count t = t.stats.edge_count
+let dict t = t.dict
+
+type weights =
+  | Unweighted
+  | Int_weights of int array
+  | Float_weights of float array
+
+type outcome =
+  | Unreachable
+  | Reached of { cost : Storage.Value.t; edge_rows : int array }
+
+(* Re-align per-row weights to CSR slots and enforce strict positivity over
+   every edge that made it into the graph. *)
+let slot_weights_int t per_row =
+  let rows = t.csr.Csr.edge_rows in
+  Array.init (Array.length rows) (fun slot ->
+      let w = per_row.(rows.(slot)) in
+      if w <= 0 then
+        raise
+          (Weight_error
+             (Printf.sprintf
+                "edge weight must be > 0, got %d at edge-table row %d" w
+                rows.(slot)));
+      w)
+
+let slot_weights_float t per_row =
+  let rows = t.csr.Csr.edge_rows in
+  Array.init (Array.length rows) (fun slot ->
+      let w = per_row.(rows.(slot)) in
+      if not (w > 0.) then
+        raise
+          (Weight_error
+             (Printf.sprintf
+                "edge weight must be > 0, got %g at edge-table row %d" w
+                rows.(slot)));
+      w)
+
+(* Group pair indices by encoded source id so each distinct source runs a
+   single traversal. Pairs with a non-vertex endpoint resolve immediately
+   to Unreachable (the semi-join against V of §3.1). *)
+let encode_pairs t pairs =
+  Array.map
+    (fun (s, d) ->
+      match Vertex_dict.encode t.dict s, Vertex_dict.encode t.dict d with
+      | Some si, Some di -> Some (si, di)
+      | _, _ -> None)
+    pairs
+
+let group_by_source encoded =
+  let groups = Hashtbl.create 64 in
+  Array.iteri
+    (fun idx enc ->
+      match enc with
+      | Some (si, di) ->
+        let entries =
+          match Hashtbl.find_opt groups si with Some l -> l | None -> []
+        in
+        Hashtbl.replace groups si ((idx, di) :: entries)
+      | None -> ())
+    encoded;
+  groups
+
+(* Run one source group (search + per-pair extraction) on a given
+   workspace, writing its outcomes into disjoint slots of [out]. *)
+let run_group t ~slot_w ~heap ~out ws (source, entries) =
+  (match slot_w with
+  | `None -> Bfs.run ws t.csr ~source ~targets:(Array.of_list (List.map snd entries))
+  | `Int w ->
+    Dijkstra.run_int ws t.csr ~weights:w ~source
+      ~targets:(Array.of_list (List.map snd entries))
+      ~heap
+  | `Float w ->
+    Dijkstra.run_float ws t.csr ~weights:w ~source
+      ~targets:(Array.of_list (List.map snd entries)));
+  List.iter
+    (fun (idx, dst) ->
+      if Workspace.visited ws dst then begin
+        let cost =
+          match slot_w with
+          | `None | `Int _ -> Storage.Value.Int ws.Workspace.dist_int.(dst)
+          | `Float _ -> Storage.Value.Float ws.Workspace.dist_float.(dst)
+        in
+        let edge_rows = Path_tree.edge_rows ws t.csr ~source ~dst in
+        out.(idx) <- Reached { cost; edge_rows }
+      end)
+    entries
+
+let run_pairs t ~weights ?(heap = Dijkstra.Radix) ?(domains = 1) ~pairs () =
+  let slot_w =
+    match weights with
+    | Unweighted -> `None
+    | Int_weights per_row -> `Int (slot_weights_int t per_row)
+    | Float_weights per_row -> `Float (slot_weights_float t per_row)
+  in
+  let encoded = encode_pairs t pairs in
+  let groups = group_by_source encoded in
+  let out = Array.make (Array.length pairs) Unreachable in
+  let group_list = Hashtbl.fold (fun s e acc -> (s, e) :: acc) groups [] in
+  if domains <= 1 || List.length group_list <= 1 then
+    List.iter (run_group t ~slot_w ~heap ~out t.ws) group_list
+  else begin
+    (* §6's parallelism: one domain per chunk of source groups, each with
+       a private workspace; the CSR and weights are shared read-only and
+       outcome slots are disjoint. *)
+    let n = List.length group_list in
+    let d = min domains n in
+    let chunks = Array.make d [] in
+    List.iteri
+      (fun i g -> chunks.(i mod d) <- g :: chunks.(i mod d))
+      group_list;
+    let work chunk () =
+      let ws = Workspace.create t.stats.vertex_count in
+      List.iter (run_group t ~slot_w ~heap ~out ws) chunk
+    in
+    let spawned =
+      Array.to_list
+        (Array.map (fun chunk -> Domain.spawn (work chunk)) chunks)
+    in
+    List.iter Domain.join spawned
+  end;
+  out
+
+let reachable t ~pairs =
+  let outcomes = run_pairs t ~weights:Unweighted ~pairs () in
+  Array.map (function Unreachable -> false | Reached _ -> true) outcomes

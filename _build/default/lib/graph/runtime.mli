@@ -1,0 +1,84 @@
+(** The graph runtime: the counterpart of the paper's external C++ library
+    (§3.2), invoked by the executor's graph-select/graph-join operators.
+
+    Given the edge table's source/destination columns it (1) dictionary-
+    encodes the vertices into the dense domain [H = {0..|V|-1}], (2) builds
+    a CSR, and (3) answers batches of ⟨source, destination⟩ pairs with
+    reachability, shortest-path cost and one shortest path per pair.
+    Multiple batches may run against the same built graph — the
+    amortisation that §4's second experiment measures. *)
+
+exception Weight_error of string
+(** Raised when a weight expression evaluates to NULL or to a value not
+    strictly greater than zero (§2: "Its value must always be strictly
+    greater than 0, otherwise a runtime exception is raised"). *)
+
+(** Wall-clock breakdown of {!build}, for the build-dominates ablation. *)
+type build_stats = {
+  dict_seconds : float;
+  encode_seconds : float;
+  csr_seconds : float;
+  total_seconds : float;
+  vertex_count : int;
+  edge_count : int;
+}
+
+type t
+
+(** [build ~src ~dst] materialises the graph of an edge table whose source
+    and destination columns are [src] and [dst] (equal lengths; rows with a
+    NULL endpoint are skipped as they denote no edge). *)
+val build : src:Storage.Column.t -> dst:Storage.Column.t -> t
+
+(** [build_multi ~src ~dst] — composite vertex keys (§2's multi-attribute
+    addressing): each endpoint is a tuple of columns of equal width.
+    Pairs are then queried with {!Storage.Value.Tuple} endpoints. *)
+val build_multi :
+  src:Storage.Column.t list -> dst:Storage.Column.t list -> t
+
+val stats : t -> build_stats
+val vertex_count : t -> int
+val edge_count : t -> int
+val dict : t -> Vertex_dict.t
+
+(** Edge weights, indexed by *edge-table row* (the runtime re-aligns them
+    to CSR slots internally). [Unweighted] is the paper's
+    [CHEAPEST SUM(1)]: BFS, cost = hop count. *)
+type weights =
+  | Unweighted
+  | Int_weights of int array
+  | Float_weights of float array
+
+type outcome =
+  | Unreachable
+      (** includes the case where an endpoint is not a vertex of the graph *)
+  | Reached of { cost : Storage.Value.t; edge_rows : int array }
+      (** [cost] is [Int] (unweighted / int weights) or [Float];
+          [edge_rows] is one shortest path as edge-table rows in
+          source→destination order — empty when source = destination. *)
+
+(** [run_pairs t ~weights ~heap ~domains ~pairs] answers every pair.
+    Pairs sharing a source value share one traversal. [heap] picks the
+    Dijkstra queue for integer weights (default [Radix], the paper's
+    choice); it is ignored for BFS and float weights.
+
+    [domains] (default 1) runs the per-source traversals on that many
+    OCaml domains — the parallelism the paper's §6 suggests. The CSR is
+    shared read-only; every domain gets its own workspace, and results
+    are written to disjoint slots, so output is deterministic and
+    identical to the sequential run.
+
+    Raises {!Weight_error} on invalid weights (checked for every edge that
+    participates in the graph, before any traversal). *)
+val run_pairs :
+  t ->
+  weights:weights ->
+  ?heap:Dijkstra.heap_kind ->
+  ?domains:int ->
+  pairs:(Storage.Value.t * Storage.Value.t) array ->
+  unit ->
+  outcome array
+
+(** [reachable t ~pairs] — reachability only: runs BFS and discards paths,
+    as the paper's runtime does for bare REACHES predicates. *)
+val reachable : t -> pairs:(Storage.Value.t * Storage.Value.t) array -> bool array

@@ -1,0 +1,28 @@
+type t = {
+  stamp : int array;
+  target_stamp : int array;
+  dist_int : int array;
+  dist_float : float array;
+  parent_vertex : int array;
+  parent_slot : int array;
+  mutable epoch : int;
+}
+
+let create vertex_count =
+  let n = max vertex_count 1 in
+  {
+    stamp = Array.make n 0;
+    target_stamp = Array.make n 0;
+    dist_int = Array.make n 0;
+    dist_float = Array.make n 0.;
+    parent_vertex = Array.make n (-1);
+    parent_slot = Array.make n (-1);
+    epoch = 0;
+  }
+
+let next_epoch t = t.epoch <- t.epoch + 1
+let visited t v = t.stamp.(v) = t.epoch
+let mark_visited t v = t.stamp.(v) <- t.epoch
+let mark_target t v = t.target_stamp.(v) <- t.epoch
+let is_pending_target t v = t.target_stamp.(v) = t.epoch
+let clear_target t v = t.target_stamp.(v) <- 0

@@ -1,0 +1,35 @@
+(** Reusable per-graph search scratch space.
+
+    The batched execution model (one CSR, many ⟨source, destination⟩ pairs —
+    §4's second experiment) runs one search per distinct source. Resetting
+    O(V) arrays between searches would defeat the amortisation, so all
+    per-vertex state is epoch-stamped: bumping the epoch invalidates
+    everything in O(1). *)
+
+type t = {
+  stamp : int array;          (** visit epoch per vertex *)
+  target_stamp : int array;   (** epoch in which the vertex is a pending target *)
+  dist_int : int array;
+  dist_float : float array;
+  parent_vertex : int array;
+  parent_slot : int array;    (** CSR slot that discovered the vertex; -1 at source *)
+  mutable epoch : int;
+}
+
+(** [create vertex_count]. *)
+val create : int -> t
+
+(** [next_epoch t] invalidates all per-vertex state in O(1). *)
+val next_epoch : t -> unit
+
+(** [visited t v] — was [v] reached in the current epoch? *)
+val visited : t -> int -> bool
+
+(** [mark_visited t v] stamps [v] for the current epoch. *)
+val mark_visited : t -> int -> unit
+
+(** Pending-target bookkeeping for early search termination. *)
+
+val mark_target : t -> int -> unit
+val is_pending_target : t -> int -> bool
+val clear_target : t -> int -> unit

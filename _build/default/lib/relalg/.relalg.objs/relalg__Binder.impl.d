@@ -1,0 +1,1 @@
+lib/relalg/binder.ml: Array Const_eval Fun Hashtbl List Lplan Option Printf Queue Rschema Sql Storage String

@@ -1,0 +1,1 @@
+lib/relalg/binder.mli: Lplan Sql Storage

@@ -1,0 +1,1 @@
+lib/relalg/const_eval.ml: List Lplan Option Scalar Storage

@@ -1,0 +1,1 @@
+lib/relalg/const_eval.mli: Lplan Storage

@@ -1,0 +1,1 @@
+lib/relalg/explain.ml: Buffer List Lplan Printf Rschema Sql Storage String

@@ -1,0 +1,1 @@
+lib/relalg/explain.mli: Lplan Rschema

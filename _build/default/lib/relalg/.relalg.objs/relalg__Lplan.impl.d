@@ -1,0 +1,1 @@
+lib/relalg/lplan.ml: Array Int List Option Rschema Sql Storage

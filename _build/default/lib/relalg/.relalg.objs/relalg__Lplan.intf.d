@@ -1,0 +1,1 @@
+lib/relalg/lplan.mli: Rschema Sql Storage

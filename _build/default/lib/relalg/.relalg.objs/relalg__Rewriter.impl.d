@@ -1,0 +1,1 @@
+lib/relalg/rewriter.ml: Const_eval List Lplan Option Rschema Scalar Sql Storage

@@ -1,0 +1,1 @@
+lib/relalg/rewriter.mli: Lplan

@@ -1,0 +1,1 @@
+lib/relalg/rschema.ml: Array Format List Storage String

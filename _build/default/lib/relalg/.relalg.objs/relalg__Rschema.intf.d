@@ -1,0 +1,1 @@
+lib/relalg/rschema.mli: Format Storage

@@ -1,0 +1,1 @@
+lib/relalg/scalar.ml: Buffer Float Hashtbl List Lplan Printf Sql Storage String

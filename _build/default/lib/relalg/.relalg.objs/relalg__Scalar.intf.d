@@ -1,0 +1,1 @@
+lib/relalg/scalar.mli: Lplan Sql Storage

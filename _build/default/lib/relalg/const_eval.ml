@@ -1,0 +1,57 @@
+module V = Storage.Value
+
+let rec eval (e : Lplan.expr) =
+  match e.node with
+  | Lplan.Const v -> Some v
+  | Lplan.Col _ | Lplan.Outer_col _ | Lplan.Subquery _ | Lplan.Exists_sub _
+  | Lplan.Subquery_corr _ | Lplan.Exists_corr _ | Lplan.Agg_call _
+  | Lplan.In_subquery _ | Lplan.In_subquery_corr _ ->
+    None
+  | Lplan.Bin (op, a, b) -> (
+    match eval a, eval b with
+    | Some va, Some vb -> Some (Scalar.apply_bin op va vb)
+    | _ -> None)
+  | Lplan.Un (op, a) -> Option.map (Scalar.apply_un op) (eval a)
+  | Lplan.Cast (a, ty) -> Option.map (fun v -> Scalar.apply_cast v ty) (eval a)
+  | Lplan.Case (arms, default) -> eval_case arms default
+  | Lplan.Call (b, args) ->
+    let vals = List.map eval args in
+    if List.for_all Option.is_some vals then
+      Some (Scalar.apply_builtin b (List.map Option.get vals))
+    else None
+  | Lplan.Is_null { negated; arg } ->
+    Option.map
+      (fun v ->
+        let isnull = V.is_null v in
+        V.Bool (if negated then not isnull else isnull))
+      (eval arg)
+  | Lplan.In_list { negated; arg; candidates } -> (
+    match eval arg with
+    | None -> None
+    | Some va ->
+      let vals = List.map eval candidates in
+      if List.for_all Option.is_some vals then
+        Some (Scalar.in_list ~negated va (List.map Option.get vals))
+      else None)
+  | Lplan.Like { negated; arg; pattern } -> (
+    match eval arg, eval pattern with
+    | Some a, Some p -> Some (Scalar.like ~negated a p)
+    | _ -> None)
+
+and eval_case arms default =
+  let rec loop = function
+    | [] -> (
+      match default with
+      | None -> Some V.Null
+      | Some d -> eval d)
+    | (cond, v) :: rest -> (
+      match eval cond with
+      | None -> None
+      | Some c -> if Scalar.is_true c then eval v else loop rest)
+  in
+  loop arms
+
+let eval_exn e =
+  match eval e with
+  | Some v -> v
+  | None -> invalid_arg "Const_eval.eval_exn: expression is not closed"

@@ -1,0 +1,13 @@
+(** Evaluation of closed (column-free, subquery-free) bound expressions.
+    Used by the rewriter for constant folding and by the statement layer
+    for [INSERT ... VALUES] rows. *)
+
+(** [eval e] — [Some v] when [e] is closed and evaluates without error;
+    [None] when it references columns, subqueries or aggregates.
+    Runtime faults (division by zero, bad casts) propagate as
+    {!Scalar.Runtime_error}. *)
+val eval : Lplan.expr -> Storage.Value.t option
+
+(** [eval_exn e] — like {!eval} but raises [Invalid_argument] when the
+    expression is not closed. *)
+val eval_exn : Lplan.expr -> Storage.Value.t

@@ -1,0 +1,243 @@
+module L = Lplan
+
+let col_name schema i =
+  match schema with
+  | Some s when i >= 0 && i < Rschema.arity s ->
+    Printf.sprintf "%s#%d" (Rschema.field s i).Rschema.name i
+  | _ -> Printf.sprintf "#%d" i
+
+let builtin_name = function
+  | L.Abs -> "ABS"
+  | L.Upper -> "UPPER"
+  | L.Lower -> "LOWER"
+  | L.Length -> "LENGTH"
+  | L.Coalesce -> "COALESCE"
+  | L.Substr -> "SUBSTR"
+  | L.Replace -> "REPLACE"
+  | L.Trim -> "TRIM"
+  | L.Ltrim -> "LTRIM"
+  | L.Rtrim -> "RTRIM"
+  | L.Round -> "ROUND"
+  | L.Floor -> "FLOOR"
+  | L.Ceil -> "CEIL"
+  | L.Sqrt -> "SQRT"
+  | L.Power -> "POWER"
+  | L.Sign -> "SIGN"
+  | L.Year -> "YEAR"
+  | L.Month -> "MONTH"
+  | L.Day -> "DAY"
+
+let agg_name = function
+  | L.Count_star -> "COUNT(*)"
+  | L.Count -> "COUNT"
+  | L.Sum -> "SUM"
+  | L.Avg -> "AVG"
+  | L.Min -> "MIN"
+  | L.Max -> "MAX"
+
+let rec expr_to_string ?schema (e : L.expr) =
+  let r e = expr_to_string ?schema e in
+  match e.L.node with
+  | L.Const v -> Storage.Value.to_display v
+  | L.Col i -> col_name schema i
+  | L.Bin (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (r a) (Sql.Pretty.binop_to_string op) (r b)
+  | L.Un (Sql.Ast.Neg, a) -> Printf.sprintf "(-%s)" (r a)
+  | L.Un (Sql.Ast.Not, a) -> Printf.sprintf "(NOT %s)" (r a)
+  | L.Cast (a, ty) ->
+    Printf.sprintf "CAST(%s AS %s)" (r a) (Storage.Dtype.name ty)
+  | L.Case (arms, default) ->
+    let arms_s =
+      List.map (fun (c, v) -> Printf.sprintf "WHEN %s THEN %s" (r c) (r v)) arms
+    in
+    let d = match default with None -> "" | Some d -> " ELSE " ^ r d in
+    Printf.sprintf "CASE %s%s END" (String.concat " " arms_s) d
+  | L.Call (b, args) ->
+    Printf.sprintf "%s(%s)" (builtin_name b)
+      (String.concat ", " (List.map r args))
+  | L.Agg_call { kind; arg = None; _ } -> agg_name kind
+  | L.Agg_call { kind; arg = Some a; distinct } ->
+    Printf.sprintf "%s(%s%s)" (agg_name kind)
+      (if distinct then "DISTINCT " else "")
+      (r a)
+  | L.Is_null { negated; arg } ->
+    Printf.sprintf "(%s IS %sNULL)" (r arg) (if negated then "NOT " else "")
+  | L.In_list { negated; arg; candidates } ->
+    Printf.sprintf "(%s %sIN (%s))" (r arg)
+      (if negated then "NOT " else "")
+      (String.concat ", " (List.map r candidates))
+  | L.In_subquery { negated; arg; _ } ->
+    Printf.sprintf "(%s %sIN <subquery>)" (r arg)
+      (if negated then "NOT " else "")
+  | L.Like { negated; arg; pattern } ->
+    Printf.sprintf "(%s %sLIKE %s)" (r arg)
+      (if negated then "NOT " else "")
+      (r pattern)
+  | L.Subquery _ -> "<scalar subquery>"
+  | L.Exists_sub _ -> "EXISTS(<subquery>)"
+  | L.Outer_col i -> Printf.sprintf "outer#%d" i
+  | L.Subquery_corr _ -> "<correlated scalar subquery>"
+  | L.Exists_corr _ -> "EXISTS(<correlated subquery>)"
+  | L.In_subquery_corr { negated; arg; _ } ->
+    Printf.sprintf "(%s %sIN <correlated subquery>)" (r arg)
+      (if negated then "NOT " else "")
+
+let plan_to_string plan =
+  let buf = Buffer.create 256 in
+  let line indent s =
+    Buffer.add_string buf (String.make (2 * indent) ' ');
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  let rec go indent plan =
+    let input_schema p = Some (L.schema_of p) in
+    match plan with
+    | L.Scan { table; schema } ->
+      line indent
+        (Printf.sprintf "Scan %s %s" table
+           (String.concat ", " (Rschema.names schema)))
+    | L.One -> line indent "One"
+    | L.Filter { input; pred } ->
+      line indent
+        (Printf.sprintf "Filter %s" (expr_to_string ?schema:(input_schema input) pred));
+      go (indent + 1) input
+    | L.Project { input; items; _ } ->
+      let s = input_schema input in
+      line indent
+        (Printf.sprintf "Project %s"
+           (String.concat ", "
+              (List.map
+                 (fun (e, n) -> Printf.sprintf "%s AS %s" (expr_to_string ?schema:s e) n)
+                 items)));
+      go (indent + 1) input
+    | L.Cross { left; right } ->
+      line indent "Cross";
+      go (indent + 1) left;
+      go (indent + 1) right
+    | L.Join { left; right; kind; cond } ->
+      let kname =
+        match kind with Sql.Ast.Inner -> "InnerJoin" | Sql.Ast.Left_outer -> "LeftJoin"
+      in
+      line indent (Printf.sprintf "%s on %s" kname (expr_to_string cond));
+      go (indent + 1) left;
+      go (indent + 1) right
+    | L.Aggregate { input; keys; aggs; _ } ->
+      let s = input_schema input in
+      line indent
+        (Printf.sprintf "Aggregate keys=[%s] aggs=[%s]"
+           (String.concat ", "
+              (List.map (fun (e, n) -> Printf.sprintf "%s AS %s" (expr_to_string ?schema:s e) n) keys))
+           (String.concat ", "
+              (List.map
+                 (fun (a : L.agg) ->
+                   Printf.sprintf "%s AS %s"
+                     (expr_to_string ?schema:s
+                        {
+                          L.node =
+                            L.Agg_call
+                              {
+                                kind = a.L.kind;
+                                arg = a.L.arg;
+                                distinct = a.L.distinct;
+                              };
+                          ty = a.L.out_ty;
+                        })
+                     a.L.out_name)
+                 aggs)));
+      go (indent + 1) input
+    | L.Sort { input; keys } ->
+      let s = input_schema input in
+      line indent
+        (Printf.sprintf "Sort %s"
+           (String.concat ", "
+              (List.map
+                 (fun (e, d) ->
+                   expr_to_string ?schema:s e
+                   ^ match d with Sql.Ast.Asc -> " ASC" | Sql.Ast.Desc -> " DESC")
+                 keys)));
+      go (indent + 1) input
+    | L.Distinct input ->
+      line indent "Distinct";
+      go (indent + 1) input
+    | L.Limit { input; limit; offset } ->
+      line indent
+        (Printf.sprintf "Limit %s offset %d"
+           (match limit with None -> "all" | Some n -> string_of_int n)
+           offset);
+      go (indent + 1) input
+    | L.Set_op { op; left; right } ->
+      let name =
+        match op with
+        | Sql.Ast.Union -> "Union"
+        | Sql.Ast.Union_all -> "UnionAll"
+        | Sql.Ast.Intersect -> "Intersect"
+        | Sql.Ast.Except -> "Except"
+      in
+      line indent name;
+      go (indent + 1) left;
+      go (indent + 1) right
+    | L.Rec_ref { name; _ } -> line indent (Printf.sprintf "RecRef %s" name)
+    | L.Rec_cte { name; base; step; distinct; _ } ->
+      line indent
+        (Printf.sprintf "RecursiveCte %s (%s)" name
+           (if distinct then "UNION" else "UNION ALL"));
+      go (indent + 1) base;
+      go (indent + 1) step
+    | L.Graph_select { input; op; _ } ->
+      let s = input_schema input in
+      line indent (Printf.sprintf "GraphSelect %s" (describe_op ?schema:s op));
+      go (indent + 1) input;
+      line (indent + 1) "edge:";
+      go (indent + 2) op.L.edge
+    | L.Graph_join { left; right; op; _ } ->
+      line indent
+        (Printf.sprintf "GraphJoin src=%s dst=%s%s"
+           (String.concat ","
+              (List.map (expr_to_string ?schema:(input_schema left)) op.L.src_exprs))
+           (String.concat ","
+              (List.map
+                 (expr_to_string ?schema:(input_schema right))
+                 op.L.dst_exprs))
+           (describe_cheapests op));
+      go (indent + 1) left;
+      go (indent + 1) right;
+      line (indent + 1) "edge:";
+      go (indent + 2) op.L.edge
+    | L.Unnest { input; path; ordinality; left_outer; _ } ->
+      line indent
+        (Printf.sprintf "Unnest %s%s%s"
+           (expr_to_string ?schema:(input_schema input) path)
+           (if ordinality then " WITH ORDINALITY" else "")
+           (if left_outer then " (left outer)" else ""));
+      go (indent + 1) input
+  and describe_op ?schema (op : L.graph_op) =
+    let names cols =
+      String.concat ","
+        (List.map (col_name (Some (L.schema_of op.L.edge))) cols)
+    in
+    Printf.sprintf "src=%s dst=%s edge=(%s,%s)%s"
+      (String.concat "," (List.map (expr_to_string ?schema) op.L.src_exprs))
+      (String.concat "," (List.map (expr_to_string ?schema) op.L.dst_exprs))
+      (names op.L.edge_src) (names op.L.edge_dst)
+      (describe_cheapests op)
+  and describe_cheapests (op : L.graph_op) =
+    match op.L.cheapests with
+    | [] -> ""
+    | cs ->
+      " cheapest=["
+      ^ String.concat "; "
+          (List.map
+             (fun (c : L.cheapest) ->
+               Printf.sprintf "%s%s: weight=%s"
+                 c.L.cost_name
+                 (match c.L.path_name with
+                 | None -> ""
+                 | Some p -> Printf.sprintf ", %s" p)
+                 (expr_to_string
+                    ~schema:(L.schema_of op.L.edge)
+                    c.L.weight))
+             cs)
+      ^ "]"
+  in
+  go 0 plan;
+  Buffer.contents buf

@@ -1,0 +1,7 @@
+(** Human-readable rendering of bound plans ([EXPLAIN] output). *)
+
+val expr_to_string : ?schema:Rschema.t -> Lplan.expr -> string
+
+(** [plan_to_string plan] — an indented operator tree, one node per line,
+    with expressions rendered against each operator's input schema. *)
+val plan_to_string : Lplan.plan -> string

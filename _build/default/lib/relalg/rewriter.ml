@@ -1,0 +1,326 @@
+module L = Lplan
+
+type options = {
+  fold_constants : bool;
+  push_filters : bool;
+  form_graph_joins : bool;
+  merge_filter_into_join : bool;
+}
+
+let default_options =
+  {
+    fold_constants = true;
+    push_filters = true;
+    form_graph_joins = true;
+    merge_filter_into_join = true;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Bottom-up: fold children, then collapse any closed subtree. Folding
+   must not raise at plan time (a CASE branch that would divide by zero
+   may never execute), so runtime faults leave the node unfolded. *)
+let rec fold_expr (e : L.expr) : L.expr =
+  let e =
+    let recur = fold_expr in
+    let node =
+      match e.L.node with
+      | L.Const _ | L.Col _ | L.Outer_col _ | L.Subquery _ | L.Exists_sub _
+      | L.Subquery_corr _ | L.Exists_corr _ ->
+        e.L.node
+      | L.Bin (op, a, b) -> L.Bin (op, recur a, recur b)
+      | L.Un (op, a) -> L.Un (op, recur a)
+      | L.Cast (a, ty) -> L.Cast (recur a, ty)
+      | L.Case (arms, default) ->
+        L.Case
+          ( List.map (fun (c, v) -> (recur c, recur v)) arms,
+            Option.map recur default )
+      | L.Call (b, args) -> L.Call (b, List.map recur args)
+      | L.Agg_call { kind; arg; distinct } ->
+        L.Agg_call { kind; arg = Option.map recur arg; distinct }
+      | L.Is_null { negated; arg } -> L.Is_null { negated; arg = recur arg }
+      | L.In_list { negated; arg; candidates } ->
+        L.In_list
+          { negated; arg = recur arg; candidates = List.map recur candidates }
+      | L.In_subquery { negated; arg; sub } ->
+        L.In_subquery { negated; arg = recur arg; sub }
+      | L.In_subquery_corr { negated; arg; sub } ->
+        L.In_subquery_corr { negated; arg = recur arg; sub }
+      | L.Like { negated; arg; pattern } ->
+        L.Like { negated; arg = recur arg; pattern = recur pattern }
+    in
+    { e with L.node }
+  in
+  match e.L.node with
+  | L.Const _ -> e
+  | _ -> (
+    match Const_eval.eval e with
+    | Some v -> { e with L.node = L.Const v }
+    | None | (exception Scalar.Runtime_error _) -> e)
+
+(* ------------------------------------------------------------------ *)
+(* Filter pushdown                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let classify_conjunct ~left_arity e =
+  let cols = L.cols_used e in
+  if List.for_all (fun c -> c < left_arity) cols then `Left
+  else if List.for_all (fun c -> c >= left_arity) cols then `Right
+  else `Both
+
+let add_filter plan = function
+  | [] -> plan
+  | conjuncts -> (
+    match L.conjoin conjuncts with
+    | None -> plan
+    | Some pred -> L.Filter { input = plan; pred })
+
+(* One pushdown step over a Filter node; returns the new plan. *)
+let push_filter_once ~pred input =
+  let conjuncts = L.split_conjuncts pred in
+  match input with
+  | L.Filter { input = inner; pred = p1 } ->
+    (* merge adjacent filters *)
+    Some (add_filter inner (L.split_conjuncts p1 @ conjuncts))
+  | L.Cross { left; right } ->
+    let la = Rschema.arity (L.schema_of left) in
+    let ls, rs, keep =
+      List.fold_left
+        (fun (ls, rs, keep) c ->
+          match classify_conjunct ~left_arity:la c with
+          | `Left -> (c :: ls, rs, keep)
+          | `Right -> (ls, L.shift_cols (-la) c :: rs, keep)
+          | `Both -> (ls, rs, c :: keep))
+        ([], [], []) conjuncts
+    in
+    if ls = [] && rs = [] then None
+    else
+      Some
+        (add_filter
+           (L.Cross
+              {
+                left = add_filter left (List.rev ls);
+                right = add_filter right (List.rev rs);
+              })
+           (List.rev keep))
+  | L.Join { left; right; kind; cond } ->
+    let la = Rschema.arity (L.schema_of left) in
+    let ls, rs, keep =
+      List.fold_left
+        (fun (ls, rs, keep) c ->
+          match classify_conjunct ~left_arity:la c with
+          | `Left -> (c :: ls, rs, keep)
+          | `Right when kind = Sql.Ast.Inner ->
+            (ls, L.shift_cols (-la) c :: rs, keep)
+          | `Right | `Both -> (ls, rs, c :: keep))
+        ([], [], []) conjuncts
+    in
+    if ls = [] && rs = [] then None
+    else
+      Some
+        (add_filter
+           (L.Join
+              {
+                left = add_filter left (List.rev ls);
+                right = add_filter right (List.rev rs);
+                kind;
+                cond;
+              })
+           (List.rev keep))
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The rewrite driver                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec rewrite_plan opts plan =
+  (* children first *)
+  let plan = rewrite_children opts plan in
+  (* then local rules, to a (small) fixpoint *)
+  let plan = apply_local opts plan in
+  plan
+
+and rewrite_children opts plan =
+  let rex e = rewrite_expr opts e in
+  match plan with
+  | L.Scan _ | L.One -> plan
+  | L.Filter { input; pred } ->
+    L.Filter { input = rewrite_plan opts input; pred = rex pred }
+  | L.Project { input; items; schema } ->
+    L.Project
+      {
+        input = rewrite_plan opts input;
+        items = List.map (fun (e, n) -> (rex e, n)) items;
+        schema;
+      }
+  | L.Cross { left; right } ->
+    L.Cross { left = rewrite_plan opts left; right = rewrite_plan opts right }
+  | L.Join { left; right; kind; cond } ->
+    L.Join
+      {
+        left = rewrite_plan opts left;
+        right = rewrite_plan opts right;
+        kind;
+        cond = rex cond;
+      }
+  | L.Aggregate { input; keys; aggs; schema } ->
+    L.Aggregate
+      {
+        input = rewrite_plan opts input;
+        keys = List.map (fun (e, n) -> (rex e, n)) keys;
+        aggs =
+          List.map
+            (fun (a : L.agg) -> { a with L.arg = Option.map rex a.L.arg })
+            aggs;
+        schema;
+      }
+  | L.Sort { input; keys } ->
+    L.Sort
+      {
+        input = rewrite_plan opts input;
+        keys = List.map (fun (e, d) -> (rex e, d)) keys;
+      }
+  | L.Distinct input -> L.Distinct (rewrite_plan opts input)
+  | L.Limit { input; limit; offset } ->
+    L.Limit { input = rewrite_plan opts input; limit; offset }
+  | L.Set_op { op; left; right } ->
+    L.Set_op
+      { op; left = rewrite_plan opts left; right = rewrite_plan opts right }
+  | L.Rec_ref _ -> plan
+  | L.Rec_cte r ->
+    L.Rec_cte
+      { r with base = rewrite_plan opts r.base; step = rewrite_plan opts r.step }
+  | L.Graph_select { input; op; schema } ->
+    L.Graph_select
+      { input = rewrite_plan opts input; op = rewrite_op opts op; schema }
+  | L.Graph_join { left; right; op; schema } ->
+    L.Graph_join
+      {
+        left = rewrite_plan opts left;
+        right = rewrite_plan opts right;
+        op = rewrite_op opts op;
+        schema;
+      }
+  | L.Unnest u ->
+    L.Unnest { u with input = rewrite_plan opts u.input; path = rex u.path }
+
+and rewrite_op opts (op : L.graph_op) =
+  {
+    op with
+    L.edge = rewrite_plan opts op.L.edge;
+    src_exprs = List.map (rewrite_expr opts) op.L.src_exprs;
+    dst_exprs = List.map (rewrite_expr opts) op.L.dst_exprs;
+    cheapests =
+      List.map
+        (fun (c : L.cheapest) -> { c with L.weight = rewrite_expr opts c.L.weight })
+        op.L.cheapests;
+  }
+
+and rewrite_expr opts e =
+  (* rewrite embedded subquery plans, then fold *)
+  let rec map_plans (e : L.expr) =
+    let recur = map_plans in
+    let node =
+      match e.L.node with
+      | L.Subquery p -> L.Subquery (rewrite_plan opts p)
+      | L.Exists_sub p -> L.Exists_sub (rewrite_plan opts p)
+      | L.Subquery_corr p -> L.Subquery_corr (rewrite_plan opts p)
+      | L.Exists_corr p -> L.Exists_corr (rewrite_plan opts p)
+      | L.Const _ | L.Col _ | L.Outer_col _ -> e.L.node
+      | L.Bin (op, a, b) -> L.Bin (op, recur a, recur b)
+      | L.Un (op, a) -> L.Un (op, recur a)
+      | L.Cast (a, ty) -> L.Cast (recur a, ty)
+      | L.Case (arms, default) ->
+        L.Case
+          ( List.map (fun (c, v) -> (recur c, recur v)) arms,
+            Option.map recur default )
+      | L.Call (b, args) -> L.Call (b, List.map recur args)
+      | L.Agg_call { kind; arg; distinct } ->
+        L.Agg_call { kind; arg = Option.map recur arg; distinct }
+      | L.Is_null { negated; arg } -> L.Is_null { negated; arg = recur arg }
+      | L.In_list { negated; arg; candidates } ->
+        L.In_list
+          { negated; arg = recur arg; candidates = List.map recur candidates }
+      | L.In_subquery { negated; arg; sub } ->
+        L.In_subquery { negated; arg = recur arg; sub = rewrite_plan opts sub }
+      | L.In_subquery_corr { negated; arg; sub } ->
+        L.In_subquery_corr
+          { negated; arg = recur arg; sub = rewrite_plan opts sub }
+      | L.Like { negated; arg; pattern } ->
+        L.Like { negated; arg = recur arg; pattern = recur pattern }
+    in
+    { e with L.node }
+  in
+  let e = map_plans e in
+  if opts.fold_constants then fold_expr e else e
+
+and apply_local opts plan =
+  let changed = ref false in
+  let plan =
+    match plan with
+    (* drop trivially-true filters *)
+    | L.Filter { input; pred = { L.node = L.Const (Storage.Value.Bool true); _ } }
+      ->
+      changed := true;
+      input
+    | L.Filter { input; pred } when opts.push_filters -> (
+      match push_filter_once ~pred input with
+      | Some plan' ->
+        changed := true;
+        plan'
+      | None -> plan)
+    | _ -> plan
+  in
+  let plan =
+    match plan with
+    (* the paper's rule: cross product + graph select => graph join *)
+    | L.Graph_select { input = L.Cross { left; right }; op; schema = _ }
+      when opts.form_graph_joins ->
+      let la = Rschema.arity (L.schema_of left) in
+      let ra = Rschema.arity (L.schema_of right) in
+      let src_cols = List.concat_map L.cols_used op.L.src_exprs in
+      let dst_cols = List.concat_map L.cols_used op.L.dst_exprs in
+      if
+        List.for_all (fun c -> c < la) src_cols
+        && List.for_all (fun c -> c >= la && c < la + ra) dst_cols
+      then begin
+        changed := true;
+        let op =
+          {
+            op with
+            L.dst_exprs = List.map (L.shift_cols (-la)) op.L.dst_exprs;
+          }
+        in
+        L.Graph_join
+          { left; right; op; schema = L.graph_join_schema ~left ~right op }
+      end
+      else plan
+    | _ -> plan
+  in
+  let plan =
+    match plan with
+    (* leftover multi-side filter over a cross becomes an inner join *)
+    | L.Filter { input = L.Cross { left; right }; pred }
+      when opts.merge_filter_into_join ->
+      changed := true;
+      L.Join { left; right; kind = Sql.Ast.Inner; cond = pred }
+    | _ -> plan
+  in
+  if !changed then apply_local opts (rewrite_children_shallow opts plan)
+  else plan
+
+(* After a local rewrite the direct children may expose new opportunities
+   (e.g. a filter pushed onto a child filter); give them one more look
+   without a full traversal. *)
+and rewrite_children_shallow opts plan =
+  match plan with
+  | L.Filter { input; pred } -> L.Filter { input = apply_local opts input; pred }
+  | L.Cross { left; right } ->
+    L.Cross { left = apply_local opts left; right = apply_local opts right }
+  | L.Join j ->
+    L.Join { j with left = apply_local opts j.left; right = apply_local opts j.right }
+  | _ -> plan
+
+let rewrite ?(options = default_options) plan = rewrite_plan options plan

@@ -1,0 +1,24 @@
+(** The query rewriter (§3.1): a small rule-based optimiser.
+
+    Rules, in application order:
+    - constant folding over all scalar expressions;
+    - filter pushdown: conjuncts sink below cross products and inner joins
+      toward the side they reference, and adjacent filters merge;
+    - {b graph-join formation} — the paper's rule: "graph joins are only
+      unfolded in the query rewriter when it recognizes the sequence of a
+      cross product plus a graph select". A [Graph_select] directly over a
+      [Cross] whose X only references the left side and whose Y only
+      references the right side becomes a [Graph_join];
+    - remaining filters over cross products become inner joins (hash-join
+      opportunity for the executor). *)
+
+type options = {
+  fold_constants : bool;
+  push_filters : bool;
+  form_graph_joins : bool;  (** the ablation switch for experiment A3 *)
+  merge_filter_into_join : bool;
+}
+
+val default_options : options
+
+val rewrite : ?options:options -> Lplan.plan -> Lplan.plan

@@ -1,0 +1,58 @@
+type field = {
+  name : string;
+  ty : Storage.Dtype.t;
+  nested : Storage.Schema.t option;
+}
+
+type t = field array
+
+let arity t = Array.length t
+
+let field t i =
+  if i < 0 || i >= Array.length t then
+    invalid_arg "Rschema.field: index out of bounds";
+  t.(i)
+
+let names t = Array.to_list (Array.map (fun f -> f.name) t)
+let append = Array.append
+
+let norm = String.lowercase_ascii
+
+let index_of t name =
+  let key = norm name in
+  let rec loop i =
+    if i >= Array.length t then None
+    else if String.equal (norm t.(i).name) key then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let of_storage s =
+  Array.of_list
+    (List.map
+       (fun (f : Storage.Schema.field) ->
+         { name = f.Storage.Schema.name; ty = f.Storage.Schema.ty; nested = None })
+       (Storage.Schema.fields s))
+
+let to_storage t =
+  Storage.Schema.unsafe_make
+    (List.map
+       (fun f -> { Storage.Schema.name = f.name; ty = f.ty })
+       (Array.to_list t))
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y ->
+         String.equal (norm x.name) (norm y.name)
+         && Storage.Dtype.equal x.ty y.ty)
+       a b
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hov 1>(";
+  Array.iteri
+    (fun i f ->
+      if i > 0 then Format.fprintf ppf ",@ ";
+      Format.fprintf ppf "%s %a" f.name Storage.Dtype.pp f.ty)
+    t;
+  Format.fprintf ppf ")@]"

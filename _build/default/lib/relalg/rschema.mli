@@ -1,0 +1,34 @@
+(** Rich schemas for bound plans.
+
+    A plan field is a storage field plus, for path-typed columns, the
+    schema of the edge table underneath — the binder needs it to type
+    [UNNEST(t.path)] statically, and it is exactly the "attributes enclosed
+    in the nested table ... are the same as the attributes of the EDGE
+    table expression" rule of §2. *)
+
+type field = {
+  name : string;
+  ty : Storage.Dtype.t;
+  nested : Storage.Schema.t option;
+      (** [Some s] iff [ty = TPath]: the edge-table schema of the paths *)
+}
+
+type t = field array
+
+val arity : t -> int
+val field : t -> int -> field
+val names : t -> string list
+val append : t -> t -> t
+
+(** [index_of t name] — case-insensitive; first match. *)
+val index_of : t -> string -> int option
+
+(** [of_storage s] wraps a storage schema (no nested metadata). *)
+val of_storage : Storage.Schema.t -> t
+
+(** [to_storage t] forgets nesting; duplicate names allowed (intermediate
+    join results). *)
+val to_storage : t -> Storage.Schema.t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(** Value-level semantics of scalar operators: SQL three-valued logic,
+    arithmetic with NULL propagation, LIKE matching, built-in functions.
+    Shared by the executor's evaluator and the rewriter's constant folder,
+    so the two can never disagree. *)
+
+exception Runtime_error of string
+(** Division by zero, bad casts, weight violations, etc. *)
+
+(** [apply_bin op a b] — NULL-propagating except for [And]/[Or], which use
+    Kleene logic ([false AND NULL = false], [true OR NULL = true]). *)
+val apply_bin : Sql.Ast.binop -> Storage.Value.t -> Storage.Value.t -> Storage.Value.t
+
+val apply_un : Sql.Ast.unop -> Storage.Value.t -> Storage.Value.t
+
+(** [apply_cast v ty] — raises {!Runtime_error} on impossible casts. *)
+val apply_cast : Storage.Value.t -> Storage.Dtype.t -> Storage.Value.t
+
+(** [like_match ~pattern s] — SQL LIKE: [%] any sequence, [_] one char. *)
+val like_match : pattern:string -> string -> bool
+
+val apply_builtin : Lplan.builtin -> Storage.Value.t list -> Storage.Value.t
+
+(** [is_true v] — filter semantics: [Bool true] passes, [false]/[NULL] do
+    not. Raises {!Runtime_error} on non-boolean values. *)
+val is_true : Storage.Value.t -> bool
+
+(** [in_list ~negated arg candidates] — SQL (NOT) IN with three-valued
+    semantics over NULLs. *)
+val in_list :
+  negated:bool -> Storage.Value.t -> Storage.Value.t list -> Storage.Value.t
+
+(** [like ~negated arg pattern] — SQL (NOT) LIKE; NULL-propagating. *)
+val like :
+  negated:bool -> Storage.Value.t -> Storage.Value.t -> Storage.Value.t

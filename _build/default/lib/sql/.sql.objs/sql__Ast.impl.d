@@ -1,0 +1,1 @@
+lib/sql/ast.pp.ml: List Option Ppx_deriving_runtime

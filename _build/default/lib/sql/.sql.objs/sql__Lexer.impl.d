@@ -1,0 +1,1 @@
+lib/sql/lexer.pp.ml: Buffer List Printf String Token

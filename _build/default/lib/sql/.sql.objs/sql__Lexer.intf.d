@@ -1,0 +1,1 @@
+lib/sql/lexer.pp.mli: Token

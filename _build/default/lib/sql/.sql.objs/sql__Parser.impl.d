@@ -1,0 +1,1 @@
+lib/sql/parser.pp.ml: Array Ast Lexer List Printf String Token

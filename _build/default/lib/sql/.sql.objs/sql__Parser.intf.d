@@ -1,0 +1,1 @@
+lib/sql/parser.pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/sql/pretty.pp.ml: Ast Buffer List Printf String Token

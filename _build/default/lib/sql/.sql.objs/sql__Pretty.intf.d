@@ -1,0 +1,1 @@
+lib/sql/pretty.pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/sql/token.pp.ml: Float Format Hashtbl List Printf String

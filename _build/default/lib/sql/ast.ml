@@ -1,0 +1,218 @@
+(** Abstract syntax of the SQL dialect.
+
+    The AST is untyped; name resolution and type checking happen in the
+    binder ({!module:Relalg.Binder}). The paper's extension surfaces here as
+    three constructors: {!constructor:expr.Reaches} (the reachability
+    predicate of §2), {!constructor:expr.Cheapest_sum} (the shortest-path
+    summary function) and {!constructor:from_item.From_unnest} (path
+    flattening). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Concat
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+[@@deriving show { with_path = false }]
+
+type unop = Neg | Not [@@deriving show { with_path = false }]
+
+type literal =
+  | L_int of int
+  | L_float of float
+  | L_string of string
+  | L_bool of bool
+  | L_null
+[@@deriving show { with_path = false }]
+
+type order_dir = Asc | Desc [@@deriving show { with_path = false }]
+type join_kind = Inner | Left_outer [@@deriving show { with_path = false }]
+
+type setop = Union | Union_all | Intersect | Except
+[@@deriving show { with_path = false }]
+
+type expr =
+  | Lit of literal
+  | Param of int  (** [?] host parameter, numbered left to right from 0 *)
+  | Col of string option * string  (** optional qualifier, column name *)
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Cast of expr * string  (** target type by SQL name, resolved at bind *)
+  | Case of (expr * expr) list * expr option
+  | Func of string * expr list  (** scalar or aggregate call; [COUNT(STAR)] maps to [Func ("COUNT", [Star None])] *)
+  | Star of string option  (** [*] or [q.*]; only valid in select items and COUNT *)
+  | Agg_distinct of string * expr
+      (** [COUNT(DISTINCT x)] and friends; the name is uppercased *)
+  | Is_null of { negated : bool; arg : expr }
+  | Between of { arg : expr; lo : expr; hi : expr; negated : bool }
+  | In_list of { arg : expr; candidates : expr list; negated : bool }
+  | In_query of { arg : expr; query : query; negated : bool }
+      (** [x IN (SELECT ...)], uncorrelated *)
+  | Like of { arg : expr; pattern : expr; negated : bool }
+  | Exists of query
+  | Scalar_subquery of query
+  | Reaches of reaches
+      (** [X REACHES Y OVER E [e] EDGE (S, D)] — §2 of the paper. *)
+  | Cheapest_sum of { binding : string option; weight : expr }
+      (** [CHEAPEST SUM(e: expr)] — §2; [binding] is the edge-table tuple
+          variable [e], optional when a single REACHES is in scope. *)
+  | Row of expr list
+      (** a parenthesised expression tuple [(e1, e2, ...)]; only legal as
+          a REACHES endpoint with composite EDGE keys (§2's
+          multi-attribute node addressing) *)
+
+and reaches = {
+  src : expr;  (** X (possibly a {!constructor:expr.Row}) *)
+  dst : expr;  (** Y *)
+  edge : table_ref;  (** the edge table expression E *)
+  edge_alias : string option;  (** the tuple variable [e] *)
+  src_cols : string list;  (** S — one name, or several for composite keys *)
+  dst_cols : string list;  (** D *)
+}
+
+and table_ref = Ref_table of string | Ref_subquery of query
+
+and select_item =
+  | Sel_star of string option  (** [*] or [alias.*] *)
+  | Sel_expr of expr * alias
+      (** an expression with its alias; [Alias_pair] is the paper's
+          [AS (cost, path)] two-identifier form for CHEAPEST SUM *)
+
+and alias = Alias_none | Alias_name of string | Alias_pair of string * string
+
+and from_item =
+  | From_table of string * string option  (** table name, alias *)
+  | From_subquery of query * string  (** derived table, mandatory alias *)
+  | From_unnest of {
+      arg : expr;  (** typically [t.path] *)
+      ordinality : bool;  (** WITH ORDINALITY *)
+      alias : string option;
+      left_outer : bool;  (** lateral LEFT OUTER (keeps empty paths) *)
+    }
+  | From_join of from_item * join_kind * from_item * expr option
+      (** explicit JOIN ... ON; [None] condition only for CROSS JOIN *)
+
+and query = {
+  ctes : cte list;
+  distinct : bool;
+  items : select_item list;
+  from : from_item list;  (** comma-separated; [] for FROM-less SELECT *)
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  setops : (setop * query) list;
+      (** compound query tail, left-associative; the branch queries carry
+          no CTEs, set operations, ORDER BY or LIMIT of their own *)
+  order_by : (expr * order_dir) list;  (** applies to the whole compound *)
+  limit : int option;
+  offset : int option;
+}
+
+and cte = {
+  cte_name : string;
+  cte_cols : string list option;
+  cte_query : query;
+  cte_recursive : bool;
+      (** declared under WITH RECURSIVE and self-referencing: the query
+          must be [base UNION [ALL] step] with [step] referring to the
+          CTE's own name *)
+}
+[@@deriving show { with_path = false }]
+
+type column_def = { col_name : string; col_type : string }
+[@@deriving show { with_path = false }]
+
+type insert_source =
+  | Insert_values of expr list list
+  | Insert_query of query
+[@@deriving show { with_path = false }]
+
+type stmt =
+  | Create_table of string * column_def list
+  | Create_table_as of string * query
+  | Drop_table of string
+  | Insert of {
+      table : string;
+      columns : string list option;
+      source : insert_source;
+    }
+  | Update of {
+      table : string;
+      assignments : (string * expr) list;
+      where : expr option;
+    }
+  | Delete of { table : string; where : expr option }
+  | Select of query
+  | Begin_txn
+  | Commit_txn
+  | Rollback_txn
+  | Explain of { query : query; analyze : bool }
+      (** [EXPLAIN] renders the plan; [EXPLAIN ANALYZE] also runs it and
+          reports per-operator output rows and wall time *)
+[@@deriving show { with_path = false }]
+
+(** [empty_query] — a [SELECT] skeleton to build on. *)
+let empty_query =
+  {
+    ctes = [];
+    distinct = false;
+    items = [];
+    from = [];
+    where = None;
+    group_by = [];
+    having = None;
+    setops = [];
+    order_by = [];
+    limit = None;
+    offset = None;
+  }
+
+(** [fold_expr f acc e] — bottom-up fold over an expression tree, not
+    descending into subqueries. *)
+let rec fold_expr f acc e =
+  let acc =
+    match e with
+    | Lit _ | Param _ | Col _ | Star _ | Exists _ | Scalar_subquery _ -> acc
+    | Bin (_, a, b) -> fold_expr f (fold_expr f acc a) b
+    | Un (_, a) | Cast (a, _) -> fold_expr f acc a
+    | Case (arms, default) ->
+      let acc =
+        List.fold_left
+          (fun acc (c, v) -> fold_expr f (fold_expr f acc c) v)
+          acc arms
+      in
+      Option.fold ~none:acc ~some:(fold_expr f acc) default
+    | Func (_, args) -> List.fold_left (fold_expr f) acc args
+    | Agg_distinct (_, arg) -> fold_expr f acc arg
+    | Is_null { arg; _ } -> fold_expr f acc arg
+    | Between { arg; lo; hi; _ } ->
+      fold_expr f (fold_expr f (fold_expr f acc arg) lo) hi
+    | In_list { arg; candidates; _ } ->
+      List.fold_left (fold_expr f) (fold_expr f acc arg) candidates
+    | In_query { arg; _ } -> fold_expr f acc arg
+    | Like { arg; pattern; _ } -> fold_expr f (fold_expr f acc arg) pattern
+    | Reaches r -> fold_expr f (fold_expr f acc r.src) r.dst
+    | Cheapest_sum { weight; _ } -> fold_expr f acc weight
+    | Row es -> List.fold_left (fold_expr f) acc es
+  in
+  f acc e
+
+(** [collect_reaches e] — every {!constructor:expr.Reaches} node in [e], in
+    syntactic order. *)
+let collect_reaches e =
+  List.rev
+    (fold_expr (fun acc e -> match e with Reaches r -> r :: acc | _ -> acc) [] e)
+
+(** [contains_cheapest_sum e]. *)
+let contains_cheapest_sum e =
+  fold_expr (fun acc e -> acc || match e with Cheapest_sum _ -> true | _ -> false)
+    false e

@@ -1,0 +1,237 @@
+exception Lex_error of string * int * int
+
+type positioned = { tok : Token.t; line : int; col : int }
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of the current line's first char *)
+}
+
+let current_col st = st.pos - st.bol + 1
+
+let error st msg = raise (Lex_error (msg, st.line, current_col st))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let skip_line_comment st =
+  let rec loop () =
+    match peek st with
+    | Some '\n' | None -> ()
+    | Some _ ->
+      advance st;
+      loop ()
+  in
+  loop ()
+
+let skip_block_comment st =
+  advance st;
+  advance st;
+  let rec loop () =
+    match peek st, peek2 st with
+    | Some '*', Some '/' ->
+      advance st;
+      advance st
+    | None, _ -> error st "unterminated block comment"
+    | Some _, _ ->
+      advance st;
+      loop ()
+  in
+  loop ()
+
+let rec skip_trivia st =
+  match peek st, peek2 st with
+  | Some (' ' | '\t' | '\r' | '\n'), _ ->
+    advance st;
+    skip_trivia st
+  | Some '-', Some '-' ->
+    skip_line_comment st;
+    skip_trivia st
+  | Some '/', Some '*' ->
+    skip_block_comment st;
+    skip_trivia st
+  | _ -> ()
+
+let lex_number st =
+  let start = st.pos in
+  let seen_dot = ref false in
+  let seen_exp = ref false in
+  let rec loop () =
+    match peek st with
+    | Some c when is_digit c ->
+      advance st;
+      loop ()
+    | Some '.'
+      when (not !seen_dot) && (not !seen_exp)
+           && (match peek2 st with Some c -> is_digit c | None -> false) ->
+      seen_dot := true;
+      advance st;
+      loop ()
+    | Some ('e' | 'E') when not !seen_exp -> (
+      match peek2 st with
+      | Some c when is_digit c || c = '+' || c = '-' ->
+        seen_exp := true;
+        advance st;
+        advance st;
+        loop ()
+      | _ -> ())
+    | _ -> ()
+  in
+  loop ();
+  let text = String.sub st.src start (st.pos - start) in
+  if !seen_dot || !seen_exp then
+    match float_of_string_opt text with
+    | Some f -> Token.FLOAT f
+    | None -> error st (Printf.sprintf "malformed number %S" text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Token.INT i
+    | None -> error st (Printf.sprintf "integer literal out of range: %S" text)
+
+(* SQL string literal: single quotes, '' escapes a quote. *)
+let lex_string st =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated string literal"
+    | Some '\'' -> (
+      match peek2 st with
+      | Some '\'' ->
+        Buffer.add_char buf '\'';
+        advance st;
+        advance st;
+        loop ()
+      | _ -> advance st)
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      loop ()
+  in
+  loop ();
+  Token.STRING (Buffer.contents buf)
+
+(* "..."-quoted identifier, "" escapes a quote. *)
+let lex_quoted_ident st =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated quoted identifier"
+    | Some '"' -> (
+      match peek2 st with
+      | Some '"' ->
+        Buffer.add_char buf '"';
+        advance st;
+        advance st;
+        loop ()
+      | _ -> advance st)
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      loop ()
+  in
+  loop ();
+  Token.QIDENT (Buffer.contents buf)
+
+let lex_word st =
+  let start = st.pos in
+  let rec loop () =
+    match peek st with
+    | Some c when is_ident_char c ->
+      advance st;
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  let text = String.sub st.src start (st.pos - start) in
+  if Token.is_keyword text then Token.KEYWORD (String.uppercase_ascii text)
+  else Token.IDENT text
+
+let next_token st =
+  skip_trivia st;
+  let line = st.line and col = current_col st in
+  let simple tok = advance st; tok in
+  let tok =
+    match peek st with
+    | None -> Token.EOF
+    | Some c -> (
+      match c with
+      | '(' -> simple Token.LPAREN
+      | ')' -> simple Token.RPAREN
+      | ',' -> simple Token.COMMA
+      | ';' -> simple Token.SEMI
+      | ':' -> simple Token.COLON
+      | '*' -> simple Token.STAR
+      | '+' -> simple Token.PLUS
+      | '-' -> simple Token.MINUS
+      | '/' -> simple Token.SLASH
+      | '%' -> simple Token.PERCENT
+      | '?' -> simple Token.PARAM
+      | '=' -> simple Token.EQ
+      | '.' -> simple Token.DOT
+      | '|' -> (
+        match peek2 st with
+        | Some '|' ->
+          advance st;
+          advance st;
+          Token.CONCAT
+        | _ -> error st "expected '||'")
+      | '<' -> (
+        match peek2 st with
+        | Some '=' ->
+          advance st;
+          advance st;
+          Token.LE
+        | Some '>' ->
+          advance st;
+          advance st;
+          Token.NEQ
+        | _ -> simple Token.LT)
+      | '>' -> (
+        match peek2 st with
+        | Some '=' ->
+          advance st;
+          advance st;
+          Token.GE
+        | _ -> simple Token.GT)
+      | '!' -> (
+        match peek2 st with
+        | Some '=' ->
+          advance st;
+          advance st;
+          Token.NEQ
+        | _ -> error st "unexpected '!'")
+      | '\'' -> lex_string st
+      | '"' -> lex_quoted_ident st
+      | c when is_digit c -> lex_number st
+      | c when is_ident_start c -> lex_word st
+      | c -> error st (Printf.sprintf "unexpected character %C" c))
+  in
+  { tok; line; col }
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  let rec loop acc =
+    let t = next_token st in
+    match t.tok with
+    | Token.EOF -> List.rev (t :: acc)
+    | _ -> loop (t :: acc)
+  in
+  loop []

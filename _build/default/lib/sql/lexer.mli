@@ -1,0 +1,11 @@
+(** Hand-written SQL lexer with line/column error reporting. *)
+
+exception Lex_error of string * int * int
+(** [Lex_error (message, line, column)], 1-based. *)
+
+type positioned = { tok : Token.t; line : int; col : int }
+
+(** [tokenize src] is the token stream of [src], ending with {!Token.EOF}.
+    Comments ([-- ...] to end of line and [/* ... */]) are skipped.
+    Raises {!Lex_error} on malformed input. *)
+val tokenize : string -> positioned list

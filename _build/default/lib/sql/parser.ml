@@ -1,0 +1,827 @@
+exception Parse_error of string * int * int
+
+type state = {
+  toks : Lexer.positioned array;
+  mutable pos : int;
+  mutable params : int; (* next host-parameter index *)
+}
+
+let current st = st.toks.(st.pos)
+let peek st = (current st).tok
+
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1).tok
+  else Token.EOF
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let error st msg =
+  let { Lexer.tok; line; col } = current st in
+  raise
+    (Parse_error
+       (Printf.sprintf "%s (found %s)" msg (Token.to_string tok), line, col))
+
+let expect st tok =
+  if Token.equal (peek st) tok then advance st
+  else error st (Printf.sprintf "expected %s" (Token.to_string tok))
+
+let accept st tok =
+  if Token.equal (peek st) tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let is_kw st name =
+  match peek st with Token.KEYWORD k -> String.equal k name | _ -> false
+
+let accept_kw st name =
+  if is_kw st name then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_kw st name =
+  if not (accept_kw st name) then error st (Printf.sprintf "expected %s" name)
+
+(* Identifiers: bare or quoted. *)
+let expect_ident st =
+  match peek st with
+  | Token.IDENT s | Token.QIDENT s ->
+    advance st;
+    s
+  | _ -> error st "expected an identifier"
+
+let accept_ident st =
+  match peek st with
+  | Token.IDENT s | Token.QIDENT s ->
+    advance st;
+    Some s
+  | _ -> None
+
+let expect_int st =
+  match peek st with
+  | Token.INT i ->
+    advance st;
+    i
+  | _ -> error st "expected an integer literal"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let starts_query st =
+  match peek st with
+  | Token.KEYWORD ("SELECT" | "WITH") -> true
+  | _ -> false
+
+let rec parse_expr_prec st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if accept_kw st "OR" then Ast.Bin (Ast.Or, lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if accept_kw st "AND" then Ast.Bin (Ast.And, lhs, parse_and st) else lhs
+
+and parse_not st =
+  if accept_kw st "NOT" then Ast.Un (Ast.Not, parse_not st)
+  else parse_predicate st
+
+(* Comparisons, IS NULL, BETWEEN, IN, LIKE and the REACHES predicate all
+   live at the same level, below NOT and above additive arithmetic. *)
+and parse_predicate st =
+  let lhs = parse_additive st in
+  let comparison op =
+    advance st;
+    Ast.Bin (op, lhs, parse_additive st)
+  in
+  match peek st with
+  | Token.EQ -> comparison Ast.Eq
+  | Token.NEQ -> comparison Ast.Neq
+  | Token.LT -> comparison Ast.Lt
+  | Token.LE -> comparison Ast.Le
+  | Token.GT -> comparison Ast.Gt
+  | Token.GE -> comparison Ast.Ge
+  | Token.KEYWORD "IS" ->
+    advance st;
+    let negated = accept_kw st "NOT" in
+    expect_kw st "NULL";
+    Ast.Is_null { negated; arg = lhs }
+  | Token.KEYWORD "BETWEEN" ->
+    advance st;
+    let lo = parse_additive st in
+    expect_kw st "AND";
+    let hi = parse_additive st in
+    Ast.Between { arg = lhs; lo; hi; negated = false }
+  | Token.KEYWORD "LIKE" ->
+    advance st;
+    Ast.Like { arg = lhs; pattern = parse_additive st; negated = false }
+  | Token.KEYWORD "IN" ->
+    advance st;
+    parse_in st lhs ~negated:false
+  | Token.KEYWORD "NOT" -> (
+    (* x NOT BETWEEN / NOT LIKE / NOT IN *)
+    match peek2 st with
+    | Token.KEYWORD "BETWEEN" ->
+      advance st;
+      advance st;
+      let lo = parse_additive st in
+      expect_kw st "AND";
+      let hi = parse_additive st in
+      Ast.Between { arg = lhs; lo; hi; negated = true }
+    | Token.KEYWORD "LIKE" ->
+      advance st;
+      advance st;
+      Ast.Like { arg = lhs; pattern = parse_additive st; negated = true }
+    | Token.KEYWORD "IN" ->
+      advance st;
+      advance st;
+      parse_in st lhs ~negated:true
+    | _ -> lhs)
+  | Token.KEYWORD "REACHES" ->
+    advance st;
+    parse_reaches st lhs
+  | _ -> lhs
+
+and parse_in st lhs ~negated =
+  expect st Token.LPAREN;
+  if starts_query st then begin
+    let q = parse_query_body st in
+    expect st Token.RPAREN;
+    Ast.In_query { arg = lhs; query = q; negated }
+  end
+  else begin
+    let rec items acc =
+      let e = parse_expr_prec st in
+      if accept st Token.COMMA then items (e :: acc) else List.rev (e :: acc)
+    in
+    let candidates = items [] in
+    expect st Token.RPAREN;
+    Ast.In_list { arg = lhs; candidates; negated }
+  end
+
+(* X REACHES Y OVER E [e] EDGE (S, D) *)
+and parse_reaches st src =
+  let dst = parse_additive st in
+  expect_kw st "OVER";
+  let edge =
+    if accept st Token.LPAREN then begin
+      let q = parse_query_body st in
+      expect st Token.RPAREN;
+      Ast.Ref_subquery q
+    end
+    else Ast.Ref_table (expect_ident st)
+  in
+  let edge_alias = accept_ident st in
+  expect_kw st "EDGE";
+  expect st Token.LPAREN;
+  let ident_list () =
+    let rec loop acc =
+      let c = expect_ident st in
+      if accept st Token.COMMA then loop (c :: acc) else List.rev (c :: acc)
+    in
+    loop []
+  in
+  let src_cols, dst_cols =
+    if accept st Token.LPAREN then begin
+      (* EDGE ((s1, s2), (d1, d2)) — composite keys *)
+      let s = ident_list () in
+      expect st Token.RPAREN;
+      expect st Token.COMMA;
+      expect st Token.LPAREN;
+      let d = ident_list () in
+      expect st Token.RPAREN;
+      (s, d)
+    end
+    else begin
+      let s = expect_ident st in
+      expect st Token.COMMA;
+      let d = expect_ident st in
+      ([ s ], [ d ])
+    end
+  in
+  expect st Token.RPAREN;
+  Ast.Reaches { src; dst; edge; edge_alias; src_cols; dst_cols }
+
+and parse_additive st =
+  let rec loop lhs =
+    match peek st with
+    | Token.PLUS ->
+      advance st;
+      loop (Ast.Bin (Ast.Add, lhs, parse_multiplicative st))
+    | Token.MINUS ->
+      advance st;
+      loop (Ast.Bin (Ast.Sub, lhs, parse_multiplicative st))
+    | Token.CONCAT ->
+      advance st;
+      loop (Ast.Bin (Ast.Concat, lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop lhs =
+    match peek st with
+    | Token.STAR ->
+      advance st;
+      loop (Ast.Bin (Ast.Mul, lhs, parse_unary st))
+    | Token.SLASH ->
+      advance st;
+      loop (Ast.Bin (Ast.Div, lhs, parse_unary st))
+    | Token.PERCENT ->
+      advance st;
+      loop (Ast.Bin (Ast.Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Token.MINUS -> (
+    advance st;
+    (* fold the sign into numeric literals so -1 is one literal *)
+    match peek st with
+    | Token.INT i ->
+      advance st;
+      Ast.Lit (Ast.L_int (-i))
+    | Token.FLOAT f ->
+      advance st;
+      Ast.Lit (Ast.L_float (-.f))
+    | _ -> Ast.Un (Ast.Neg, parse_unary st))
+  | Token.PLUS ->
+    advance st;
+    parse_unary st
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Token.INT i ->
+    advance st;
+    Ast.Lit (Ast.L_int i)
+  | Token.FLOAT f ->
+    advance st;
+    Ast.Lit (Ast.L_float f)
+  | Token.STRING s ->
+    advance st;
+    Ast.Lit (Ast.L_string s)
+  | Token.PARAM ->
+    advance st;
+    let i = st.params in
+    st.params <- st.params + 1;
+    Ast.Param i
+  | Token.KEYWORD "NULL" ->
+    advance st;
+    Ast.Lit Ast.L_null
+  | Token.KEYWORD "TRUE" ->
+    advance st;
+    Ast.Lit (Ast.L_bool true)
+  | Token.KEYWORD "FALSE" ->
+    advance st;
+    Ast.Lit (Ast.L_bool false)
+  | Token.KEYWORD "CAST" ->
+    advance st;
+    expect st Token.LPAREN;
+    let arg = parse_expr_prec st in
+    expect_kw st "AS";
+    let ty = expect_ident st in
+    expect st Token.RPAREN;
+    Ast.Cast (arg, ty)
+  | Token.KEYWORD "CASE" ->
+    advance st;
+    parse_case st
+  | Token.KEYWORD "EXISTS" ->
+    advance st;
+    expect st Token.LPAREN;
+    let q = parse_query_body st in
+    expect st Token.RPAREN;
+    Ast.Exists q
+  | Token.KEYWORD "CHEAPEST" ->
+    advance st;
+    parse_cheapest_sum st
+  | Token.LPAREN ->
+    advance st;
+    if starts_query st then begin
+      let q = parse_query_body st in
+      expect st Token.RPAREN;
+      Ast.Scalar_subquery q
+    end
+    else begin
+      let e = parse_expr_prec st in
+      if accept st Token.COMMA then begin
+        (* an expression tuple: a composite REACHES endpoint *)
+        let rec more acc =
+          let x = parse_expr_prec st in
+          if accept st Token.COMMA then more (x :: acc) else List.rev (x :: acc)
+        in
+        let rest = more [] in
+        expect st Token.RPAREN;
+        Ast.Row (e :: rest)
+      end
+      else begin
+        expect st Token.RPAREN;
+        e
+      end
+    end
+  | Token.IDENT _ | Token.QIDENT _ -> parse_name_or_call st
+  | _ -> error st "expected an expression"
+
+and parse_case st =
+  (* simple CASE (CASE x WHEN v THEN r ...) desugars to the searched form
+     with equality comparisons *)
+  let operand =
+    if is_kw st "WHEN" then None else Some (parse_expr_prec st)
+  in
+  let rec arms acc =
+    if accept_kw st "WHEN" then begin
+      let w = parse_expr_prec st in
+      expect_kw st "THEN";
+      let v = parse_expr_prec st in
+      let cond =
+        match operand with
+        | None -> w
+        | Some x -> Ast.Bin (Ast.Eq, x, w)
+      in
+      arms ((cond, v) :: acc)
+    end
+    else List.rev acc
+  in
+  let arms = arms [] in
+  if arms = [] then error st "CASE requires at least one WHEN arm";
+  let default = if accept_kw st "ELSE" then Some (parse_expr_prec st) else None in
+  expect_kw st "END";
+  Ast.Case (arms, default)
+
+(* CHEAPEST SUM(e: expr) | CHEAPEST SUM(expr) — 'CHEAPEST' was consumed. *)
+and parse_cheapest_sum st =
+  (match accept_ident st with
+  | Some s when String.uppercase_ascii s = "SUM" -> ()
+  | Some _ | None -> error st "expected SUM after CHEAPEST");
+  expect st Token.LPAREN;
+  let binding =
+    match peek st, peek2 st with
+    | (Token.IDENT v | Token.QIDENT v), Token.COLON ->
+      advance st;
+      advance st;
+      Some v
+    | _ -> None
+  in
+  let weight = parse_expr_prec st in
+  expect st Token.RPAREN;
+  Ast.Cheapest_sum { binding; weight }
+
+and parse_name_or_call st =
+  let name = expect_ident st in
+  match peek st with
+  | Token.LPAREN ->
+    advance st;
+    if accept_kw st "DISTINCT" then begin
+      (* aggregate over distinct values: COUNT(DISTINCT x) etc. *)
+      let arg = parse_expr_prec st in
+      expect st Token.RPAREN;
+      Ast.Agg_distinct (String.uppercase_ascii name, arg)
+    end
+    else begin
+      let args =
+        if accept st Token.RPAREN then []
+        else begin
+          let args =
+            (* COUNT STAR *)
+            if Token.equal (peek st) Token.STAR then begin
+              advance st;
+              [ Ast.Star None ]
+            end
+            else begin
+              let rec loop acc =
+                let e = parse_expr_prec st in
+                if accept st Token.COMMA then loop (e :: acc)
+                else List.rev (e :: acc)
+              in
+              loop []
+            end
+          in
+          expect st Token.RPAREN;
+          args
+        end
+      in
+      Ast.Func (String.uppercase_ascii name, args)
+    end
+  | Token.DOT -> (
+    advance st;
+    match peek st with
+    | Token.STAR ->
+      advance st;
+      Ast.Star (Some name)
+    | _ ->
+      let col = expect_ident st in
+      Ast.Col (Some name, col))
+  | _ -> Ast.Col (None, name)
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A select core: SELECT ... [FROM/WHERE/GROUP BY/HAVING], without CTEs,
+   set operations, ORDER BY or LIMIT. *)
+and parse_select_core st =
+  expect_kw st "SELECT";
+  let distinct =
+    if accept_kw st "DISTINCT" then true
+    else begin
+      ignore (accept_kw st "ALL");
+      false
+    end
+  in
+  let items = parse_select_items st in
+  let from = if accept_kw st "FROM" then parse_from_list st else [] in
+  let where = if accept_kw st "WHERE" then Some (parse_expr_prec st) else None in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      let rec loop acc =
+        let e = parse_expr_prec st in
+        if accept st Token.COMMA then loop (e :: acc) else List.rev (e :: acc)
+      in
+      loop []
+    end
+    else []
+  in
+  let having = if accept_kw st "HAVING" then Some (parse_expr_prec st) else None in
+  {
+    Ast.ctes = [];
+    distinct;
+    items;
+    from;
+    where;
+    group_by;
+    having;
+    setops = [];
+    order_by = [];
+    limit = None;
+    offset = None;
+  }
+
+and parse_query_body st =
+  let ctes = if is_kw st "WITH" then parse_ctes st else [] in
+  let head = parse_select_core st in
+  (* compound tail: UNION [ALL] / INTERSECT / EXCEPT, left-associative *)
+  let rec setops acc =
+    if accept_kw st "UNION" then
+      let op = if accept_kw st "ALL" then Ast.Union_all else Ast.Union in
+      setops ((op, parse_select_core st) :: acc)
+    else if accept_kw st "INTERSECT" then
+      setops ((Ast.Intersect, parse_select_core st) :: acc)
+    else if accept_kw st "EXCEPT" then
+      setops ((Ast.Except, parse_select_core st) :: acc)
+    else List.rev acc
+  in
+  let setops = setops [] in
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      let rec loop acc =
+        let e = parse_expr_prec st in
+        let dir =
+          if accept_kw st "DESC" then Ast.Desc
+          else begin
+            ignore (accept_kw st "ASC");
+            Ast.Asc
+          end
+        in
+        if accept st Token.COMMA then loop ((e, dir) :: acc)
+        else List.rev ((e, dir) :: acc)
+      in
+      loop []
+    end
+    else []
+  in
+  let limit = if accept_kw st "LIMIT" then Some (expect_int st) else None in
+  let offset = if accept_kw st "OFFSET" then Some (expect_int st) else None in
+  { head with Ast.ctes; setops; order_by; limit; offset }
+
+and parse_ctes st =
+  expect_kw st "WITH";
+  (* RECURSIVE is not reserved; match its spelling *)
+  let recursive =
+    match peek st, peek2 st with
+    | (Token.IDENT w | Token.QIDENT w), (Token.IDENT _ | Token.QIDENT _)
+      when String.uppercase_ascii w = "RECURSIVE" ->
+      advance st;
+      true
+    | _ -> false
+  in
+  let rec loop acc =
+    let cte_name = expect_ident st in
+    let cte_cols =
+      if accept st Token.LPAREN then begin
+        let rec cols acc =
+          let c = expect_ident st in
+          if accept st Token.COMMA then cols (c :: acc) else List.rev (c :: acc)
+        in
+        let cols = cols [] in
+        expect st Token.RPAREN;
+        Some cols
+      end
+      else None
+    in
+    expect_kw st "AS";
+    expect st Token.LPAREN;
+    let cte_query = parse_query_body st in
+    expect st Token.RPAREN;
+    let cte = { Ast.cte_name; cte_cols; cte_query; cte_recursive = recursive } in
+    if accept st Token.COMMA then loop (cte :: acc) else List.rev (cte :: acc)
+  in
+  loop []
+
+and parse_select_items st =
+  let parse_item () =
+    match peek st with
+    | Token.STAR ->
+      advance st;
+      Ast.Sel_star None
+    | (Token.IDENT q | Token.QIDENT q)
+      when Token.equal (peek2 st) Token.DOT
+           && Token.equal
+                (if st.pos + 2 < Array.length st.toks then
+                   st.toks.(st.pos + 2).tok
+                 else Token.EOF)
+                Token.STAR ->
+      advance st;
+      advance st;
+      advance st;
+      Ast.Sel_star (Some q)
+    | _ ->
+      let e = parse_expr_prec st in
+      let alias =
+        if accept_kw st "AS" then
+          if accept st Token.LPAREN then begin
+            let a = expect_ident st in
+            expect st Token.COMMA;
+            let b = expect_ident st in
+            expect st Token.RPAREN;
+            Ast.Alias_pair (a, b)
+          end
+          else Ast.Alias_name (expect_ident st)
+        else
+          match peek st with
+          | Token.IDENT a | Token.QIDENT a ->
+            advance st;
+            Ast.Alias_name a
+          | _ -> Ast.Alias_none
+      in
+      Ast.Sel_expr (e, alias)
+  in
+  let rec loop acc =
+    let item = parse_item () in
+    if accept st Token.COMMA then loop (item :: acc) else List.rev (item :: acc)
+  in
+  loop []
+
+and parse_from_list st =
+  let rec loop acc =
+    let item = parse_join_chain st in
+    if accept st Token.COMMA then loop (item :: acc) else List.rev (item :: acc)
+  in
+  loop []
+
+and parse_join_chain st =
+  let lhs = parse_from_atom st in
+  let rec loop lhs =
+    if accept_kw st "CROSS" then begin
+      expect_kw st "JOIN";
+      let rhs = parse_from_atom st in
+      loop (Ast.From_join (lhs, Ast.Inner, rhs, None))
+    end
+    else if accept_kw st "LEFT" then begin
+      ignore (accept_kw st "OUTER");
+      expect_kw st "JOIN";
+      let rhs = parse_from_atom st in
+      let cond = if accept_kw st "ON" then Some (parse_expr_prec st) else None in
+      loop (Ast.From_join (lhs, Ast.Left_outer, rhs, cond))
+    end
+    else if accept_kw st "INNER" || is_kw st "JOIN" then begin
+      expect_kw st "JOIN";
+      let rhs = parse_from_atom st in
+      let cond = if accept_kw st "ON" then Some (parse_expr_prec st) else None in
+      loop (Ast.From_join (lhs, Ast.Inner, rhs, cond))
+    end
+    else lhs
+  in
+  loop lhs
+
+and parse_from_atom st =
+  if accept_kw st "LATERAL" then parse_from_atom st (* LATERAL is implicit *)
+  else if is_kw st "UNNEST" then begin
+    advance st;
+    expect st Token.LPAREN;
+    let arg = parse_expr_prec st in
+    expect st Token.RPAREN;
+    let ordinality =
+      (* ORDINALITY is not reserved (it may name columns), so match the
+         identifier's spelling here *)
+      if is_kw st "WITH" then begin
+        advance st;
+        (match accept_ident st with
+        | Some w when String.uppercase_ascii w = "ORDINALITY" -> ()
+        | Some _ | None -> error st "expected ORDINALITY after WITH");
+        true
+      end
+      else false
+    in
+    let alias =
+      if accept_kw st "AS" then Some (expect_ident st) else accept_ident st
+    in
+    Ast.From_unnest { arg; ordinality; alias; left_outer = false }
+  end
+  else if accept st Token.LPAREN then begin
+    let q = parse_query_body st in
+    expect st Token.RPAREN;
+    ignore (accept_kw st "AS");
+    let alias =
+      match accept_ident st with
+      | Some a -> a
+      | None -> error st "a derived table requires an alias"
+    in
+    Ast.From_subquery (q, alias)
+  end
+  else begin
+    let name = expect_ident st in
+    let alias =
+      if accept_kw st "AS" then Some (expect_ident st) else accept_ident st
+    in
+    Ast.From_table (name, alias)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_create st =
+  expect_kw st "CREATE";
+  expect_kw st "TABLE";
+  let name = expect_ident st in
+  if accept_kw st "AS" then begin
+    (* CREATE TABLE name AS SELECT ... *)
+    Ast.Create_table_as (name, parse_query_body st)
+  end
+  else begin
+  expect st Token.LPAREN;
+  let rec cols acc =
+    let col_name = expect_ident st in
+    let col_type = expect_ident st in
+    (* swallow unsupported column constraints: PRIMARY KEY, NOT NULL, ... *)
+    let rec skip_constraints () =
+      match peek st with
+      | Token.IDENT _ | Token.KEYWORD "NOT" | Token.KEYWORD "NULL" ->
+        advance st;
+        skip_constraints ()
+      | _ -> ()
+    in
+    skip_constraints ();
+    let def = { Ast.col_name; col_type } in
+    if accept st Token.COMMA then cols (def :: acc) else List.rev (def :: acc)
+  in
+  let defs = cols [] in
+  expect st Token.RPAREN;
+  Ast.Create_table (name, defs)
+  end
+
+let parse_insert st =
+  expect_kw st "INSERT";
+  expect_kw st "INTO";
+  let table = expect_ident st in
+  let columns =
+    if Token.equal (peek st) Token.LPAREN then begin
+      advance st;
+      let rec cols acc =
+        let c = expect_ident st in
+        if accept st Token.COMMA then cols (c :: acc) else List.rev (c :: acc)
+      in
+      let cols = cols [] in
+      expect st Token.RPAREN;
+      Some cols
+    end
+    else None
+  in
+  if starts_query st then
+    Ast.Insert { table; columns; source = Ast.Insert_query (parse_query_body st) }
+  else begin
+    expect_kw st "VALUES";
+    let rec rows acc =
+      expect st Token.LPAREN;
+      let rec cells acc =
+        let e = parse_expr_prec st in
+        if accept st Token.COMMA then cells (e :: acc) else List.rev (e :: acc)
+      in
+      let row = cells [] in
+      expect st Token.RPAREN;
+      if accept st Token.COMMA then rows (row :: acc) else List.rev (row :: acc)
+    in
+    Ast.Insert { table; columns; source = Ast.Insert_values (rows []) }
+  end
+
+let parse_drop st =
+  expect_kw st "DROP";
+  expect_kw st "TABLE";
+  Ast.Drop_table (expect_ident st)
+
+let parse_update st =
+  expect_kw st "UPDATE";
+  let table = expect_ident st in
+  expect_kw st "SET";
+  let rec assignments acc =
+    let col = expect_ident st in
+    expect st Token.EQ;
+    let e = parse_expr_prec st in
+    if accept st Token.COMMA then assignments ((col, e) :: acc)
+    else List.rev ((col, e) :: acc)
+  in
+  let assignments = assignments [] in
+  let where = if accept_kw st "WHERE" then Some (parse_expr_prec st) else None in
+  Ast.Update { table; assignments; where }
+
+let parse_delete st =
+  expect_kw st "DELETE";
+  expect_kw st "FROM";
+  let table = expect_ident st in
+  let where = if accept_kw st "WHERE" then Some (parse_expr_prec st) else None in
+  Ast.Delete { table; where }
+
+let parse_stmt_body st =
+  match peek st with
+  | Token.KEYWORD "CREATE" -> parse_create st
+  | Token.KEYWORD "INSERT" -> parse_insert st
+  | Token.KEYWORD "DROP" -> parse_drop st
+  | Token.KEYWORD "UPDATE" -> parse_update st
+  | Token.KEYWORD "DELETE" -> parse_delete st
+  | Token.KEYWORD "BEGIN" ->
+    advance st;
+    (match peek st with
+    | Token.IDENT w when String.uppercase_ascii w = "TRANSACTION" -> advance st
+    | _ -> ());
+    Ast.Begin_txn
+  | Token.KEYWORD "COMMIT" ->
+    advance st;
+    Ast.Commit_txn
+  | Token.KEYWORD "ROLLBACK" ->
+    advance st;
+    Ast.Rollback_txn
+  | Token.KEYWORD "EXPLAIN" ->
+    advance st;
+    let analyze =
+      match peek st with
+      | Token.IDENT w when String.uppercase_ascii w = "ANALYZE" ->
+        advance st;
+        true
+      | _ -> false
+    in
+    Ast.Explain { query = parse_query_body st; analyze }
+  | Token.KEYWORD ("SELECT" | "WITH") -> Ast.Select (parse_query_body st)
+  | _ -> error st "expected a statement"
+
+let make_state src =
+  { toks = Array.of_list (Lexer.tokenize src); pos = 0; params = 0 }
+
+let expect_eof st =
+  ignore (accept st Token.SEMI);
+  match peek st with
+  | Token.EOF -> ()
+  | _ -> error st "trailing input after statement"
+
+let parse_stmt src =
+  let st = make_state src in
+  let stmt = parse_stmt_body st in
+  expect_eof st;
+  stmt
+
+let parse_query src =
+  let st = make_state src in
+  let q = parse_query_body st in
+  expect_eof st;
+  q
+
+let parse_script src =
+  let st = make_state src in
+  let rec loop acc =
+    match peek st with
+    | Token.EOF -> List.rev acc
+    | Token.SEMI ->
+      advance st;
+      loop acc
+    | _ ->
+      let stmt = parse_stmt_body st in
+      (match peek st with
+      | Token.SEMI -> advance st
+      | Token.EOF -> ()
+      | _ -> error st "expected ';' between statements");
+      loop (stmt :: acc)
+  in
+  loop []
+
+let parse_expr src =
+  let st = make_state src in
+  let e = parse_expr_prec st in
+  expect_eof st;
+  e

@@ -1,0 +1,17 @@
+(** Recursive-descent parser for the SQL dialect with the paper's
+    shortest-path extension. *)
+
+exception Parse_error of string * int * int
+(** [Parse_error (message, line, column)], 1-based positions. *)
+
+(** [parse_stmt src] parses a single statement (a trailing [;] is allowed). *)
+val parse_stmt : string -> Ast.stmt
+
+(** [parse_query src] parses a [SELECT] (or [WITH ... SELECT]) query. *)
+val parse_query : string -> Ast.query
+
+(** [parse_script src] parses a [;]-separated list of statements. *)
+val parse_script : string -> Ast.stmt list
+
+(** [parse_expr src] parses a standalone scalar expression (for tests). *)
+val parse_expr : string -> Ast.expr

@@ -1,0 +1,268 @@
+let binop_to_string = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Concat -> "||"
+  | Ast.Eq -> "="
+  | Ast.Neq -> "<>"
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.And -> "AND"
+  | Ast.Or -> "OR"
+
+let escape_string s =
+  String.concat "''" (String.split_on_char '\'' s)
+
+let quote_ident s =
+  let plain =
+    s <> ""
+    && (not (Token.is_keyword s))
+    && String.for_all
+         (fun c ->
+           (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+           || (c >= '0' && c <= '9')
+           || c = '_')
+         s
+    && not (s.[0] >= '0' && s.[0] <= '9')
+  in
+  if plain then s
+  else "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+
+let rec expr_to_string e =
+  match e with
+  | Ast.Lit (Ast.L_int i) -> string_of_int i
+  | Ast.Lit (Ast.L_float f) ->
+    let s = Printf.sprintf "%.17g" f in
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+    then s
+    else s ^ ".0"
+  | Ast.Lit (Ast.L_string s) -> "'" ^ escape_string s ^ "'"
+  | Ast.Lit (Ast.L_bool b) -> if b then "TRUE" else "FALSE"
+  | Ast.Lit Ast.L_null -> "NULL"
+  | Ast.Param _ -> "?"
+  | Ast.Col (None, c) -> quote_ident c
+  | Ast.Col (Some q, c) -> quote_ident q ^ "." ^ quote_ident c
+  | Ast.Star None -> "*"
+  | Ast.Star (Some q) -> quote_ident q ^ ".*"
+  | Ast.Bin (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op)
+      (expr_to_string b)
+  | Ast.Un (Ast.Neg, a) -> Printf.sprintf "(- %s)" (expr_to_string a)
+  | Ast.Un (Ast.Not, a) -> Printf.sprintf "(NOT %s)" (expr_to_string a)
+  | Ast.Cast (a, ty) -> Printf.sprintf "CAST(%s AS %s)" (expr_to_string a) ty
+  | Ast.Case (arms, default) ->
+    let arms_s =
+      List.map
+        (fun (c, v) ->
+          Printf.sprintf "WHEN %s THEN %s" (expr_to_string c) (expr_to_string v))
+        arms
+    in
+    let else_s =
+      match default with
+      | None -> ""
+      | Some d -> Printf.sprintf " ELSE %s" (expr_to_string d)
+    in
+    Printf.sprintf "CASE %s%s END" (String.concat " " arms_s) else_s
+  | Ast.Func (name, args) ->
+    Printf.sprintf "%s(%s)" name (String.concat ", " (List.map expr_to_string args))
+  | Ast.Is_null { negated; arg } ->
+    Printf.sprintf "(%s IS %sNULL)" (expr_to_string arg)
+      (if negated then "NOT " else "")
+  | Ast.Between { arg; lo; hi; negated } ->
+    Printf.sprintf "(%s %sBETWEEN %s AND %s)" (expr_to_string arg)
+      (if negated then "NOT " else "")
+      (expr_to_string lo) (expr_to_string hi)
+  | Ast.Agg_distinct (name, arg) ->
+    Printf.sprintf "%s(DISTINCT %s)" name (expr_to_string arg)
+  | Ast.In_list { arg; candidates; negated } ->
+    Printf.sprintf "(%s %sIN (%s))" (expr_to_string arg)
+      (if negated then "NOT " else "")
+      (String.concat ", " (List.map expr_to_string candidates))
+  | Ast.In_query { arg; query; negated } ->
+    Printf.sprintf "(%s %sIN (%s))" (expr_to_string arg)
+      (if negated then "NOT " else "")
+      (query_to_string query)
+  | Ast.Like { arg; pattern; negated } ->
+    Printf.sprintf "(%s %sLIKE %s)" (expr_to_string arg)
+      (if negated then "NOT " else "")
+      (expr_to_string pattern)
+  | Ast.Exists q -> Printf.sprintf "EXISTS (%s)" (query_to_string q)
+  | Ast.Scalar_subquery q -> Printf.sprintf "(%s)" (query_to_string q)
+  | Ast.Reaches r ->
+    let edge =
+      match r.edge with
+      | Ast.Ref_table t -> quote_ident t
+      | Ast.Ref_subquery q -> Printf.sprintf "(%s)" (query_to_string q)
+    in
+    let alias =
+      match r.edge_alias with None -> "" | Some a -> " " ^ quote_ident a
+    in
+    let key cols =
+      match cols with
+      | [ c ] -> quote_ident c
+      | cs ->
+        Printf.sprintf "(%s)" (String.concat ", " (List.map quote_ident cs))
+    in
+    Printf.sprintf "(%s REACHES %s OVER %s%s EDGE (%s, %s))"
+      (expr_to_string r.src) (expr_to_string r.dst) edge alias
+      (key r.src_cols) (key r.dst_cols)
+  | Ast.Cheapest_sum { binding; weight } ->
+    let b = match binding with None -> "" | Some v -> quote_ident v ^ ": " in
+    Printf.sprintf "CHEAPEST SUM(%s%s)" b (expr_to_string weight)
+  | Ast.Row es ->
+    Printf.sprintf "(%s)" (String.concat ", " (List.map expr_to_string es))
+
+and select_item_to_string = function
+  | Ast.Sel_star None -> "*"
+  | Ast.Sel_star (Some q) -> quote_ident q ^ ".*"
+  | Ast.Sel_expr (e, Ast.Alias_none) -> expr_to_string e
+  | Ast.Sel_expr (e, Ast.Alias_name a) ->
+    Printf.sprintf "%s AS %s" (expr_to_string e) (quote_ident a)
+  | Ast.Sel_expr (e, Ast.Alias_pair (a, b)) ->
+    Printf.sprintf "%s AS (%s, %s)" (expr_to_string e) (quote_ident a)
+      (quote_ident b)
+
+and from_item_to_string = function
+  | Ast.From_table (t, None) -> quote_ident t
+  | Ast.From_table (t, Some a) -> quote_ident t ^ " " ^ quote_ident a
+  | Ast.From_subquery (q, a) ->
+    Printf.sprintf "(%s) AS %s" (query_to_string q) (quote_ident a)
+  | Ast.From_unnest { arg; ordinality; alias; left_outer = _ } ->
+    Printf.sprintf "UNNEST(%s)%s%s" (expr_to_string arg)
+      (if ordinality then " WITH ORDINALITY" else "")
+      (match alias with None -> "" | Some a -> " AS " ^ quote_ident a)
+  | Ast.From_join (l, kind, r, cond) ->
+    let kw =
+      match kind, cond with
+      | Ast.Inner, None -> "CROSS JOIN"
+      | Ast.Inner, Some _ -> "JOIN"
+      | Ast.Left_outer, _ -> "LEFT JOIN"
+    in
+    Printf.sprintf "%s %s %s%s" (from_item_to_string l) kw
+      (from_item_to_string r)
+      (match cond with
+      | None -> ""
+      | Some c -> " ON " ^ expr_to_string c)
+
+and query_to_string (q : Ast.query) =
+  let buf = Buffer.create 128 in
+  let add = Buffer.add_string buf in
+  if q.ctes <> [] then begin
+    add
+      (if List.exists (fun (c : Ast.cte) -> c.Ast.cte_recursive) q.ctes then
+         "WITH RECURSIVE "
+       else "WITH ");
+    add
+      (String.concat ", "
+         (List.map
+            (fun (c : Ast.cte) ->
+              let cols =
+                match c.cte_cols with
+                | None -> ""
+                | Some cols ->
+                  Printf.sprintf " (%s)"
+                    (String.concat ", " (List.map quote_ident cols))
+              in
+              Printf.sprintf "%s%s AS (%s)" (quote_ident c.cte_name) cols
+                (query_to_string c.cte_query))
+            q.ctes));
+    add " "
+  end;
+  add "SELECT ";
+  if q.distinct then add "DISTINCT ";
+  add (String.concat ", " (List.map select_item_to_string q.items));
+  if q.from <> [] then begin
+    add " FROM ";
+    add (String.concat ", " (List.map from_item_to_string q.from))
+  end;
+  (match q.where with
+  | None -> ()
+  | Some w -> add (" WHERE " ^ expr_to_string w));
+  if q.group_by <> [] then begin
+    add " GROUP BY ";
+    add (String.concat ", " (List.map expr_to_string q.group_by))
+  end;
+  (match q.having with
+  | None -> ()
+  | Some h -> add (" HAVING " ^ expr_to_string h));
+  List.iter
+    (fun (op, branch) ->
+      let kw =
+        match op with
+        | Ast.Union -> "UNION"
+        | Ast.Union_all -> "UNION ALL"
+        | Ast.Intersect -> "INTERSECT"
+        | Ast.Except -> "EXCEPT"
+      in
+      add (" " ^ kw ^ " " ^ query_to_string branch))
+    q.setops;
+  if q.order_by <> [] then begin
+    add " ORDER BY ";
+    add
+      (String.concat ", "
+         (List.map
+            (fun (e, dir) ->
+              expr_to_string e
+              ^ match dir with Ast.Asc -> " ASC" | Ast.Desc -> " DESC")
+            q.order_by))
+  end;
+  (match q.limit with
+  | None -> ()
+  | Some n -> add (Printf.sprintf " LIMIT %d" n));
+  (match q.offset with
+  | None -> ()
+  | Some n -> add (Printf.sprintf " OFFSET %d" n));
+  Buffer.contents buf
+
+let stmt_to_string = function
+  | Ast.Select q -> query_to_string q
+  | Ast.Explain { query; analyze } ->
+    (if analyze then "EXPLAIN ANALYZE " else "EXPLAIN ") ^ query_to_string query
+  | Ast.Update { table; assignments; where } ->
+    Printf.sprintf "UPDATE %s SET %s%s" (quote_ident table)
+      (String.concat ", "
+         (List.map
+            (fun (c, e) -> quote_ident c ^ " = " ^ expr_to_string e)
+            assignments))
+      (match where with
+      | None -> ""
+      | Some w -> " WHERE " ^ expr_to_string w)
+  | Ast.Delete { table; where } ->
+    Printf.sprintf "DELETE FROM %s%s" (quote_ident table)
+      (match where with
+      | None -> ""
+      | Some w -> " WHERE " ^ expr_to_string w)
+  | Ast.Create_table (name, defs) ->
+    Printf.sprintf "CREATE TABLE %s (%s)" (quote_ident name)
+      (String.concat ", "
+         (List.map
+            (fun (d : Ast.column_def) ->
+              quote_ident d.col_name ^ " " ^ d.col_type)
+            defs))
+  | Ast.Drop_table name -> "DROP TABLE " ^ quote_ident name
+  | Ast.Insert { table; columns; source } -> (
+    let cols =
+      match columns with
+      | None -> ""
+      | Some cs ->
+        Printf.sprintf " (%s)" (String.concat ", " (List.map quote_ident cs))
+    in
+    match source with
+    | Ast.Insert_values rows ->
+      let row_to_string row =
+        Printf.sprintf "(%s)" (String.concat ", " (List.map expr_to_string row))
+      in
+      Printf.sprintf "INSERT INTO %s%s VALUES %s" (quote_ident table) cols
+        (String.concat ", " (List.map row_to_string rows))
+    | Ast.Insert_query q ->
+      Printf.sprintf "INSERT INTO %s%s %s" (quote_ident table) cols
+        (query_to_string q))
+  | Ast.Begin_txn -> "BEGIN"
+  | Ast.Commit_txn -> "COMMIT"
+  | Ast.Rollback_txn -> "ROLLBACK"
+  | Ast.Create_table_as (name, q) ->
+    Printf.sprintf "CREATE TABLE %s AS %s" (quote_ident name) (query_to_string q)

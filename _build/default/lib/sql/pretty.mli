@@ -1,0 +1,7 @@
+(** Render the AST back to SQL text. Output re-parses to the same AST
+    (modulo host-parameter numbering), which the property tests exploit. *)
+
+val binop_to_string : Ast.binop -> string
+val expr_to_string : Ast.expr -> string
+val query_to_string : Ast.query -> string
+val stmt_to_string : Ast.stmt -> string

@@ -1,0 +1,93 @@
+type t =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  | QIDENT of string
+  | KEYWORD of string
+  | PARAM
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | COLON
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | CONCAT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+let keywords =
+  [
+    "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "ORDER"; "ASC";
+    "DESC"; "LIMIT"; "OFFSET"; "DISTINCT"; "ALL"; "AS"; "AND"; "OR"; "NOT";
+    "NULL"; "TRUE"; "FALSE"; "IS"; "IN"; "BETWEEN"; "LIKE"; "EXISTS"; "CASE";
+    "WHEN"; "THEN"; "ELSE"; "END"; "CAST"; "WITH"; "JOIN";
+    "INNER"; "LEFT"; "RIGHT"; "OUTER"; "CROSS"; "ON"; "UNION"; "INTERSECT";
+    "EXCEPT"; "CREATE"; "TABLE"; "INSERT"; "INTO"; "VALUES"; "DROP";
+    "DELETE"; "UPDATE"; "SET"; "EXPLAIN"; "BEGIN"; "COMMIT"; "ROLLBACK";
+    (* the paper's extension *)
+    "REACHES"; "OVER"; "EDGE"; "CHEAPEST"; "UNNEST"; "LATERAL";
+  ]
+
+let keyword_set : (string, unit) Hashtbl.t =
+  let h = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace h k ()) keywords;
+  h
+
+let is_keyword s = Hashtbl.mem keyword_set (String.uppercase_ascii s)
+
+let to_string = function
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "'%s'" s
+  | IDENT s -> s
+  | QIDENT s -> Printf.sprintf "%S" s
+  | KEYWORD s -> s
+  | PARAM -> "?"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | DOT -> "."
+  | SEMI -> ";"
+  | COLON -> ":"
+  | STAR -> "*"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | CONCAT -> "||"
+  | EQ -> "="
+  | NEQ -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"
+
+let equal a b =
+  match a, b with
+  | INT x, INT y -> x = y
+  | FLOAT x, FLOAT y -> Float.equal x y
+  | STRING x, STRING y | IDENT x, IDENT y | QIDENT x, QIDENT y -> String.equal x y
+  | KEYWORD x, KEYWORD y -> String.equal x y
+  | PARAM, PARAM | LPAREN, LPAREN | RPAREN, RPAREN | COMMA, COMMA
+  | DOT, DOT | SEMI, SEMI | COLON, COLON | STAR, STAR | PLUS, PLUS
+  | MINUS, MINUS | SLASH, SLASH | PERCENT, PERCENT | CONCAT, CONCAT
+  | EQ, EQ | NEQ, NEQ | LT, LT | LE, LE | GT, GT | GE, GE | EOF, EOF ->
+    true
+  | ( INT _ | FLOAT _ | STRING _ | IDENT _ | QIDENT _ | KEYWORD _ | PARAM
+    | LPAREN | RPAREN | COMMA | DOT | SEMI | COLON | STAR | PLUS | MINUS
+    | SLASH | PERCENT | CONCAT | EQ | NEQ | LT | LE | GT | GE | EOF ), _ ->
+    false
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

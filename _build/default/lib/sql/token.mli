@@ -1,0 +1,40 @@
+(** Lexical tokens of the SQL dialect, including the paper's extension
+    keywords [REACHES], [OVER], [EDGE], [CHEAPEST] and [UNNEST]. *)
+
+type t =
+  | INT of int
+  | FLOAT of float
+  | STRING of string        (** ['...'] literal, quotes stripped *)
+  | IDENT of string         (** bare identifier, original casing kept *)
+  | QIDENT of string        (** ["..."]-quoted identifier *)
+  | KEYWORD of string       (** uppercased reserved word *)
+  | PARAM                   (** [?] host parameter *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | COLON
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | CONCAT                  (** [||] *)
+  | EQ
+  | NEQ                     (** [<>] or [!=] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+(** [is_keyword s] — is the uppercased spelling a reserved word? *)
+val is_keyword : string -> bool
+
+(** [keywords] — every reserved word, uppercased. *)
+val keywords : string list
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/storage/column.ml: Array Bytes Dtype Format List Nullmask Printf Value

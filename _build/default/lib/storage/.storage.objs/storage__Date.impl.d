@@ -1,0 +1,1 @@
+lib/storage/date.ml: Format Printf Scanf

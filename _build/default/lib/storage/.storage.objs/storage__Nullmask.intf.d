@@ -1,0 +1,1 @@
+lib/storage/nullmask.mli:

@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Column Dtype Format List Option Printf Schema Value

@@ -1,0 +1,1 @@
+lib/storage/value.ml: Array Bool Date Dtype Float Format Hashtbl Int Printf String

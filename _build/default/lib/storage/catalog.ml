@@ -1,0 +1,43 @@
+type entry = { mutable table : Table.t; mutable version : int }
+type t = (string, entry) Hashtbl.t
+
+let norm = String.lowercase_ascii
+let create () = Hashtbl.create 16
+
+let add t name table =
+  let key = norm name in
+  if Hashtbl.mem t key then
+    invalid_arg (Printf.sprintf "Catalog.add: table %S already exists" name);
+  Hashtbl.replace t key { table; version = 0 }
+
+let replace t name table =
+  let key = norm name in
+  match Hashtbl.find_opt t key with
+  | Some e ->
+    e.table <- table;
+    e.version <- e.version + 1
+  | None -> Hashtbl.replace t key { table; version = 0 }
+
+let find t name =
+  Option.map (fun e -> e.table) (Hashtbl.find_opt t (norm name))
+
+let mem t name = Hashtbl.mem t (norm name)
+
+let drop t name =
+  let key = norm name in
+  if Hashtbl.mem t key then begin
+    Hashtbl.remove t key;
+    true
+  end
+  else false
+
+let version t name =
+  Option.map (fun e -> e.version) (Hashtbl.find_opt t (norm name))
+
+let touch t name =
+  match Hashtbl.find_opt t (norm name) with
+  | Some e -> e.version <- e.version + 1
+  | None -> ()
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare

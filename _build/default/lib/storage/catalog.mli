@@ -1,0 +1,30 @@
+(** The database catalog: named base tables, with a per-table version
+    counter so that caches built over a table (e.g. the graph indices of
+    DESIGN.md §6) can detect staleness. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t name table] registers a base table. Raises [Invalid_argument] if
+    [name] (case-insensitive) is already bound. *)
+val add : t -> string -> Table.t -> unit
+
+(** [replace t name table] registers or overwrites, bumping the version. *)
+val replace : t -> string -> Table.t -> unit
+
+val find : t -> string -> Table.t option
+val mem : t -> string -> bool
+
+(** [drop t name] removes a table; [false] when absent. *)
+val drop : t -> string -> bool
+
+(** [version t name] is a counter bumped by {!replace}, {!drop} and
+    {!touch}; [None] when the table does not exist. *)
+val version : t -> string -> int option
+
+(** [touch t name] marks a table as mutated in place (e.g. after INSERT). *)
+val touch : t -> string -> unit
+
+(** [names t] is all table names, sorted. *)
+val names : t -> string list

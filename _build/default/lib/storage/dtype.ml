@@ -1,0 +1,41 @@
+type t = TInt | TFloat | TBool | TStr | TDate | TPath
+
+let equal a b =
+  match a, b with
+  | TInt, TInt | TFloat, TFloat | TBool, TBool | TStr, TStr | TDate, TDate
+  | TPath, TPath ->
+    true
+  | (TInt | TFloat | TBool | TStr | TDate | TPath), _ -> false
+
+let rank = function
+  | TInt -> 0
+  | TFloat -> 1
+  | TBool -> 2
+  | TStr -> 3
+  | TDate -> 4
+  | TPath -> 5
+
+let compare a b = Int.compare (rank a) (rank b)
+
+let name = function
+  | TInt -> "INTEGER"
+  | TFloat -> "DOUBLE"
+  | TBool -> "BOOLEAN"
+  | TStr -> "VARCHAR"
+  | TDate -> "DATE"
+  | TPath -> "PATH"
+
+let of_name s =
+  match String.uppercase_ascii s with
+  | "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "TINYINT" -> Some TInt
+  | "FLOAT" | "DOUBLE" | "REAL" | "DECIMAL" | "NUMERIC" -> Some TFloat
+  | "BOOL" | "BOOLEAN" -> Some TBool
+  | "VARCHAR" | "CHAR" | "TEXT" | "STRING" | "CLOB" -> Some TStr
+  | "DATE" -> Some TDate
+  | _ -> None
+
+let is_numeric = function
+  | TInt | TFloat -> true
+  | TBool | TStr | TDate | TPath -> false
+
+let pp ppf t = Format.pp_print_string ppf (name t)

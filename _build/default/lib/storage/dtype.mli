@@ -1,0 +1,31 @@
+(** SQL data types supported by the engine.
+
+    The engine is deliberately small but covers everything the paper's
+    examples require: integers, floating point numbers, booleans, strings
+    and calendar dates. *)
+
+type t =
+  | TInt    (** 63-bit signed integer *)
+  | TFloat  (** IEEE double *)
+  | TBool   (** boolean *)
+  | TStr    (** variable-length string *)
+  | TDate   (** calendar date, stored as days since 1970-01-01 *)
+  | TPath
+      (** nested table holding one shortest path (§3.3 of the paper);
+          producible only by [CHEAPEST SUM], not by [CREATE TABLE] —
+          {!of_name} deliberately never returns it *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [name t] is the SQL spelling of [t], e.g. ["INTEGER"]. *)
+val name : t -> string
+
+(** [of_name s] parses a SQL type name (case-insensitive); recognises common
+    synonyms such as [BIGINT], [DOUBLE], [VARCHAR], [TEXT]. *)
+val of_name : string -> t option
+
+(** [is_numeric t] holds for {!TInt} and {!TFloat}. *)
+val is_numeric : t -> bool
+
+val pp : Format.formatter -> t -> unit

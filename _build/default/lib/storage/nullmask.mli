@@ -1,0 +1,32 @@
+(** Growable bitmaps tracking which rows of a column are NULL. *)
+
+type t
+
+(** [create ?capacity ()] is an empty mask. *)
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+
+(** [append t null] appends one slot; [null = true] marks it NULL. *)
+val append : t -> bool -> unit
+
+(** [get t i] is whether row [i] is NULL. Raises [Invalid_argument] when out
+    of bounds. *)
+val get : t -> int -> bool
+
+(** [set t i null] updates an existing slot. *)
+val set : t -> int -> bool -> unit
+
+(** [null_count t] is the number of NULL slots. *)
+val null_count : t -> int
+
+(** [any_null t] is [null_count t > 0], in O(1). *)
+val any_null : t -> bool
+
+val copy : t -> t
+
+(** [to_bool_array t] — the mask as a fresh bool array (true = NULL). *)
+val to_bool_array : t -> bool array
+
+(** [of_bool_array flags]. *)
+val of_bool_array : bool array -> t

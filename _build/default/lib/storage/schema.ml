@@ -1,0 +1,67 @@
+type field = { name : string; ty : Dtype.t }
+type t = field array
+
+let norm s = String.lowercase_ascii s
+
+let check_duplicates fields =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let key = norm f.name in
+      if Hashtbl.mem seen key then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate column %S" f.name);
+      Hashtbl.add seen key ())
+    fields
+
+let make fields =
+  check_duplicates fields;
+  Array.of_list fields
+
+let of_pairs l = make (List.map (fun (name, ty) -> { name; ty }) l)
+let unsafe_make fields = Array.of_list fields
+let arity t = Array.length t
+let fields t = Array.to_list t
+
+let field t i =
+  if i < 0 || i >= Array.length t then
+    invalid_arg "Schema.field: index out of bounds";
+  t.(i)
+
+let names t = Array.to_list (Array.map (fun f -> f.name) t)
+
+let index_of t name =
+  let key = norm name in
+  let rec loop i =
+    if i >= Array.length t then None
+    else if String.equal (norm t.(i).name) key then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+(* Joins concatenate schemas without uniqueness checks: both sides may
+   legitimately carry a column of the same name, disambiguated upstream by
+   qualified references. *)
+let append a b = Array.append a b
+
+let rename t names =
+  let names = Array.of_list names in
+  if Array.length names <> Array.length t then
+    invalid_arg "Schema.rename: arity mismatch";
+  Array.mapi (fun i f -> { f with name = names.(i) }) t
+
+let project t idx = Array.map (fun i -> field t i) idx
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> String.equal (norm x.name) (norm y.name) && Dtype.equal x.ty y.ty)
+       a b
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hov 1>(";
+  Array.iteri
+    (fun i f ->
+      if i > 0 then Format.fprintf ppf ",@ ";
+      Format.fprintf ppf "%s %a" f.name Dtype.pp f.ty)
+    t;
+  Format.fprintf ppf ")@]"

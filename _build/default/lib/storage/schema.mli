@@ -1,0 +1,36 @@
+(** Table schemas: ordered lists of named, typed columns. *)
+
+type field = { name : string; ty : Dtype.t }
+type t
+
+(** [make fields] builds a schema. Raises [Invalid_argument] on duplicate
+    column names (case-insensitive, as in SQL). *)
+val make : field list -> t
+
+(** [of_pairs l] is [make] over [(name, ty)] pairs. *)
+val of_pairs : (string * Dtype.t) list -> t
+
+(** [unsafe_make fields] skips the duplicate-name check — intermediate
+    results of joins may legitimately repeat column names. *)
+val unsafe_make : field list -> t
+
+val arity : t -> int
+val fields : t -> field list
+val field : t -> int -> field
+val names : t -> string list
+
+(** [index_of t name] is the position of column [name] (case-insensitive). *)
+val index_of : t -> string -> int option
+
+(** [append a b] concatenates two schemas (used by joins). Column names may
+    collide across the two sides; resolution is the binder's concern. *)
+val append : t -> t -> t
+
+(** [rename t names] replaces column names positionally; lengths must match. *)
+val rename : t -> string list -> t
+
+(** [project t idx] keeps columns at positions [idx], in that order. *)
+val project : t -> int array -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,132 @@
+(* [rows] is tracked explicitly so zero-column intermediates (e.g. a
+   reachability-only graph select over a FROM-less query) keep their
+   cardinality. *)
+type t = { schema : Schema.t; columns : Column.t array; mutable rows : int }
+
+let create schema =
+  {
+    schema;
+    columns =
+      Array.init (Schema.arity schema) (fun i ->
+          Column.create (Schema.field schema i).ty);
+    rows = 0;
+  }
+
+let of_columns ?nrows schema cols =
+  let cols = Array.of_list cols in
+  if Array.length cols <> Schema.arity schema then
+    invalid_arg "Table.of_columns: arity mismatch";
+  Array.iteri
+    (fun i c ->
+      if not (Dtype.equal (Column.dtype c) (Schema.field schema i).ty) then
+        invalid_arg
+          (Printf.sprintf "Table.of_columns: column %d has type %s, schema says %s"
+             i
+             (Dtype.name (Column.dtype c))
+             (Dtype.name (Schema.field schema i).ty)))
+    cols;
+  let rows =
+    match Array.length cols, nrows with
+    | 0, Some n -> n
+    | 0, None -> 0
+    | _, _ ->
+      let n = Column.length cols.(0) in
+      Array.iter
+        (fun c ->
+          if Column.length c <> n then
+            invalid_arg "Table.of_columns: columns of unequal length")
+        cols;
+      (match nrows with
+      | Some m when m <> n ->
+        invalid_arg "Table.of_columns: nrows disagrees with column length"
+      | _ -> ());
+      n
+  in
+  { schema; columns = cols; rows }
+
+let schema t = t.schema
+let arity t = Array.length t.columns
+let nrows t = t.rows
+
+let column t i =
+  if i < 0 || i >= arity t then invalid_arg "Table.column: out of bounds";
+  t.columns.(i)
+
+let column_by_name t name =
+  Option.map (fun i -> t.columns.(i)) (Schema.index_of t.schema name)
+
+let append_row t cells =
+  if Array.length cells <> arity t then
+    invalid_arg "Table.append_row: arity mismatch";
+  Array.iteri (fun i v -> Column.append t.columns.(i) v) cells;
+  t.rows <- t.rows + 1
+
+let of_rows schema rows =
+  let t = create schema in
+  List.iter (fun r -> append_row t (Array.of_list r)) rows;
+  t
+
+let get t ~row ~col = Column.get (column t col) row
+let row t i = Array.map (fun c -> Column.get c i) t.columns
+
+let take t idx =
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= t.rows then
+        invalid_arg "Table.take: row index out of bounds")
+    idx;
+  {
+    t with
+    columns = Array.map (fun c -> Column.take c idx) t.columns;
+    rows = Array.length idx;
+  }
+
+let concat_horizontal a b =
+  if arity a > 0 && arity b > 0 && nrows a <> nrows b then
+    invalid_arg "Table.concat_horizontal: row counts differ";
+  {
+    schema = Schema.append a.schema b.schema;
+    columns = Array.append a.columns b.columns;
+    rows = max a.rows b.rows;
+  }
+
+let concat_vertical a b =
+  if arity a <> arity b then
+    invalid_arg "Table.concat_vertical: arity mismatch";
+  let out =
+    {
+      schema = a.schema;
+      columns = Array.map Column.copy a.columns;
+      rows = a.rows;
+    }
+  in
+  for i = 0 to nrows b - 1 do
+    append_row out (row b i)
+  done;
+  out
+
+let project t idx =
+  {
+    t with
+    schema = Schema.project t.schema idx;
+    columns = Array.map (fun i -> column t i) idx;
+  }
+
+let to_rows t = List.init (nrows t) (fun i -> Array.to_list (row t i))
+
+let equal a b =
+  a.rows = b.rows
+  && Schema.equal a.schema b.schema
+  && Array.for_all2 Column.equal a.columns b.columns
+
+let copy t = { t with columns = Array.map Column.copy t.columns }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@," Schema.pp t.schema;
+  for i = 0 to nrows t - 1 do
+    let cells = row t i in
+    Format.fprintf ppf "| ";
+    Array.iter (fun v -> Format.fprintf ppf "%a | " Value.pp v) cells;
+    Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines List Option Printf QCheck QCheck_alcotest Random Sqlgraph Storage

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Array Astring Filename Fun In_channel Out_channel Printf Sys

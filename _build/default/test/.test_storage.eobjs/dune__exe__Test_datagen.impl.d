@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Datagen Hashtbl List Option Sqlgraph Storage

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Executor List Option Printf QCheck QCheck_alcotest Relalg Sql Sqlgraph Storage String

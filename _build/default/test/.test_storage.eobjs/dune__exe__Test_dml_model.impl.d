@@ -1,0 +1,1 @@
+test/test_dml_model.ml: Alcotest List Option Printf QCheck QCheck_alcotest Sqlgraph Storage

@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Array Astring Baselines Datagen Executor Hashtbl List Option Printf QCheck QCheck_alcotest Queue Random Relalg Sqlgraph Storage

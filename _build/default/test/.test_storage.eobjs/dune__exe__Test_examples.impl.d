@@ -1,0 +1,1 @@
+test/test_examples.ml: Alcotest Astring Filename In_channel List Printf Sys

@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Array Astring Filename Fun List Printf QCheck QCheck_alcotest Sqlgraph Storage Sys

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float Fun Graph List Option QCheck QCheck_alcotest Random Storage

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest List QCheck QCheck_alcotest Sql String

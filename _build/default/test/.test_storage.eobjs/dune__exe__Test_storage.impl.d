@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array List Obj Printf QCheck QCheck_alcotest Storage

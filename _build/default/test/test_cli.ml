@@ -1,0 +1,152 @@
+(* Integration tests driving the real sqlgraph_cli binary (built as a
+   dependency of this test; see test/dune). Each case feeds a script or
+   stdin and asserts on captured output. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+
+let cli_path = "../bin/sqlgraph_cli.exe"
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let with_temp_file contents f =
+  let path = Filename.temp_file "sqlgraph_cli_test" ".sql" in
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents);
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+(* Run the CLI with [args]; optionally feed [stdin]; return (exit, output). *)
+let run_cli ?stdin args =
+  let out = Filename.temp_file "sqlgraph_cli_out" ".txt" in
+  let redirect_in =
+    match stdin with
+    | None -> "< /dev/null"
+    | Some path -> Printf.sprintf "< %s" (Filename.quote path)
+  in
+  let cmd =
+    Printf.sprintf "%s %s %s > %s 2>&1" cli_path args redirect_in
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let text = read_file out in
+  Sys.remove out;
+  (code, text)
+
+let contains hay needle = Astring.String.is_infix ~affix:needle hay
+
+let test_run_script () =
+  with_temp_file
+    "CREATE TABLE e (a INTEGER, b INTEGER);\n\
+     INSERT INTO e VALUES (1, 2), (2, 3);\n\
+     SELECT CHEAPEST SUM(1) AS d WHERE 1 REACHES 3 OVER e EDGE (a, b);\n"
+    (fun script ->
+      let code, out = run_cli ("run " ^ Filename.quote script) in
+      check tbool "exit 0" true (code = 0);
+      check tbool "create echoed" true (contains out "CREATE TABLE");
+      check tbool "insert echoed" true (contains out "INSERT 2");
+      check tbool "distance" true (contains out "| 2"))
+
+let test_run_script_with_update_delete () =
+  with_temp_file
+    "CREATE TABLE t (x INTEGER);\n\
+     INSERT INTO t VALUES (1), (2), (3);\n\
+     UPDATE t SET x = x * 10 WHERE x > 1;\n\
+     DELETE FROM t WHERE x = 1;\n\
+     SELECT x FROM t ORDER BY x;\n"
+    (fun script ->
+      let code, out = run_cli ("run " ^ Filename.quote script) in
+      check tbool "exit 0" true (code = 0);
+      check tbool "update count" true (contains out "UPDATE 2");
+      check tbool "delete count" true (contains out "DELETE 1");
+      check tbool "rows" true (contains out "| 20" && contains out "| 30"))
+
+let test_run_script_error_exit () =
+  with_temp_file "SELECT FROM nope;\n" (fun script ->
+      let code, out = run_cli ("run " ^ Filename.quote script) in
+      check tbool "nonzero exit" true (code <> 0);
+      check tbool "error message" true (contains out "error"))
+
+let test_repl_session () =
+  with_temp_file
+    "CREATE TABLE t (x INTEGER);\n\
+     INSERT INTO t VALUES (7);\n\
+     \\d;\n\
+     \\timing;\n\
+     SELECT x + 1 FROM t;\n\
+     \\e SELECT x FROM t WHERE x > 0;\n\
+     \\q\n"
+    (fun input ->
+      let code, out = run_cli ~stdin:input "repl" in
+      check tbool "exit 0" true (code = 0);
+      check tbool "describe shows table" true (contains out "t (1 rows)");
+      check tbool "timing toggled" true (contains out "timing on");
+      check tbool "query result" true (contains out "| 8");
+      check tbool "explain output" true (contains out "Filter"))
+
+let test_repl_csv_import () =
+  let csv = Filename.temp_file "sqlgraph_cli_test" ".csv" in
+  Out_channel.with_open_text csv (fun oc ->
+      Out_channel.output_string oc "name,age\nann,31\nbob,29\n");
+  Fun.protect
+    ~finally:(fun () -> Sys.remove csv)
+    (fun () ->
+      with_temp_file
+        (Printf.sprintf
+           "\\i %s people;\nSELECT name FROM people WHERE CAST(age AS INTEGER) > 30;\n\\q\n"
+           csv)
+        (fun input ->
+          let code, out = run_cli ~stdin:input "repl" in
+          check tbool "exit 0" true (code = 0);
+          check tbool "loaded" true (contains out "loaded 2 rows into people");
+          check tbool "query over import" true (contains out "| ann")))
+
+let test_repl_save_load () =
+  let dir = Filename.temp_file "sqlgraph_cli_persist" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      with_temp_file
+        (Printf.sprintf
+           "CREATE TABLE t (x INTEGER);\nINSERT INTO t VALUES (5);\n\\save %s;\n\\q\n"
+           dir)
+        (fun input ->
+          let code, out = run_cli ~stdin:input "repl" in
+          check tbool "save exit 0" true (code = 0);
+          check tbool "saved" true (contains out "saved to"));
+      with_temp_file
+        (Printf.sprintf "\\load %s;\nSELECT x FROM t;\n\\q\n" dir)
+        (fun input ->
+          let code, out = run_cli ~stdin:input "repl" in
+          check tbool "load exit 0" true (code = 0);
+          check tbool "loaded" true (contains out "loaded");
+          check tbool "data survived" true (contains out "| 5")))
+
+let test_bad_subcommand () =
+  let code, _ = run_cli "definitely-not-a-command" in
+  check tbool "nonzero exit" true (code <> 0)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "script",
+        [
+          Alcotest.test_case "run a script" `Quick test_run_script;
+          Alcotest.test_case "update and delete" `Quick
+            test_run_script_with_update_delete;
+          Alcotest.test_case "errors exit nonzero" `Quick test_run_script_error_exit;
+        ] );
+      ( "repl",
+        [
+          Alcotest.test_case "interactive session" `Quick test_repl_session;
+          Alcotest.test_case "csv import" `Quick test_repl_csv_import;
+          Alcotest.test_case "save and load" `Quick test_repl_save_load;
+        ] );
+      ( "cli",
+        [ Alcotest.test_case "bad subcommand" `Quick test_bad_subcommand ] );
+    ]
