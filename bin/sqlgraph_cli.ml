@@ -5,6 +5,11 @@
      run FILE          execute a ';'-separated SQL script
      demo              load a small synthetic social network and open a repl
 
+   Resource limits (all optional; a statement that exhausts one fails
+   with "resource error: ..." and the session keeps running):
+     --timeout MS      per-statement wall-clock budget
+     --max-rows N      per-statement result-row budget
+
    The repl understands a few meta-commands:
      \e SQL;                 EXPLAIN the (rewritten) plan of a SELECT
      \d;                     list tables
@@ -13,8 +18,13 @@
                              all typed VARCHAR; CAST as needed)
      \save DIR;              persist every table as CSV + manifest
      \load DIR;              replace the session with a saved database
-     \timing;                toggle per-statement timing
-     \q                      quit *)
+     \timeout MS;            set the per-statement timeout (0 or off: none)
+     \limit ROWS;            set the per-statement row limit (0 or off: none)
+     \timing;                toggle per-statement wall-clock timing
+     \q                      quit
+
+   SQLGRAPH_FAULT=after=N | site=S arms the deterministic fault-injection
+   harness (one-shot; see lib/core/fault.mli) for end-to-end testing. *)
 
 let print_outcome = function
   | Sqlgraph.Db.Created -> print_endline "CREATE TABLE"
@@ -30,12 +40,20 @@ let print_outcome = function
 
 let timing = ref false
 
+(* Session resource limits, set by --timeout/--max-rows and adjustable
+   from the repl with \timeout and \limit. Applied per statement. *)
+let timeout_ms : float option ref = ref None
+let max_rows : int option ref = ref None
+
+let current_budget () =
+  Sqlgraph.Governor.budget ?timeout_ms:!timeout_ms ?max_rows:!max_rows ()
+
 let execute db sql =
-  let t0 = Sys.time () in
-  (match Sqlgraph.Db.exec db sql with
+  let t0 = Unix.gettimeofday () in
+  (match Sqlgraph.Db.exec db ~budget:(current_budget ()) sql with
   | Ok outcome -> print_outcome outcome
   | Error e -> Printf.printf "error: %s\n" (Sqlgraph.Error.to_string e));
-  if !timing then Printf.printf "time: %.3fs\n" (Sys.time () -. t0)
+  if !timing then Printf.printf "time: %.3fs\n" (Unix.gettimeofday () -. t0)
 
 let describe db name =
   match Storage.Catalog.find (Sqlgraph.Db.catalog db) name with
@@ -54,29 +72,45 @@ let list_tables db =
   | names -> List.iter (describe db) names
 
 let import_csv db path table =
-  (* header-driven: every column VARCHAR; refine with CAST in queries *)
-  match In_channel.with_open_text path In_channel.input_all with
-  | exception Sys_error m -> Printf.printf "error: %s\n" m
-  | text -> (
-    match Sqlgraph.Csv.parse_string text with
-    | [] | [ _ ] -> print_endline "error: CSV needs a header and data rows"
-    | header :: _ -> (
-      let schema =
-        Storage.Schema.of_pairs
-          (List.map (fun name -> (name, Storage.Dtype.TStr)) header)
-      in
-      match
-        Sqlgraph.Csv.table_of_string ~schema ~header:true text
-      with
-      | t ->
-        Sqlgraph.Db.load_table db ~name:table t;
-        Printf.printf "loaded %d rows into %s\n" (Storage.Table.nrows t) table
-      | exception Sqlgraph.Csv.Csv_error m -> Printf.printf "error: %s\n" m))
+  (* header-driven: every column VARCHAR; refine with CAST in queries.
+     Routed through Db.protect (inside import_untyped) so a bad file
+     reports an error like a failing statement instead of crashing. *)
+  match Sqlgraph.Csv.import_untyped db ~path ~table with
+  | Ok n -> Printf.printf "loaded %d rows into %s\n" n table
+  | Error e -> Printf.printf "error: %s\n" (Sqlgraph.Error.to_string e)
 
 let explain db sql =
   match Sqlgraph.Db.explain db sql with
   | Ok plan -> print_string plan
   | Error e -> Printf.printf "error: %s\n" (Sqlgraph.Error.to_string e)
+
+(* \timeout MS; and \limit ROWS; — "0" and "off" clear the limit. *)
+let set_limit ~what ~render cell raw parse =
+  match String.lowercase_ascii (String.trim raw) with
+  | "0" | "off" | "none" ->
+    cell := None;
+    Printf.printf "%s off\n" what
+  | s -> (
+    match parse s with
+    | Some v ->
+      cell := Some v;
+      Printf.printf "%s %s\n" what (render v)
+    | None -> Printf.printf "error: \\%s expects a positive number or off\n" what)
+
+let set_timeout raw =
+  set_limit ~what:"timeout"
+    ~render:(fun ms -> Printf.sprintf "%gms" ms)
+    timeout_ms raw
+    (fun s ->
+      match float_of_string_opt s with
+      | Some ms when ms > 0. -> Some ms
+      | _ -> None)
+
+let set_max_rows raw =
+  set_limit ~what:"limit" ~render:string_of_int max_rows raw (fun s ->
+      match int_of_string_opt s with
+      | Some n when n > 0 -> Some n
+      | _ -> None)
 
 (* Read statements terminated by ';' (possibly spanning lines). [db] is a
    ref so \load can swap in a freshly loaded database. *)
@@ -125,6 +159,8 @@ let repl db =
                db := fresh;
                Printf.printf "loaded %s\n" dir
              | Error e -> Printf.printf "error: %s\n" (Sqlgraph.Error.to_string e))
+           | [ "\\timeout"; ms ] -> set_timeout ms
+           | [ "\\limit"; rows ] -> set_max_rows rows
            | [ "\\timing" ] ->
              timing := not !timing;
              Printf.printf "timing %s\n" (if !timing then "on" else "off")
@@ -142,7 +178,7 @@ let run_file db path =
     Printf.eprintf "cannot read %s: %s\n" path m;
     exit 1
   | source -> (
-    match Sqlgraph.Db.exec_script db source with
+    match Sqlgraph.Db.exec_script db ~budget:(current_budget ()) source with
     | Ok outcomes -> List.iter print_outcome outcomes
     | Error e ->
       Printf.eprintf "error: %s\n" (Sqlgraph.Error.to_string e);
@@ -161,32 +197,65 @@ let load_demo db =
 
 open Cmdliner
 
+let apply_limits t r =
+  timeout_ms := t;
+  max_rows := r
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"MS"
+        ~doc:"Per-statement wall-clock budget in milliseconds.")
+
+let max_rows_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-rows" ] ~docv:"N" ~doc:"Per-statement result-row budget.")
+
 let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL shell.")
-    Term.(const (fun () -> repl (Sqlgraph.Db.create ())) $ const ())
+    Term.(
+      const (fun t r ->
+          apply_limits t r;
+          repl (Sqlgraph.Db.create ()))
+      $ timeout_arg $ max_rows_arg)
 
 let run_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"SQL script")
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script file.")
-    Term.(const (fun f -> run_file (Sqlgraph.Db.create ()) f) $ file)
+    Term.(
+      const (fun t r f ->
+          apply_limits t r;
+          run_file (Sqlgraph.Db.create ()) f)
+      $ timeout_arg $ max_rows_arg $ file)
 
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo"
        ~doc:"Open a shell with a synthetic social network preloaded.")
     Term.(
-      const (fun () ->
+      const (fun t r ->
+          apply_limits t r;
           let db = Sqlgraph.Db.create () in
           load_demo db;
           repl db)
-      $ const ())
+      $ timeout_arg $ max_rows_arg)
 
 let () =
+  Sqlgraph.Fault.arm_from_env ();
   let info =
     Cmd.info "sqlgraph"
       ~doc:"A SQL engine with the REACHES / CHEAPEST SUM shortest-path extension."
   in
-  let default = Term.(const (fun () -> repl (Sqlgraph.Db.create ())) $ const ()) in
+  let default =
+    Term.(
+      const (fun t r ->
+          apply_limits t r;
+          repl (Sqlgraph.Db.create ()))
+      $ timeout_arg $ max_rows_arg)
+  in
   exit (Cmd.eval (Cmd.group ~default info [ repl_cmd; run_cmd; demo_cmd ]))

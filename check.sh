@@ -1,0 +1,48 @@
+#!/bin/sh
+# Repo verification: build, full test suite, then an end-to-end
+# fault-injection run of the real CLI (SQLGRAPH_FAULT armed via the
+# environment, exercising the governor's unwind path outside the test
+# harness). Exits nonzero on any failure.
+set -e
+
+cd "$(dirname "$0")"
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+echo "== fault-injection e2e (SQLGRAPH_FAULT=site=bfs)"
+script=$(mktemp /tmp/sqlgraph_check_XXXXXX.sql)
+out=$(mktemp /tmp/sqlgraph_check_XXXXXX.out)
+trap 'rm -f "$script" "$out"' EXIT
+cat > "$script" <<'EOF'
+CREATE TABLE e (src INTEGER, dst INTEGER);
+INSERT INTO e VALUES (1, 2), (2, 3);
+SELECT CHEAPEST SUM(1) WHERE 1 REACHES 3 OVER e EDGE (src, dst);
+EOF
+
+# The armed fault must kill the traversal: the run exits nonzero and
+# reports the injected fault as a resource error.
+if SQLGRAPH_FAULT=site=bfs dune exec bin/sqlgraph_cli.exe -- run "$script" \
+    > "$out" 2>&1; then
+  echo "FAIL: fault-armed run unexpectedly succeeded"
+  cat "$out"
+  exit 1
+fi
+grep -q "injected fault at bfs" "$out" || {
+  echo "FAIL: expected 'injected fault at bfs' in output:"
+  cat "$out"
+  exit 1
+}
+
+# Without the fault the same script must succeed.
+dune exec bin/sqlgraph_cli.exe -- run "$script" > "$out" 2>&1
+grep -q "| 2" "$out" || {
+  echo "FAIL: clean run did not produce the distance"
+  cat "$out"
+  exit 1
+}
+
+echo "OK: build, tests, and fault-injection e2e all passed"

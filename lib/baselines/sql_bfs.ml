@@ -39,8 +39,18 @@ let recursive_distance db ~edge_table ~src_col ~dst_col ~source ~target
   | Storage.Value.Null -> None
   | v -> failwith ("unexpected " ^ Storage.Value.to_display v)
 
-let frontier_distance db ~edge_table ~src_col ~dst_col ~source ~target
-    ?(max_hops = 64) () =
+(* The procedural drivers below run many statements per logical query,
+   so an ungoverned Db.exec budget would reset each round trip; callers
+   hand us a long-lived governor instead and we checkpoint it once per
+   BFS level / per candidate k at site "sql_bfs". *)
+let gov_check governor ~steps ~frontier =
+  match governor with
+  | None -> ()
+  | Some gov ->
+    Sqlgraph.Governor.check gov ~site:"sql_bfs" ~steps ~frontier ()
+
+let frontier_distance db ?governor ~edge_table ~src_col ~dst_col ~source
+    ~target ?(max_hops = 64) () =
   if source = target then Some 0
   else begin
     let visited = fresh_name "baseline_visited" in
@@ -70,6 +80,8 @@ let frontier_distance db ~edge_table ~src_col ~dst_col ~source ~target
       if k > max_hops then finish None
       else begin
         let next = query_exn db expand_sql in
+        gov_check governor ~steps:1
+          ~frontier:(Sqlgraph.Resultset.nrows next);
         let nodes =
           List.filter_map
             (function
@@ -120,13 +132,14 @@ let chain_query ~edge_table ~src_col ~dst_col k =
   Printf.sprintf "SELECT COUNT(*) FROM %s WHERE e1.%s = ? AND e%d.%s = ?"
     joins src_col k dst_col
 
-let join_chain_distance db ~edge_table ~src_col ~dst_col ~source ~target
-    ~max_hops () =
+let join_chain_distance db ?governor ~edge_table ~src_col ~dst_col ~source
+    ~target ~max_hops () =
   if source = target then Some 0
   else begin
     let rec try_k k =
       if k > max_hops then None
       else begin
+        gov_check governor ~steps:1 ~frontier:0;
         let sql = chain_query ~edge_table ~src_col ~dst_col k in
         let n =
           scalar_int

@@ -33,12 +33,19 @@ val recursive_distance :
   unit ->
   int option
 
-(** [frontier_distance db ~edge_table ~src_col ~dst_col ~source ~target
-     ?max_hops ()] — BFS levels as SQL joins over temporary frontier /
-    visited tables (dropped afterwards). [None] when unreachable within
-    [max_hops] (default 64). *)
+(** [frontier_distance db ?governor ~edge_table ~src_col ~dst_col ~source
+     ~target ?max_hops ()] — BFS levels as SQL joins over temporary
+    frontier / visited tables (dropped afterwards, also on failure).
+    [None] when unreachable within [max_hops] (default 64).
+
+    [governor]: because the driver issues many statements, a per-[exec]
+    budget would reset every round trip; pass a long-lived
+    [Sqlgraph.Governor.t] and the driver checkpoints it once per BFS
+    level at site ["sql_bfs"] (raising [Governor.Resource_error] on
+    exhaustion). *)
 val frontier_distance :
   Sqlgraph.Db.t ->
+  ?governor:Sqlgraph.Governor.t ->
   edge_table:string ->
   src_col:string ->
   dst_col:string ->
@@ -48,12 +55,14 @@ val frontier_distance :
   unit ->
   int option
 
-(** [join_chain_distance db ~edge_table ~src_col ~dst_col ~source ~target
-     ~max_hops ()] — for k = 0, 1, ..., [max_hops]: one query with k
-    self-joins testing whether a k-hop path exists. Exponential on dense
-    graphs; keep [max_hops] small. *)
+(** [join_chain_distance db ?governor ~edge_table ~src_col ~dst_col
+     ~source ~target ~max_hops ()] — for k = 0, 1, ..., [max_hops]: one
+    query with k self-joins testing whether a k-hop path exists.
+    Exponential on dense graphs; keep [max_hops] small. [governor] is
+    checkpointed once per candidate k at site ["sql_bfs"]. *)
 val join_chain_distance :
   Sqlgraph.Db.t ->
+  ?governor:Sqlgraph.Governor.t ->
   edge_table:string ->
   src_col:string ->
   dst_col:string ->

@@ -1,4 +1,7 @@
-exception Csv_error of string
+(* The exception lives in [Error] so [Db.guard] can catch it by name
+   without a csv -> db -> csv dependency cycle; re-exported here under
+   its historical name. *)
+exception Csv_error = Error.Csv_error
 
 let err fmt = Printf.ksprintf (fun s -> raise (Csv_error s)) fmt
 
@@ -88,20 +91,52 @@ let table_of_string ~schema ?(header = true) s =
   table
 
 let load_file db ~path ~table ~schema ?(header = true) () =
-  match
-    let text = In_channel.with_open_text path In_channel.input_all in
-    let t = table_of_string ~schema ~header text in
-    Db.load_table db ~name:table t;
-    Storage.Table.nrows t
-  with
-  | n -> Ok n
-  | exception Csv_error m -> Error (Error.Runtime_error m)
-  | exception Sys_error m -> Error (Error.Runtime_error m)
+  Db.protect (fun () ->
+      let text = In_channel.with_open_text path In_channel.input_all in
+      let t = table_of_string ~schema ~header text in
+      Db.load_table db ~name:table t;
+      Storage.Table.nrows t)
+
+(* Header-derived import: every column VARCHAR, names from the header
+   row (falling back to c0, c1, ... when a header cell is empty). The
+   CLI's \i meta-command uses this so ad-hoc files load without a
+   declared schema — and fails through the same guard as statements. *)
+let import_untyped db ~path ~table =
+  Db.protect (fun () ->
+      let text = In_channel.with_open_text path In_channel.input_all in
+      let rows = parse_string text in
+      match rows with
+      | [] -> err "CSV import: %s is empty" path
+      | header :: body ->
+        let fields =
+          List.mapi
+            (fun i name ->
+              let name = String.trim name in
+              let name = if name = "" then Printf.sprintf "c%d" i else name in
+              { Storage.Schema.name; ty = Storage.Dtype.TStr })
+            header
+        in
+        let schema = Storage.Schema.make fields in
+        let arity = List.length fields in
+        let t = Storage.Table.create schema in
+        List.iteri
+          (fun rownum cells ->
+            if List.length cells <> arity then
+              err "CSV row %d has %d fields, expected %d" (rownum + 2)
+                (List.length cells) arity;
+            let cells =
+              List.map
+                (fun text ->
+                  if text = "" then Storage.Value.Null
+                  else Storage.Value.Str text)
+                cells
+            in
+            Storage.Table.append_row t (Array.of_list cells))
+          body;
+        Db.load_table db ~name:table t;
+        Storage.Table.nrows t)
 
 let save_file rs ~path =
-  match
-    Out_channel.with_open_text path (fun oc ->
-        Out_channel.output_string oc (Resultset.to_csv rs))
-  with
-  | () -> Ok ()
-  | exception Sys_error m -> Error (Error.Runtime_error m)
+  Db.protect (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Resultset.to_csv rs)))

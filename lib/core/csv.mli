@@ -3,6 +3,9 @@
     external edge lists and vertex tables into the engine. *)
 
 exception Csv_error of string
+(** Alias of [Error.Csv_error] (the definition lives there so [Db.guard]
+    can map it to [Error.Io_error] without a dependency cycle; matching
+    on either name catches the same exception). *)
 
 (** [parse_string s] — rows of fields; no header handling, no typing. *)
 val parse_string : string -> string list list
@@ -15,7 +18,8 @@ val table_of_string :
   schema:Storage.Schema.t -> ?header:bool -> string -> Storage.Table.t
 
 (** [load_file db ~path ~table ~schema ?header ()] — read a CSV file into
-    a (new or replaced) table of [db]. *)
+    a (new or replaced) table of [db]. Failures (missing file, bad arity,
+    cast errors) come back as [Error.Io_error] via [Db.protect]. *)
 val load_file :
   Db.t ->
   path:string ->
@@ -24,6 +28,12 @@ val load_file :
   ?header:bool ->
   unit ->
   (int, Error.t) result
+
+(** [import_untyped db ~path ~table] — read a CSV file whose schema is
+    derived from its header row (every column [TStr]; empty header
+    cells become [c0], [c1], ...). The CLI's [\i] path. *)
+val import_untyped :
+  Db.t -> path:string -> table:string -> (int, Error.t) result
 
 (** [save_file resultset ~path] — write a result set with a header row. *)
 val save_file : Resultset.t -> path:string -> (unit, Error.t) result

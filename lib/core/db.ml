@@ -36,7 +36,12 @@ type exec_outcome =
   | Committed
   | Rolled_back
 
-(* Run [f], mapping every layer's exception into Error.t. *)
+(* Run [f], mapping every layer's exception into Error.t. Statements are
+   atomic by construction (UPDATE/DELETE build a replacement table before
+   touching the catalog, INSERT evaluates every row before appending any),
+   so unwinding here never leaves a table half-mutated — a failed
+   statement inside an open transaction leaves the snapshot intact and
+   COMMIT/ROLLBACK working. *)
 let guard f =
   match f () with
   | v -> Ok v
@@ -47,25 +52,61 @@ let guard f =
   | exception Relalg.Binder.Bind_error m -> Error (Error.Bind_error m)
   | exception Relalg.Scalar.Runtime_error m -> Error (Error.Runtime_error m)
   | exception Graph.Runtime.Weight_error m -> Error (Error.Runtime_error m)
+  | exception Governor.Resource_error { kind; spent; limit; site } ->
+    Error (Error.Resource_error { kind; spent; limit; site })
+  | exception Fault.Injected { site; checks } ->
+    Error
+      (Error.Resource_error
+         {
+           kind = Error.Fault;
+           spent = float_of_int checks;
+           limit = float_of_int checks;
+           site;
+         })
+  | exception Error.Csv_error m -> Error (Error.Io_error m)
+  | exception Sys_error m -> Error (Error.Io_error m)
   | exception Invalid_argument m ->
     Error (Error.Runtime_error ("internal: " ^ m))
+  | exception Not_found -> Error (Error.Internal_error "Not_found escaped")
+  | exception Stack_overflow ->
+    Error
+      (Error.Internal_error
+         "stack overflow (query nesting or graph recursion too deep)")
+  | exception Out_of_memory -> Error (Error.Internal_error "out of memory")
 
-let fresh_ctx t = Executor.Interp.create_ctx ~catalog:t.catalog ~indices:t.indices ()
+let protect = guard
 
-let run_select t ~params ~optimize q =
+let fresh_ctx t gov =
+  Executor.Interp.create_ctx ~catalog:t.catalog ~indices:t.indices
+    ~check:(Governor.checkpoint gov) ()
+
+(* Merge the governor's counters into the per-query stats record. *)
+let merge_counters gov (stats : Executor.Interp.stats) =
+  let c = Governor.counters gov in
+  stats.Executor.Interp.gov_checks <- c.Governor.checks;
+  stats.Executor.Interp.gov_steps <- c.Governor.steps;
+  stats.Executor.Interp.gov_peak_frontier <- c.Governor.peak_frontier;
+  stats.Executor.Interp.gov_paths <- c.Governor.paths;
+  stats.Executor.Interp.gov_budget_remaining_ms <-
+    (match c.Governor.remaining_ms with Some r -> r | None -> Float.nan)
+
+let run_select t ~params ~optimize ~gov q =
   let timed what f =
-    let t0 = Sys.time () in
+    let t0 = Unix.gettimeofday () in
     let r = f () in
-    Log.debug (fun m -> m "%s: %.6fs" what (Sys.time () -. t0));
+    Log.debug (fun m -> m "%s: %.6fs" what (Unix.gettimeofday () -. t0));
     r
   in
   let plan =
     timed "bind" (fun () -> Relalg.Binder.bind_query ~catalog:t.catalog ~params q)
   in
   let plan = timed "rewrite" (fun () -> Relalg.Rewriter.rewrite ~options:optimize plan) in
-  let ctx = fresh_ctx t in
+  let ctx = fresh_ctx t gov in
   let table = timed "execute" (fun () -> Executor.Interp.run ctx plan) in
+  (* the result-row budget tests the final cardinality *)
+  Governor.check gov ~site:"result" ~rows:(Storage.Table.nrows table) ();
   let stats = Executor.Interp.stats ctx in
+  merge_counters gov stats;
   Log.debug (fun m ->
       m "graphs built=%d reused=%d build=%.6fs traverse=%.6fs rows=%d"
         stats.Executor.Interp.graphs_built stats.Executor.Interp.graphs_reused
@@ -75,13 +116,17 @@ let run_select t ~params ~optimize q =
   t.last_stats <- Some stats;
   Resultset.of_table table
 
-(* Evaluate a bound predicate/expression per row of a base table. *)
-let eval_over_rows t table bexpr =
-  let ctx = fresh_ctx t in
+(* Evaluate a bound predicate/expression per row of a base table. The
+   per-row checkpoint (site "dml") is what makes UPDATE/DELETE statements
+   governable — they never enter the interpreter's operator tree, so
+   without it a runaway DML scan could not be timed out or cancelled. *)
+let eval_over_rows t gov table bexpr =
+  let ctx = fresh_ctx t gov in
   let run_subplan p = Executor.Interp.run ctx p in
   let n = Storage.Table.nrows table in
   let env = Executor.Eval.single ~run_subplan table 0 in
   List.init n (fun row ->
+      Governor.check gov ~site:"dml" ~steps:1 ();
       env.Executor.Eval.segments.(0) <- (table, row);
       Executor.Eval.eval env bexpr)
 
@@ -91,7 +136,7 @@ let find_table t name =
   | None ->
     raise (Relalg.Binder.Bind_error (Printf.sprintf "unknown table %s" name))
 
-let exec_update t ~params ~table ~assignments ~where =
+let exec_update t ~params ~gov ~table ~assignments ~where =
   let target = find_table t table in
   let schema = Storage.Table.schema target in
   let bind e =
@@ -121,10 +166,10 @@ let exec_update t ~params ~table ~assignments ~where =
   let hits =
     match pred with
     | None -> List.init (Storage.Table.nrows target) (fun _ -> true)
-    | Some p -> List.map Relalg.Scalar.is_true (eval_over_rows t target p)
+    | Some p -> List.map Relalg.Scalar.is_true (eval_over_rows t gov target p)
   in
   let new_cells =
-    List.map (fun (i, e) -> (i, eval_over_rows t target e)) bound_assignments
+    List.map (fun (i, e) -> (i, eval_over_rows t gov target e)) bound_assignments
   in
   let out = Storage.Table.create schema in
   let updated = ref 0 in
@@ -147,7 +192,7 @@ let exec_update t ~params ~table ~assignments ~where =
   Storage.Catalog.replace t.catalog table out;
   Updated !updated
 
-let exec_delete t ~params ~table ~where =
+let exec_delete t ~params ~gov ~table ~where =
   let target = find_table t table in
   let schema = Storage.Table.schema target in
   let hits =
@@ -159,7 +204,7 @@ let exec_delete t ~params ~table ~where =
       in
       if not (Storage.Dtype.equal bw.Relalg.Lplan.ty Storage.Dtype.TBool) then
         raise (Relalg.Binder.Bind_error "DELETE WHERE must be boolean");
-      List.map Relalg.Scalar.is_true (eval_over_rows t target bw)
+      List.map Relalg.Scalar.is_true (eval_over_rows t gov target bw)
   in
   let keep =
     hits
@@ -204,9 +249,9 @@ let exec_rollback t =
     t.snapshot <- None;
     Rolled_back
 
-let exec_stmt t ~params ~optimize stmt =
+let exec_stmt t ~params ~optimize ~gov stmt =
   match stmt with
-  | Sql.Ast.Select q -> Selected (run_select t ~params ~optimize q)
+  | Sql.Ast.Select q -> Selected (run_select t ~params ~optimize ~gov q)
   | Sql.Ast.Begin_txn -> exec_begin t
   | Sql.Ast.Commit_txn -> exec_commit t
   | Sql.Ast.Rollback_txn -> exec_rollback t
@@ -218,10 +263,12 @@ let exec_stmt t ~params ~optimize stmt =
     else begin
       let ctx =
         Executor.Interp.create_ctx ~catalog:t.catalog ~indices:t.indices
-          ~tracing:true ()
+          ~tracing:true ~check:(Governor.checkpoint gov) ()
       in
       let table = Executor.Interp.run ctx plan in
-      t.last_stats <- Some (Executor.Interp.stats ctx);
+      let stats = Executor.Interp.stats ctx in
+      merge_counters gov stats;
+      t.last_stats <- Some stats;
       let buf = Buffer.create 256 in
       Buffer.add_string buf rendered;
       Buffer.add_string buf "-- analyze --\n";
@@ -240,8 +287,8 @@ let exec_stmt t ~params ~optimize stmt =
       Explained (Buffer.contents buf)
     end
   | Sql.Ast.Update { table; assignments; where } ->
-    exec_update t ~params ~table ~assignments ~where
-  | Sql.Ast.Delete { table; where } -> exec_delete t ~params ~table ~where
+    exec_update t ~params ~gov ~table ~assignments ~where
+  | Sql.Ast.Delete { table; where } -> exec_delete t ~params ~gov ~table ~where
   | Sql.Ast.Create_table (name, defs) ->
     if Storage.Catalog.mem t.catalog name then
       raise
@@ -270,7 +317,7 @@ let exec_stmt t ~params ~optimize stmt =
     if Storage.Catalog.mem t.catalog name then
       raise
         (Relalg.Binder.Bind_error (Printf.sprintf "table %s already exists" name));
-    let rs = run_select t ~params ~optimize q in
+    let rs = run_select t ~params ~optimize ~gov q in
     let result = Resultset.to_table rs in
     (* results may repeat column names; a stored table may not *)
     let schema =
@@ -306,7 +353,7 @@ let exec_stmt t ~params ~optimize stmt =
         Storage.Catalog.touch t.catalog table;
         Inserted (List.length cells)
       | Sql.Ast.Insert_query q ->
-        let rs = run_select t ~params ~optimize q in
+        let rs = run_select t ~params ~optimize ~gov q in
         let src = Resultset.to_table rs in
         let positions =
           match columns with
@@ -329,47 +376,59 @@ let exec_stmt t ~params ~optimize stmt =
                   "INSERT ... SELECT provides %d columns, expected %d"
                   (Storage.Table.arity src) (List.length positions)));
         let arity = Storage.Schema.arity schema in
-        for row = 0 to Storage.Table.nrows src - 1 do
-          let cells = Array.make arity Storage.Value.Null in
-          List.iteri
-            (fun srccol pos ->
-              let v = Storage.Table.get src ~row ~col:srccol in
-              let ty = (Storage.Schema.field schema pos).Storage.Schema.ty in
-              match Storage.Value.cast v ty with
-              | Ok v' -> cells.(pos) <- v'
-              | Error m ->
-                raise (Relalg.Scalar.Runtime_error ("INSERT: " ^ m)))
-            positions;
-          Storage.Table.append_row target cells
-        done;
+        (* statement atomicity: evaluate and cast every row before
+           appending any, so a mid-statement cast failure (or injected
+           fault) cannot leave a partial insert behind *)
+        let staged =
+          List.init (Storage.Table.nrows src) (fun row ->
+              let cells = Array.make arity Storage.Value.Null in
+              List.iteri
+                (fun srccol pos ->
+                  let v = Storage.Table.get src ~row ~col:srccol in
+                  let ty = (Storage.Schema.field schema pos).Storage.Schema.ty in
+                  match Storage.Value.cast v ty with
+                  | Ok v' -> cells.(pos) <- v'
+                  | Error m ->
+                    raise (Relalg.Scalar.Runtime_error ("INSERT: " ^ m)))
+                positions;
+              cells)
+        in
+        List.iter (Storage.Table.append_row target) staged;
         Storage.Catalog.touch t.catalog table;
         Inserted (Storage.Table.nrows src)))
 
-let exec t ?(params = [||]) sql =
+let exec t ?(params = [||]) ?(budget = Governor.no_limits) sql =
   guard (fun () ->
       exec_stmt t ~params ~optimize:Relalg.Rewriter.default_options
+        ~gov:(Governor.start budget)
         (Sql.Parser.parse_stmt sql))
 
-let exec_exn t ?params sql =
-  match exec t ?params sql with
+let exec_exn t ?params ?budget sql =
+  match exec t ?params ?budget sql with
   | Ok o -> o
   | Error e -> failwith (Error.to_string e)
 
-let exec_script t sql =
+let exec_script t ?(budget = Governor.no_limits) sql =
+  (* each statement gets its own governor: the budget is per statement,
+     not per script *)
   guard (fun () ->
       List.map
-        (exec_stmt t ~params:[||] ~optimize:Relalg.Rewriter.default_options)
+        (fun stmt ->
+          exec_stmt t ~params:[||] ~optimize:Relalg.Rewriter.default_options
+            ~gov:(Governor.start budget) stmt)
         (Sql.Parser.parse_script sql))
 
-let query t ?(params = [||]) ?(optimize = Relalg.Rewriter.default_options) sql =
+let query t ?(params = [||]) ?(optimize = Relalg.Rewriter.default_options)
+    ?(budget = Governor.no_limits) sql =
   guard (fun () ->
       match Sql.Parser.parse_stmt sql with
-      | Sql.Ast.Select q -> run_select t ~params ~optimize q
+      | Sql.Ast.Select q ->
+        run_select t ~params ~optimize ~gov:(Governor.start budget) q
       | _ ->
         raise (Relalg.Binder.Bind_error "query expects a SELECT statement"))
 
-let query_exn t ?params ?optimize sql =
-  match query t ?params ?optimize sql with
+let query_exn t ?params ?optimize ?budget sql =
+  match query t ?params ?optimize ?budget sql with
   | Ok r -> r
   | Error e -> failwith (Error.to_string e)
 

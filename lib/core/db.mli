@@ -44,22 +44,39 @@ type exec_outcome =
   | Committed  (** COMMIT: snapshot discarded *)
   | Rolled_back  (** ROLLBACK: tables restored, graph caches cleared *)
 
-(** [exec db ?params sql] — run any single statement. *)
+(** [exec db ?params ?budget sql] — run any single statement under a
+    fresh {!Governor} built from [budget] (default {!Governor.no_limits}).
+    Budget exhaustion, cancellation and injected faults surface as
+    [Error.Resource_error]; the session — and any open transaction
+    snapshot — survives. *)
 val exec :
-  t -> ?params:Storage.Value.t array -> string -> (exec_outcome, Error.t) result
+  t ->
+  ?params:Storage.Value.t array ->
+  ?budget:Governor.budget ->
+  string ->
+  (exec_outcome, Error.t) result
 
 (** [exec_exn] — [exec] raising [Failure] with the rendered error. *)
-val exec_exn : t -> ?params:Storage.Value.t array -> string -> exec_outcome
+val exec_exn :
+  t ->
+  ?params:Storage.Value.t array ->
+  ?budget:Governor.budget ->
+  string ->
+  exec_outcome
 
-(** [exec_script db sql] — run a [;]-separated script (no parameters). *)
-val exec_script : t -> string -> (exec_outcome list, Error.t) result
+(** [exec_script db ?budget sql] — run a [;]-separated script (no
+    parameters). The budget is per statement, not per script. *)
+val exec_script :
+  t -> ?budget:Governor.budget -> string -> (exec_outcome list, Error.t) result
 
-(** [query db ?params ?optimize sql] — run a SELECT. [optimize] overrides
-    the rewriter configuration (used by the optimizer ablations). *)
+(** [query db ?params ?optimize ?budget sql] — run a SELECT. [optimize]
+    overrides the rewriter configuration (used by the optimizer
+    ablations). *)
 val query :
   t ->
   ?params:Storage.Value.t array ->
   ?optimize:Relalg.Rewriter.options ->
+  ?budget:Governor.budget ->
   string ->
   (Resultset.t, Error.t) result
 
@@ -67,8 +84,16 @@ val query_exn :
   t ->
   ?params:Storage.Value.t array ->
   ?optimize:Relalg.Rewriter.options ->
+  ?budget:Governor.budget ->
   string ->
   Resultset.t
+
+(** [protect f] — run [f] under the same exception-to-[Error.t] mapping
+    statements get: parse/bind/runtime errors, [Resource_error], injected
+    faults, CSV and I/O errors, [Stack_overflow], [Out_of_memory]. Used
+    by {!Csv} and the CLI so auxiliary operations (imports) fail like
+    statements instead of killing the session. *)
+val protect : (unit -> 'a) -> ('a, Error.t) result
 
 (** [explain db ?params ?optimize sql] — the bound, rewritten plan as an
     indented operator tree. *)

@@ -1,12 +1,56 @@
+(* Csv.Csv_error is re-exported from here (exception aliasing) so that
+   Db.guard — which Csv itself depends on — can catch it by name. *)
+exception Csv_error of string
+
+type resource_kind =
+  | Timeout
+  | Rows
+  | Steps
+  | Frontier
+  | Paths
+  | Cancelled
+  | Fault
+
+let resource_kind_name = function
+  | Timeout -> "timeout"
+  | Rows -> "rows"
+  | Steps -> "steps"
+  | Frontier -> "frontier"
+  | Paths -> "paths"
+  | Cancelled -> "cancelled"
+  | Fault -> "fault"
+
 type t =
   | Parse_error of { message : string; line : int; col : int }
   | Bind_error of string
   | Runtime_error of string
+  | Resource_error of {
+      kind : resource_kind;
+      spent : float;
+      limit : float;
+      site : string;
+    }
+  | Io_error of string
+  | Internal_error of string
 
 let to_string = function
   | Parse_error { message; line; col } ->
     Printf.sprintf "parse error at line %d, column %d: %s" line col message
   | Bind_error m -> "semantic error: " ^ m
   | Runtime_error m -> "runtime error: " ^ m
+  | Resource_error { kind = Fault; spent; limit = _; site } ->
+    Printf.sprintf "resource error: injected fault at %s (check %.0f)" site
+      spent
+  | Resource_error { kind = Cancelled; site; _ } ->
+    Printf.sprintf "resource error: query cancelled at %s" site
+  | Resource_error { kind = Timeout; spent; limit; site } ->
+    Printf.sprintf
+      "resource error: timeout exceeded at %s (%.1fms elapsed, limit %.1fms)"
+      site spent limit
+  | Resource_error { kind; spent; limit; site } ->
+    Printf.sprintf "resource error: %s budget exceeded at %s (%.0f of %.0f)"
+      (resource_kind_name kind) site spent limit
+  | Io_error m -> "io error: " ^ m
+  | Internal_error m -> "internal error: " ^ m
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

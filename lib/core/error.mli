@@ -1,11 +1,41 @@
 (** Unified error type of the public API. *)
 
+exception Csv_error of string
+(** The CSV layer's exception; defined here (and re-exported as
+    {!Csv.Csv_error}) so [Db.guard] can map it without a dependency
+    cycle. *)
+
+(** Which budget a query blew (see {!Governor}). *)
+type resource_kind =
+  | Timeout  (** wall-clock deadline *)
+  | Rows  (** result / accumulated row budget *)
+  | Steps  (** traversal-step budget *)
+  | Frontier  (** frontier / heap size budget *)
+  | Paths  (** path-enumeration budget *)
+  | Cancelled  (** the cooperative cancellation token was set *)
+  | Fault  (** a deterministically injected fault (see {!Fault}) *)
+
+val resource_kind_name : resource_kind -> string
+
 type t =
   | Parse_error of { message : string; line : int; col : int }
   | Bind_error of string  (** semantic errors: unknown names, type errors *)
   | Runtime_error of string
       (** execution faults: division by zero, non-positive CHEAPEST SUM
           weights, scalar subquery cardinality, ... *)
+  | Resource_error of {
+      kind : resource_kind;
+      spent : float;  (** what was consumed (ms, rows, steps, ...) *)
+      limit : float;  (** the configured budget *)
+      site : string;  (** the checkpoint that tripped: "bfs", "interp", … *)
+    }
+      (** a {!Governor} budget was exhausted, the query was cancelled, or a
+          fault was injected; the statement failed but the session — and
+          any open transaction snapshot — survive *)
+  | Io_error of string  (** file system / CSV import-export failures *)
+  | Internal_error of string
+      (** defensive catch-all: [Stack_overflow], [Not_found],
+          [Out_of_memory], ... mapped so no statement can crash the REPL *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

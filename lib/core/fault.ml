@@ -1,0 +1,59 @@
+type spec =
+  | After_checks of int
+  | At_site of string
+
+exception Injected of { site : string; checks : int }
+
+(* Process-global, deliberately: the harness exists to break *any* query
+   flowing through *any* Db of this process deterministically, whether
+   armed from a test or from SQLGRAPH_FAULT before exec. One-shot: the
+   spec disarms itself just before raising, so the unwind path (rollback,
+   error rendering, the next statement) runs fault-free. *)
+let armed : spec option ref = ref None
+let count = ref 0
+
+let set spec =
+  armed := spec;
+  count := 0
+
+let clear () = set None
+let current () = !armed
+
+let parse s =
+  match String.trim s with
+  | "" | "off" | "none" -> None
+  | s -> (
+    match String.index_opt s '=' with
+    | Some i -> (
+      let key = String.sub s 0 i in
+      let v = String.sub s (i + 1) (String.length s - i - 1) in
+      match key with
+      | "after" -> int_of_string_opt v |> Option.map (fun n -> After_checks n)
+      | "site" -> if v = "" then None else Some (At_site v)
+      | _ -> None)
+    | None -> None)
+
+let env_var = "SQLGRAPH_FAULT"
+
+let arm_from_env () =
+  match Sys.getenv_opt env_var with
+  | None -> ()
+  | Some s -> (
+    match parse s with Some spec -> set (Some spec) | None -> ())
+
+let hit ~site =
+  match !armed with
+  | None -> ()
+  | Some (After_checks n) ->
+    incr count;
+    if !count >= n then begin
+      clear ();
+      raise (Injected { site; checks = n })
+    end
+  | Some (At_site s) ->
+    incr count;
+    if String.equal s site then begin
+      let c = !count in
+      clear ();
+      raise (Injected { site; checks = c })
+    end

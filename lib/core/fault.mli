@@ -1,0 +1,45 @@
+(** Deterministic fault injection for the governor's checkpoints.
+
+    Every cooperative checkpoint the {!Governor} fires first consults this
+    module, so arming a fault exercises the exact unwind path a real
+    budget exhaustion would take — mid-BFS, mid-Dijkstra, mid-statement,
+    inside an open transaction — without depending on timing. Tests arm
+    it with {!set}; end-to-end runs arm it with the [SQLGRAPH_FAULT]
+    environment variable (read by the CLI via {!arm_from_env}).
+
+    Faults are one-shot: the spec disarms itself immediately before
+    raising, so recovery code (rollback, error rendering, the next
+    statement) runs fault-free. *)
+
+type spec =
+  | After_checks of int  (** raise at the Nth checkpoint, any site *)
+  | At_site of string
+      (** raise at the first checkpoint of the named site:
+          "interp", "bfs", "dijkstra", "all_paths", "rec_cte", ... *)
+
+exception Injected of { site : string; checks : int }
+(** Mapped by [Db.guard] into [Error.Resource_error] with kind
+    [Error.Fault]. *)
+
+(** [set (Some spec)] arms (resetting the check counter); [set None]
+    disarms. Process-global state. *)
+val set : spec option -> unit
+
+val clear : unit -> unit
+val current : unit -> spec option
+
+(** [parse s] — ["after=N"] or ["site=S"]; [""], ["off"], ["none"] and
+    anything malformed parse to [None]. *)
+val parse : string -> spec option
+
+val env_var : string
+(** ["SQLGRAPH_FAULT"]. *)
+
+(** [arm_from_env ()] — arm from [SQLGRAPH_FAULT] if set and well-formed.
+    Called by the CLI at startup; never called implicitly by the library,
+    so test processes stay deterministic. *)
+val arm_from_env : unit -> unit
+
+(** [hit ~site] — the checkpoint hook: raises {!Injected} (after
+    disarming) when the armed spec matches, else counts and returns. *)
+val hit : site:string -> unit

@@ -1,0 +1,125 @@
+type budget = {
+  timeout_ms : float option;
+  max_rows : int option;
+  max_steps : int option;
+  max_frontier : int option;
+  max_paths : int option;
+}
+
+let no_limits =
+  {
+    timeout_ms = None;
+    max_rows = None;
+    max_steps = None;
+    max_frontier = None;
+    max_paths = None;
+  }
+
+let budget ?timeout_ms ?max_rows ?max_steps ?max_frontier ?max_paths () =
+  { timeout_ms; max_rows; max_steps; max_frontier; max_paths }
+
+exception
+  Resource_error of {
+    kind : Error.resource_kind;
+    spent : float;
+    limit : float;
+    site : string;
+  }
+
+type t = {
+  b : budget;
+  started : float; (* Unix.gettimeofday at start *)
+  mutable cancelled : bool;
+  mutable checks : int;
+  mutable steps : int;
+  mutable peak_frontier : int;
+  mutable paths : int;
+}
+
+let start b =
+  {
+    b;
+    started = Unix.gettimeofday ();
+    cancelled = false;
+    checks = 0;
+    steps = 0;
+    peak_frontier = 0;
+    paths = 0;
+  }
+
+let cancel t = t.cancelled <- true
+let cancelled t = t.cancelled
+let elapsed_ms t = (Unix.gettimeofday () -. t.started) *. 1000.
+
+let remaining_ms t =
+  Option.map (fun limit -> Float.max 0. (limit -. elapsed_ms t)) t.b.timeout_ms
+
+let blow kind ~spent ~limit ~site =
+  raise (Resource_error { kind; spent; limit; site })
+
+(* The checkpoint body. Every call: consult the fault harness, honour the
+   cancellation token, fold the progress deltas into the counters, then
+   test each configured limit. The wall clock is read on every call —
+   vsyscall-cheap — because the kernels already throttle to one call per
+   ~64 loop iterations. *)
+let check_progress t (p : Graph.Cancel.progress) =
+  t.checks <- t.checks + 1;
+  Fault.hit ~site:p.Graph.Cancel.c_site;
+  let site = p.Graph.Cancel.c_site in
+  if t.cancelled then
+    blow Error.Cancelled ~spent:(elapsed_ms t) ~limit:0. ~site;
+  t.steps <- t.steps + p.Graph.Cancel.c_steps;
+  t.paths <- t.paths + p.Graph.Cancel.c_paths;
+  if p.Graph.Cancel.c_frontier > t.peak_frontier then
+    t.peak_frontier <- p.Graph.Cancel.c_frontier;
+  (match t.b.max_steps with
+  | Some l when t.steps > l ->
+    blow Error.Steps ~spent:(float_of_int t.steps) ~limit:(float_of_int l)
+      ~site
+  | _ -> ());
+  (match t.b.max_frontier with
+  | Some l when p.Graph.Cancel.c_frontier > l ->
+    blow Error.Frontier
+      ~spent:(float_of_int p.Graph.Cancel.c_frontier)
+      ~limit:(float_of_int l) ~site
+  | _ -> ());
+  (match t.b.max_paths with
+  | Some l when t.paths > l ->
+    blow Error.Paths ~spent:(float_of_int t.paths) ~limit:(float_of_int l)
+      ~site
+  | _ -> ());
+  (match t.b.max_rows with
+  | Some l when p.Graph.Cancel.c_rows > l ->
+    blow Error.Rows
+      ~spent:(float_of_int p.Graph.Cancel.c_rows)
+      ~limit:(float_of_int l) ~site
+  | _ -> ());
+  match t.b.timeout_ms with
+  | Some l ->
+    let e = elapsed_ms t in
+    if e > l then blow Error.Timeout ~spent:e ~limit:l ~site
+  | None -> ()
+
+let checkpoint t : Graph.Cancel.checkpoint = fun p -> check_progress t p
+
+let check t ~site ?steps ?frontier ?rows ?paths () =
+  Graph.Cancel.report (checkpoint t) ~site ?steps ?frontier ?rows ?paths ()
+
+type counters = {
+  checks : int;
+  steps : int;
+  peak_frontier : int;
+  paths : int;
+  elapsed_ms : float;
+  remaining_ms : float option;
+}
+
+let counters (t : t) =
+  {
+    checks = t.checks;
+    steps = t.steps;
+    peak_frontier = t.peak_frontier;
+    paths = t.paths;
+    elapsed_ms = elapsed_ms t;
+    remaining_ms = remaining_ms t;
+  }

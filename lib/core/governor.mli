@@ -1,0 +1,93 @@
+(** The per-query resource governor.
+
+    The paper's [REACHES] / [CHEAPEST SUM] operators turn one SQL
+    statement into unbounded graph traversals, so a served system needs
+    every statement to be *bounded* and *interruptible*. A governor is a
+    set of budgets plus a cooperative cancellation token; its
+    {!checkpoint} closure is threaded — as an opaque
+    {!Graph.Cancel.checkpoint} — through the interpreter, the vectorized
+    evaluator and every graph kernel, which report progress at cheap
+    intervals. When a budget is exhausted (or {!cancel} was called, or a
+    {!Fault} is armed) the checkpoint raises {!Resource_error}, the stack
+    unwinds out of the statement, and [Db.guard] maps the exception into
+    [Error.Resource_error]: the statement fails, the session and any open
+    transaction snapshot survive.
+
+    [Db.exec ?budget] / [Db.query ?budget] create one governor per
+    statement; embedders driving the executor directly can {!start} their
+    own and pass {!checkpoint} to [Executor.Interp.create_ctx]. *)
+
+(** Per-query limits; [None] everywhere ({!no_limits}) means ungoverned
+    (the checkpoint then only counts, serves {!cancel} and {!Fault}). *)
+type budget = {
+  timeout_ms : float option;  (** wall-clock deadline, milliseconds *)
+  max_rows : int option;  (** result / recursive-CTE accumulated rows *)
+  max_steps : int option;  (** total traversal / operator steps *)
+  max_frontier : int option;  (** BFS queue / Dijkstra heap size *)
+  max_paths : int option;  (** all-paths enumeration count *)
+}
+
+val no_limits : budget
+
+val budget :
+  ?timeout_ms:float ->
+  ?max_rows:int ->
+  ?max_steps:int ->
+  ?max_frontier:int ->
+  ?max_paths:int ->
+  unit ->
+  budget
+
+exception
+  Resource_error of {
+    kind : Error.resource_kind;
+    spent : float;
+    limit : float;
+    site : string;
+  }
+
+type t
+
+(** [start budget] — a fresh governor; the wall clock starts now. *)
+val start : budget -> t
+
+(** [cancel t] — set the cooperative cancellation token: the next
+    checkpoint raises with kind [Error.Cancelled]. Safe to call from a
+    signal handler or another domain. *)
+val cancel : t -> unit
+
+val cancelled : t -> bool
+
+(** [checkpoint t] — the closure to thread into the execution layers. *)
+val checkpoint : t -> Graph.Cancel.checkpoint
+
+(** [check t ~site ?steps ?frontier ?rows ?paths ()] — fire one checkpoint
+    directly (used by e.g. [Baselines.Sql_bfs] loop drivers and by [Db]
+    for the final result-row test). *)
+val check :
+  t ->
+  site:string ->
+  ?steps:int ->
+  ?frontier:int ->
+  ?rows:int ->
+  ?paths:int ->
+  unit ->
+  unit
+
+val elapsed_ms : t -> float
+
+(** [remaining_ms t] — time left under the deadline (clamped at 0);
+    [None] when the budget has no timeout. *)
+val remaining_ms : t -> float option
+
+(** Observability snapshot (merged into [Executor.Interp.stats] by [Db]). *)
+type counters = {
+  checks : int;
+  steps : int;
+  peak_frontier : int;
+  paths : int;
+  elapsed_ms : float;
+  remaining_ms : float option;
+}
+
+val counters : t -> counters

@@ -10,6 +10,15 @@ type stats = {
   mutable graph_traverse_seconds : float;
   mutable graphs_built : int;
   mutable graphs_reused : int;
+  (* governor observability, copied in by Db after each run: how many
+     cooperative checkpoints fired, traversal steps consumed, the largest
+     frontier seen, paths enumerated, and the wall-clock budget left
+     (nan when the query ran without a timeout) *)
+  mutable gov_checks : int;
+  mutable gov_steps : int;
+  mutable gov_peak_frontier : int;
+  mutable gov_paths : int;
+  mutable gov_budget_remaining_ms : float;
 }
 
 (* EXPLAIN ANALYZE instrumentation: one entry per completed operator. *)
@@ -26,6 +35,9 @@ type ctx = {
   vectorize : bool;
       (* try the column-at-a-time evaluator before the row-at-a-time one *)
   tracing : bool;
+  check : Graph.Cancel.checkpoint;
+      (* cooperative cancellation: fired per operator, per fixpoint
+         iteration, per N join/cross pairs, and inside every graph kernel *)
   st : stats;
   mutable subquery_memo : (L.plan * T.t) list;
   mutable rec_deltas : (string * T.t) list;
@@ -35,12 +47,13 @@ type ctx = {
 }
 
 let create_ctx ~catalog ?(indices = Graph_index.create ()) ?(vectorize = true)
-    ?(tracing = false) () =
+    ?(tracing = false) ?(check = Graph.Cancel.none) () =
   {
     catalog;
     indices;
     vectorize;
     tracing;
+    check;
     trace_depth = 0;
     trace_log = [];
     st =
@@ -49,6 +62,11 @@ let create_ctx ~catalog ?(indices = Graph_index.create ()) ?(vectorize = true)
         graph_traverse_seconds = 0.;
         graphs_built = 0;
         graphs_reused = 0;
+        gov_checks = 0;
+        gov_steps = 0;
+        gov_peak_frontier = 0;
+        gov_paths = 0;
+        gov_budget_remaining_ms = Float.nan;
       };
     subquery_memo = [];
     rec_deltas = [];
@@ -61,7 +79,12 @@ let reset_stats ctx =
   ctx.st.graph_build_seconds <- 0.;
   ctx.st.graph_traverse_seconds <- 0.;
   ctx.st.graphs_built <- 0;
-  ctx.st.graphs_reused <- 0
+  ctx.st.graphs_reused <- 0;
+  ctx.st.gov_checks <- 0;
+  ctx.st.gov_steps <- 0;
+  ctx.st.gov_peak_frontier <- 0;
+  ctx.st.gov_paths <- 0;
+  ctx.st.gov_budget_remaining_ms <- Float.nan
 
 (* Group keys are lists of cells. *)
 module Vkey = struct
@@ -211,6 +234,7 @@ let rec run ?outer ctx (plan : L.plan) : T.t =
 and run_node ?outer ctx (plan : L.plan) : T.t =
   (* [outer] is the enclosing row context when this plan is the body of a
      correlated subquery; it flows into every expression evaluation. *)
+  Graph.Cancel.report ctx.check ~site:"interp" ~steps:1 ();
   match plan with
   | L.Scan { table; _ } -> (
     match Storage.Catalog.find ctx.catalog table with
@@ -233,12 +257,14 @@ and run_node ?outer ctx (plan : L.plan) : T.t =
     let lt = run ?outer ctx left and rt = run ?outer ctx right in
     let nl = T.nrows lt and nr = T.nrows rt in
     let lidx = Array.make (nl * nr) 0 and ridx = Array.make (nl * nr) 0 in
+    let tk = Graph.Cancel.ticker ~interval:4096 ctx.check ~site:"cross" in
     let k = ref 0 in
     for i = 0 to nl - 1 do
       for j = 0 to nr - 1 do
         lidx.(!k) <- i;
         ridx.(!k) <- j;
-        incr k
+        incr k;
+        Graph.Cancel.tick tk ~frontier:0
       done
     done;
     T.concat_horizontal (T.take lt lidx) (T.take rt ridx)
@@ -296,14 +322,19 @@ and run_subplan ctx plan =
 and run_correlated ctx plan outer_env = run ~outer:outer_env ctx plan
 
 and eval_column ?outer ctx t e =
-  match if ctx.vectorize then Vectorized.eval_column t e else None with
+  match
+    if ctx.vectorize then Vectorized.eval_column ~check:ctx.check t e else None
+  with
   | Some col -> col
   | None ->
     Eval.eval_column ~run_subplan:(run_subplan ctx) ?outer
       ~run_correlated:(run_correlated ctx) t e
 
 and eval_filter ?outer ctx t pred =
-  match if ctx.vectorize then Vectorized.eval_filter t pred else None with
+  match
+    if ctx.vectorize then Vectorized.eval_filter ~check:ctx.check t pred
+    else None
+  with
   | Some kept -> kept
   | None ->
     Eval.eval_filter ~run_subplan:(run_subplan ctx) ?outer
@@ -346,6 +377,10 @@ and exec_rec_cte ?outer ctx name base step distinct schema =
     if !iterations > 10_000 then
       rerror "recursive CTE %s exceeded 10000 iterations (runaway recursion?)"
         name;
+    (* one checkpoint per fixpoint round: the accumulated row count feeds
+       the row budget, the delta width stands in for the frontier *)
+    Graph.Cancel.report ctx.check ~site:"rec_cte" ~steps:1
+      ~frontier:(T.nrows !delta) ~rows:(T.nrows !acc) ();
     ctx.rec_deltas <- (name, !delta) :: ctx.rec_deltas;
     let produced =
       Fun.protect
@@ -464,10 +499,12 @@ and exec_join ?outer ctx left right kind cond =
     lidx := i :: !lidx;
     ridx := j :: !ridx
   in
+  let tk = Graph.Cancel.ticker ~interval:1024 ctx.check ~site:"join" in
   for i = 0 to T.nrows lt - 1 do
     let matched = ref false in
     Seq.iter
       (fun j ->
+        Graph.Cancel.tick tk ~frontier:0;
         if pair_passes i j then begin
           matched := true;
           emit i j
@@ -578,6 +615,9 @@ and exec_sort ?outer ctx input keys =
    cache when one is enabled for this (table, S, D). *)
 and obtain_graph ctx (op : L.graph_op) =
   let build edges =
+    (* a last cancellation point before the long uncheckpointed
+       dictionary/CSR construction *)
+    Graph.Cancel.report ctx.check ~site:"graph_build" ();
     let t0 = Sys.time () in
     let rt =
       Graph.Runtime.build_multi
@@ -661,7 +701,8 @@ and run_cheapests ctx rt edges (op : L.graph_op) pairs =
   match op.L.cheapests with
   | [] ->
     let reach =
-      timed_traversal ctx (fun () -> Graph.Runtime.reachable rt ~pairs)
+      timed_traversal ctx (fun () ->
+          Graph.Runtime.reachable ~check:ctx.check rt ~pairs)
     in
     (reach, [])
   | cheapests ->
@@ -674,7 +715,7 @@ and run_cheapests ctx rt edges (op : L.graph_op) pairs =
           in
           ( c,
             timed_traversal ctx (fun () ->
-                Graph.Runtime.run_pairs rt ~weights ~pairs ()) ))
+                Graph.Runtime.run_pairs rt ~weights ~check:ctx.check ~pairs ()) ))
         cheapests
     in
     let _, first = List.hd outcomes in

@@ -7,12 +7,21 @@
     store lets REACHES predicates over indexed base tables skip the
     dominating graph-construction phase. *)
 
-(** Per-execution counters, for the build-vs-traverse ablation (A1). *)
+(** Per-execution counters, for the build-vs-traverse ablation (A1), plus
+    resource-governor observability ([gov_*]: checkpoints fired, traversal
+    steps, peak frontier, paths enumerated, wall-clock budget remaining —
+    [nan] when no timeout applied; filled in by [Sqlgraph.Db] after each
+    governed run). *)
 type stats = {
   mutable graph_build_seconds : float;
   mutable graph_traverse_seconds : float;
   mutable graphs_built : int;
   mutable graphs_reused : int;
+  mutable gov_checks : int;
+  mutable gov_steps : int;
+  mutable gov_peak_frontier : int;
+  mutable gov_paths : int;
+  mutable gov_budget_remaining_ms : float;
 }
 
 type ctx
@@ -25,16 +34,23 @@ type trace_entry = {
   tr_seconds : float;  (** inclusive of children *)
 }
 
-(** [create_ctx ~catalog ~indices ~vectorize ~tracing ()]. [vectorize]
-    (default true) tries the column-at-a-time evaluator ({!Vectorized})
-    before the row-at-a-time fallback — the MonetDB-style execution path.
-    [tracing] (default false) records a {!trace_entry} per executed
-    operator. *)
+(** [create_ctx ~catalog ~indices ~vectorize ~tracing ~check ()].
+    [vectorize] (default true) tries the column-at-a-time evaluator
+    ({!Vectorized}) before the row-at-a-time fallback — the MonetDB-style
+    execution path. [tracing] (default false) records a {!trace_entry} per
+    executed operator. [check] (default {!Graph.Cancel.none}) is the
+    cooperative cancellation checkpoint, fired per operator ("interp"),
+    per recursive-CTE round ("rec_cte"), every N join/cross pairs
+    ("join"/"cross"), per vectorized primitive ("vectorized"), before
+    graph construction ("graph_build"), and inside every graph kernel
+    ("bfs"/"dijkstra"/"all_paths"); raising from it unwinds the
+    execution. *)
 val create_ctx :
   catalog:Storage.Catalog.t ->
   ?indices:Graph_index.t ->
   ?vectorize:bool ->
   ?tracing:bool ->
+  ?check:Graph.Cancel.checkpoint ->
   unit ->
   ctx
 

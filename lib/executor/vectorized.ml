@@ -205,7 +205,10 @@ let rec bool_vec table (e : L.expr) : bvec option =
       | None -> None))
   | _ -> None
 
-let eval_column table (e : L.expr) =
+let eval_column ?(check = Graph.Cancel.none) table (e : L.expr) =
+  (* one cooperative cancellation point per vectorized primitive; the
+     loops themselves are tight array passes the governor need not enter *)
+  Graph.Cancel.report check ~site:"vectorized" ();
   match e.L.ty with
   | D.TInt -> (
     match int_vec table e with
@@ -221,7 +224,8 @@ let eval_column table (e : L.expr) =
     | None -> None)
   | _ -> None
 
-let eval_filter table pred =
+let eval_filter ?(check = Graph.Cancel.none) table pred =
+  Graph.Cancel.report check ~site:"vectorized" ();
   match bool_vec table pred with
   | None -> None
   | Some { bdata; bnull } ->

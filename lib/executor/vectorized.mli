@@ -9,12 +9,20 @@
     results, [IS NULL], and plain column/constant projection. Anything
     else returns [None] and the caller falls back to {!Eval}. *)
 
-(** [eval_column table e] — [Some column] when [e] is in the vectorizable
-    subset; the result is pointwise identical (including NULL semantics)
-    to {!Eval.eval_column}. *)
+(** [eval_column ?check table e] — [Some column] when [e] is in the
+    vectorizable subset; the result is pointwise identical (including NULL
+    semantics) to {!Eval.eval_column}. [check] (site "vectorized") fires
+    once per primitive as a cooperative cancellation point. *)
 val eval_column :
-  Storage.Table.t -> Relalg.Lplan.expr -> Storage.Column.t option
+  ?check:Graph.Cancel.checkpoint ->
+  Storage.Table.t ->
+  Relalg.Lplan.expr ->
+  Storage.Column.t option
 
-(** [eval_filter table pred] — [Some kept_rows] for vectorizable
+(** [eval_filter ?check table pred] — [Some kept_rows] for vectorizable
     predicates, matching {!Eval.eval_filter}. *)
-val eval_filter : Storage.Table.t -> Relalg.Lplan.expr -> int array option
+val eval_filter :
+  ?check:Graph.Cancel.checkpoint ->
+  Storage.Table.t ->
+  Relalg.Lplan.expr ->
+  int array option

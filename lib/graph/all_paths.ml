@@ -5,23 +5,26 @@ type t = {
   preds : (int * int) list array; (* per vertex: (pred vertex, edge row) on the DAG *)
 }
 
-let build csr ~source =
+let build ?(check = Cancel.none) csr ~source =
   let n = csr.Csr.vertex_count in
   let ws = Workspace.create n in
-  Bfs.run ws csr ~source ~targets:[||];
+  Bfs.run ~check ws csr ~source ~targets:[||];
   let dist =
     Array.init n (fun v ->
         if Workspace.visited ws v then ws.Workspace.dist_int.(v) else -1)
   in
   (* classify every CSR edge: (u, v) is a DAG edge iff dist u + 1 = dist v *)
   let preds = Array.make n [] in
+  let tk = Cancel.ticker check ~site:"all_paths" in
   for u = 0 to n - 1 do
+    Cancel.tick tk ~frontier:0;
     if dist.(u) >= 0 then
       Csr.iter_out csr u (fun ~slot ~target ->
           if dist.(target) = dist.(u) + 1 then
             preds.(target) <-
               (u, csr.Csr.edge_rows.(slot)) :: preds.(target))
   done;
+  Cancel.flush tk;
   { csr; source; dist; preds }
 
 let distance t v =
@@ -29,16 +32,18 @@ let distance t v =
   else if t.dist.(v) < 0 then None
   else Some t.dist.(v)
 
-let count_paths t ~target =
+let count_paths ?(check = Cancel.none) t ~target =
   match distance t target with
   | None -> 0
   | Some _ ->
     (* memoised DP backwards over the DAG *)
     let memo = Array.make (Array.length t.dist) (-1) in
+    let tk = Cancel.ticker check ~site:"all_paths" in
     let rec count v =
       if v = t.source then 1
       else if memo.(v) >= 0 then memo.(v)
       else begin
+        Cancel.tick tk ~frontier:0;
         let c =
           List.fold_left (fun acc (u, _) -> acc + count u) 0 t.preds.(v)
         in
@@ -46,26 +51,35 @@ let count_paths t ~target =
         c
       end
     in
-    count target
+    let c = count target in
+    Cancel.flush tk;
+    c
 
-let enumerate t ~target ?(limit = 1000) () =
+let enumerate ?(check = Cancel.none) t ~target ?(limit = 1000) () =
   match distance t target with
   | None -> []
   | Some _ ->
     let results = ref [] in
     let found = ref 0 in
+    let tk = Cancel.ticker check ~site:"all_paths" in
     (* DFS backwards from the target; [suffix] is the path tail already
        chosen, in source→target order *)
     let rec walk v suffix =
-      if !found < limit then
+      if !found < limit then begin
+        Cancel.tick tk ~frontier:0;
         if v = t.source then begin
           incr found;
+          (* every completed path reports immediately, so a path budget
+             cannot overshoot by a throttling interval *)
+          Cancel.report check ~site:"all_paths" ~paths:1 ();
           results := Array.of_list suffix :: !results
         end
         else
           List.iter
             (fun (u, edge_row) -> walk u (edge_row :: suffix))
             t.preds.(v)
+      end
     in
     walk target [];
+    Cancel.flush tk;
     List.rev !results

@@ -7,24 +7,33 @@
 
     Path counts grow combinatorially on dense graphs; {!enumerate} takes
     a limit and {!count_paths} may overflow native ints on adversarial
-    inputs (fine for social-network diameters). *)
+    inputs (fine for social-network diameters). All entry points accept a
+    {!Cancel.checkpoint} so a governor can bound or cancel the
+    (potentially exponential) enumeration cooperatively. *)
 
 type t
 
-(** [build csr ~source] — full BFS (no early exit) plus the DAG edge
-    classification: an edge (u, v) is on a shortest path iff
+(** [build ?check csr ~source] — full BFS (no early exit) plus the DAG
+    edge classification: an edge (u, v) is on a shortest path iff
     [dist u + 1 = dist v]. *)
-val build : Csr.t -> source:int -> t
+val build : ?check:Cancel.checkpoint -> Csr.t -> source:int -> t
 
 (** [distance t v] — BFS distance, [None] if unreachable. *)
 val distance : t -> int -> int option
 
-(** [count_paths t ~target] — the number of distinct shortest paths from
-    the source to [target]; 0 when unreachable, 1 when [target] is the
-    source. *)
-val count_paths : t -> target:int -> int
+(** [count_paths ?check t ~target] — the number of distinct shortest paths
+    from the source to [target]; 0 when unreachable, 1 when [target] is
+    the source. *)
+val count_paths : ?check:Cancel.checkpoint -> t -> target:int -> int
 
-(** [enumerate t ~target ?limit ()] — up to [limit] (default 1000)
+(** [enumerate ?check t ~target ?limit ()] — up to [limit] (default 1000)
     shortest paths, each as edge-table rows in source→target order
-    (empty array for the source itself). *)
-val enumerate : t -> target:int -> ?limit:int -> unit -> int array list
+    (empty array for the source itself). Each completed path fires the
+    checkpoint with [c_paths = 1], so a path-enumeration budget is exact. *)
+val enumerate :
+  ?check:Cancel.checkpoint ->
+  t ->
+  target:int ->
+  ?limit:int ->
+  unit ->
+  int array list

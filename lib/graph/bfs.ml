@@ -1,4 +1,5 @@
-let run (ws : Workspace.t) (csr : Csr.t) ~source ~targets =
+let run ?(check = Cancel.none) (ws : Workspace.t) (csr : Csr.t) ~source
+    ~targets =
   Workspace.next_epoch ws;
   (* Register pending targets; duplicates count once. *)
   let remaining = ref 0 in
@@ -11,6 +12,7 @@ let run (ws : Workspace.t) (csr : Csr.t) ~source ~targets =
     targets;
   let early_exit = Array.length targets > 0 in
   let queue = Queue.create () in
+  let tk = Cancel.ticker check ~site:"bfs" in
   let settle v =
     if Workspace.is_pending_target ws v then begin
       Workspace.clear_target ws v;
@@ -26,6 +28,7 @@ let run (ws : Workspace.t) (csr : Csr.t) ~source ~targets =
   let finished = ref (early_exit && !remaining = 0) in
   while (not !finished) && not (Queue.is_empty queue) do
     let u = Queue.pop queue in
+    Cancel.tick tk ~frontier:(Queue.length queue);
     let du = ws.dist_int.(u) in
     Csr.iter_out csr u (fun ~slot ~target ->
         if not (Workspace.visited ws target) then begin
@@ -37,4 +40,5 @@ let run (ws : Workspace.t) (csr : Csr.t) ~source ~targets =
           Queue.add target queue
         end);
     if early_exit && !remaining = 0 then finished := true
-  done
+  done;
+  Cancel.flush tk

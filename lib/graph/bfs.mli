@@ -5,11 +5,20 @@
     BFS over the source and destination vertices, discarding the computed
     shortest paths". *)
 
-(** [run ws csr ~source ~targets] searches from [source] until every vertex
-    in [targets] has been discovered (or the whole component is exhausted).
-    After the call, [Workspace.visited ws v] tells reachability and
-    [ws.dist_int.(v)] is the hop count for visited [v];
+(** [run ?check ws csr ~source ~targets] searches from [source] until every
+    vertex in [targets] has been discovered (or the whole component is
+    exhausted). After the call, [Workspace.visited ws v] tells reachability
+    and [ws.dist_int.(v)] is the hop count for visited [v];
     [ws.parent_vertex]/[ws.parent_slot] encode one shortest-path tree.
 
-    [targets = [||]] means "no early exit": traverse the full component. *)
-val run : Workspace.t -> Csr.t -> source:int -> targets:int array -> unit
+    [targets = [||]] means "no early exit": traverse the full component.
+    [check] (site "bfs") fires every {!Cancel.default_interval} settled
+    vertices with the queue length as the frontier; raising from it aborts
+    the search, leaving the workspace reusable (epoch-stamped state). *)
+val run :
+  ?check:Cancel.checkpoint ->
+  Workspace.t ->
+  Csr.t ->
+  source:int ->
+  targets:int array ->
+  unit

@@ -1,0 +1,68 @@
+type progress = {
+  c_site : string;
+  c_steps : int;
+  c_frontier : int;
+  c_rows : int;
+  c_paths : int;
+}
+
+type checkpoint = progress -> unit
+
+let none : checkpoint = fun _ -> ()
+
+let report check ~site ?(steps = 0) ?(frontier = 0) ?(rows = 0) ?(paths = 0) ()
+    =
+  check
+    {
+      c_site = site;
+      c_steps = steps;
+      c_frontier = frontier;
+      c_rows = rows;
+      c_paths = paths;
+    }
+
+type ticker = {
+  t_check : checkpoint;
+  t_site : string;
+  t_interval : int;
+  mutable t_pending : int;
+}
+
+let default_interval = 64
+
+let ticker ?(interval = default_interval) check ~site =
+  {
+    t_check = check;
+    t_site = site;
+    t_interval = max 1 interval;
+    t_pending = 0;
+  }
+
+let tick tk ~frontier =
+  tk.t_pending <- tk.t_pending + 1;
+  if tk.t_pending >= tk.t_interval then begin
+    let steps = tk.t_pending in
+    tk.t_pending <- 0;
+    tk.t_check
+      {
+        c_site = tk.t_site;
+        c_steps = steps;
+        c_frontier = frontier;
+        c_rows = 0;
+        c_paths = 0;
+      }
+  end
+
+let flush tk =
+  if tk.t_pending > 0 then begin
+    let steps = tk.t_pending in
+    tk.t_pending <- 0;
+    tk.t_check
+      {
+        c_site = tk.t_site;
+        c_steps = steps;
+        c_frontier = 0;
+        c_rows = 0;
+        c_paths = 0;
+      }
+  end

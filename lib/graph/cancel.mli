@@ -1,0 +1,52 @@
+(** Cooperative cancellation / budget checkpoints for the graph kernels.
+
+    The kernels know nothing about budgets or timeouts: at cheap intervals
+    (every N loop iterations) they report how much work they did since the
+    last report to an opaque callback, together with the current frontier
+    size. The policy — wall-clock deadlines, step budgets, fault injection
+    — lives above the graph layer, in [Sqlgraph.Governor], whose
+    checkpoint closure aborts a traversal by raising. All per-vertex state
+    is epoch-stamped ({!Workspace}), so unwinding out of a kernel
+    mid-search leaves the workspace reusable. *)
+
+(** One progress report. Counters are deltas since the previous report
+    except [c_frontier] and [c_rows], which are instantaneous values. *)
+type progress = {
+  c_site : string;  (** which checkpoint fired: "bfs", "dijkstra", ... *)
+  c_steps : int;  (** traversal work units since the last report *)
+  c_frontier : int;  (** current frontier / heap size; 0 when n/a *)
+  c_rows : int;  (** rows materialised at this point; 0 when n/a *)
+  c_paths : int;  (** paths enumerated since the last report *)
+}
+
+type checkpoint = progress -> unit
+
+(** [none] — the no-op checkpoint (the default everywhere). *)
+val none : checkpoint
+
+(** [report check ~site ?steps ?frontier ?rows ?paths ()] — fire [check]
+    once with the given counters (all default 0). *)
+val report :
+  checkpoint ->
+  site:string ->
+  ?steps:int ->
+  ?frontier:int ->
+  ?rows:int ->
+  ?paths:int ->
+  unit ->
+  unit
+
+(** A throttled per-loop reporter: {!tick} counts one work unit and fires
+    the checkpoint every [interval] (default 64) units, so the callback —
+    and its wall-clock read — stays off the per-iteration fast path. *)
+type ticker
+
+val default_interval : int
+val ticker : ?interval:int -> checkpoint -> site:string -> ticker
+
+(** [tick tk ~frontier] — count one unit; fires at most every [interval]. *)
+val tick : ticker -> frontier:int -> unit
+
+(** [flush tk] — report any units accumulated since the last firing
+    (call when the loop ends, so step accounting stays exact). *)
+val flush : ticker -> unit

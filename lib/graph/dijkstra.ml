@@ -15,25 +15,29 @@ let setup_targets (ws : Workspace.t) targets =
     targets;
   remaining
 
-let run_int (ws : Workspace.t) (csr : Csr.t) ~weights ~source ~targets ~heap =
+let run_int ?(check = Cancel.none) (ws : Workspace.t) (csr : Csr.t) ~weights
+    ~source ~targets ~heap =
   Workspace.next_epoch ws;
   let remaining = setup_targets ws targets in
   let early_exit = Array.length targets > 0 in
-  let insert, extract, heap_empty =
+  let insert, extract, heap_empty, heap_size =
     match heap with
     | Radix ->
       let h = Radix_heap.create () in
       ( (fun p v -> Radix_heap.insert h ~priority:p ~payload:v),
         (fun () -> Radix_heap.extract_min h),
-        fun () -> Radix_heap.is_empty h )
+        (fun () -> Radix_heap.is_empty h),
+        fun () -> Radix_heap.size h )
     | Binary ->
       let h = Binary_heap.create () in
       ( (fun p v -> Binary_heap.insert h ~priority:(float_of_int p) ~payload:v),
         (fun () ->
           let p, v = Binary_heap.extract_min h in
           (int_of_float p, v)),
-        fun () -> Binary_heap.is_empty h )
+        (fun () -> Binary_heap.is_empty h),
+        fun () -> Binary_heap.size h )
   in
+  let tk = Cancel.ticker check ~site:"dijkstra" in
   Workspace.mark_visited ws source;
   ws.dist_int.(source) <- 0;
   ws.parent_vertex.(source) <- -1;
@@ -42,6 +46,7 @@ let run_int (ws : Workspace.t) (csr : Csr.t) ~weights ~source ~targets ~heap =
   let finished = ref false in
   while (not !finished) && not (heap_empty ()) do
     let d, u = extract () in
+    Cancel.tick tk ~frontier:(heap_size ());
     (* Lazy deletion: skip entries made stale by a later relaxation. *)
     if d = ws.dist_int.(u) && Workspace.visited ws u then begin
       if Workspace.is_pending_target ws u then begin
@@ -63,13 +68,16 @@ let run_int (ws : Workspace.t) (csr : Csr.t) ~weights ~source ~targets ~heap =
               insert cand target
             end)
     end
-  done
+  done;
+  Cancel.flush tk
 
-let run_float (ws : Workspace.t) (csr : Csr.t) ~weights ~source ~targets =
+let run_float ?(check = Cancel.none) (ws : Workspace.t) (csr : Csr.t) ~weights
+    ~source ~targets =
   Workspace.next_epoch ws;
   let remaining = setup_targets ws targets in
   let early_exit = Array.length targets > 0 in
   let h = Binary_heap.create () in
+  let tk = Cancel.ticker check ~site:"dijkstra" in
   Workspace.mark_visited ws source;
   ws.dist_float.(source) <- 0.;
   ws.parent_vertex.(source) <- -1;
@@ -78,6 +86,7 @@ let run_float (ws : Workspace.t) (csr : Csr.t) ~weights ~source ~targets =
   let finished = ref false in
   while (not !finished) && not (Binary_heap.is_empty h) do
     let d, u = Binary_heap.extract_min h in
+    Cancel.tick tk ~frontier:(Binary_heap.size h);
     if d = ws.dist_float.(u) && Workspace.visited ws u then begin
       if Workspace.is_pending_target ws u then begin
         Workspace.clear_target ws u;
@@ -98,4 +107,5 @@ let run_float (ws : Workspace.t) (csr : Csr.t) ~weights ~source ~targets =
               Binary_heap.insert h ~priority:cand ~payload:target
             end)
     end
-  done
+  done;
+  Cancel.flush tk

@@ -8,13 +8,18 @@
 
 type heap_kind = Radix | Binary
 
-(** [run_int ws csr ~weights ~source ~targets ~heap] — weighted search with
-    per-CSR-slot integer weights (all [> 0]; checked by the caller). Early
-    exit once every target is *settled*. After the call, visited vertices
-    carry their distance in [ws.dist_int] and the shortest-path tree in
-    [ws.parent_vertex]/[ws.parent_slot]. [targets = [||]] disables early
-    exit. *)
+(** [run_int ?check ws csr ~weights ~source ~targets ~heap] — weighted
+    search with per-CSR-slot integer weights (all [> 0]; checked by the
+    caller). Early exit once every target is *settled*. After the call,
+    visited vertices carry their distance in [ws.dist_int] and the
+    shortest-path tree in [ws.parent_vertex]/[ws.parent_slot].
+    [targets = [||]] disables early exit.
+
+    [check] (site "dijkstra") fires every {!Cancel.default_interval} heap
+    extractions with the heap size as the frontier; raising from it aborts
+    the search, leaving the workspace reusable. *)
 val run_int :
+  ?check:Cancel.checkpoint ->
   Workspace.t ->
   Csr.t ->
   weights:int array ->
@@ -25,6 +30,7 @@ val run_int :
 
 (** [run_float] — as {!run_int} with [float] weights and [ws.dist_float]. *)
 val run_float :
+  ?check:Cancel.checkpoint ->
   Workspace.t ->
   Csr.t ->
   weights:float array ->

@@ -115,15 +115,17 @@ let group_by_source encoded =
 
 (* Run one source group (search + per-pair extraction) on a given
    workspace, writing its outcomes into disjoint slots of [out]. *)
-let run_group t ~slot_w ~heap ~out ws (source, entries) =
+let run_group t ~slot_w ~heap ~check ~out ws (source, entries) =
   (match slot_w with
-  | `None -> Bfs.run ws t.csr ~source ~targets:(Array.of_list (List.map snd entries))
+  | `None ->
+    Bfs.run ~check ws t.csr ~source
+      ~targets:(Array.of_list (List.map snd entries))
   | `Int w ->
-    Dijkstra.run_int ws t.csr ~weights:w ~source
+    Dijkstra.run_int ~check ws t.csr ~weights:w ~source
       ~targets:(Array.of_list (List.map snd entries))
       ~heap
   | `Float w ->
-    Dijkstra.run_float ws t.csr ~weights:w ~source
+    Dijkstra.run_float ~check ws t.csr ~weights:w ~source
       ~targets:(Array.of_list (List.map snd entries)));
   List.iter
     (fun (idx, dst) ->
@@ -138,7 +140,8 @@ let run_group t ~slot_w ~heap ~out ws (source, entries) =
       end)
     entries
 
-let run_pairs t ~weights ?(heap = Dijkstra.Radix) ?(domains = 1) ~pairs () =
+let run_pairs t ~weights ?(heap = Dijkstra.Radix) ?(domains = 1)
+    ?(check = Cancel.none) ~pairs () =
   let slot_w =
     match weights with
     | Unweighted -> `None
@@ -150,11 +153,13 @@ let run_pairs t ~weights ?(heap = Dijkstra.Radix) ?(domains = 1) ~pairs () =
   let out = Array.make (Array.length pairs) Unreachable in
   let group_list = Hashtbl.fold (fun s e acc -> (s, e) :: acc) groups [] in
   if domains <= 1 || List.length group_list <= 1 then
-    List.iter (run_group t ~slot_w ~heap ~out t.ws) group_list
+    List.iter (run_group t ~slot_w ~heap ~check ~out t.ws) group_list
   else begin
     (* §6's parallelism: one domain per chunk of source groups, each with
        a private workspace; the CSR and weights are shared read-only and
-       outcome slots are disjoint. *)
+       outcome slots are disjoint. The checkpoint is shared across domains
+       (its counters may race benignly); a raise aborts that domain and
+       resurfaces at the join below. *)
     let n = List.length group_list in
     let d = min domains n in
     let chunks = Array.make d [] in
@@ -163,7 +168,7 @@ let run_pairs t ~weights ?(heap = Dijkstra.Radix) ?(domains = 1) ~pairs () =
       group_list;
     let work chunk () =
       let ws = Workspace.create t.stats.vertex_count in
-      List.iter (run_group t ~slot_w ~heap ~out ws) chunk
+      List.iter (run_group t ~slot_w ~heap ~check ~out ws) chunk
     in
     let spawned =
       Array.to_list
@@ -173,6 +178,6 @@ let run_pairs t ~weights ?(heap = Dijkstra.Radix) ?(domains = 1) ~pairs () =
   end;
   out
 
-let reachable t ~pairs =
-  let outcomes = run_pairs t ~weights:Unweighted ~pairs () in
+let reachable ?(check = Cancel.none) t ~pairs =
+  let outcomes = run_pairs t ~weights:Unweighted ~check ~pairs () in
   Array.map (function Unreachable -> false | Reached _ -> true) outcomes

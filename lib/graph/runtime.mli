@@ -68,6 +68,11 @@ type outcome =
     are written to disjoint slots, so output is deterministic and
     identical to the sequential run.
 
+    [check] (default {!Cancel.none}) is forwarded into every kernel so a
+    governor can cancel or budget the batch; with [domains > 1] the same
+    closure is shared by all domains (progress counters may race benignly)
+    and a raise aborts the raising domain, resurfacing at the join.
+
     Raises {!Weight_error} on invalid weights (checked for every edge that
     participates in the graph, before any traversal). *)
 val run_pairs :
@@ -75,10 +80,15 @@ val run_pairs :
   weights:weights ->
   ?heap:Dijkstra.heap_kind ->
   ?domains:int ->
+  ?check:Cancel.checkpoint ->
   pairs:(Storage.Value.t * Storage.Value.t) array ->
   unit ->
   outcome array
 
 (** [reachable t ~pairs] — reachability only: runs BFS and discards paths,
     as the paper's runtime does for bare REACHES predicates. *)
-val reachable : t -> pairs:(Storage.Value.t * Storage.Value.t) array -> bool array
+val reachable :
+  ?check:Cancel.checkpoint ->
+  t ->
+  pairs:(Storage.Value.t * Storage.Value.t) array ->
+  bool array

@@ -131,6 +131,66 @@ let test_bad_subcommand () =
   let code, _ = run_cli "definitely-not-a-command" in
   check tbool "nonzero exit" true (code <> 0)
 
+(* ------------------------------------------------------------------ *)
+(* Resource limits and fault injection, end to end                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_max_rows_flag () =
+  with_temp_file
+    "CREATE TABLE t (x INTEGER);\n\
+     INSERT INTO t VALUES (1), (2), (3), (4);\n\
+     SELECT x FROM t;\n"
+    (fun script ->
+      let code, out = run_cli ("run --max-rows 2 " ^ Filename.quote script) in
+      check tbool "nonzero exit" true (code <> 0);
+      check tbool "rows budget reported" true
+        (contains out "resource error" && contains out "rows budget"))
+
+let test_repl_timeout_and_limit_meta () =
+  with_temp_file
+    "CREATE TABLE e (src INTEGER, dst INTEGER);\n\
+     INSERT INTO e VALUES (1, 2), (2, 3), (3, 4);\n\
+     \\limit 2;\n\
+     SELECT * FROM e;\n\
+     \\limit off;\n\
+     SELECT * FROM e;\n\
+     \\timeout 0.0001;\n\
+     SELECT CHEAPEST SUM(1) WHERE 1 REACHES 4 OVER e EDGE (src, dst);\n\
+     \\timeout off;\n\
+     SELECT CHEAPEST SUM(1) WHERE 1 REACHES 4 OVER e EDGE (src, dst);\n\
+     \\q\n"
+    (fun input ->
+      let code, out = run_cli ~stdin:input "repl" in
+      check tbool "exit 0" true (code = 0);
+      check tbool "limit set" true (contains out "limit 2");
+      check tbool "rows budget trips" true (contains out "rows budget exceeded");
+      check tbool "limit cleared" true (contains out "limit off");
+      check tbool "timeout trips" true (contains out "timeout exceeded");
+      check tbool "query works after clearing" true (contains out "| 3"))
+
+let test_fault_env_var () =
+  (* SQLGRAPH_FAULT is read by the CLI at startup; the armed fault kills
+     the first statement that reaches a BFS checkpoint, then disarms, so
+     the session keeps working. *)
+  with_temp_file
+    "CREATE TABLE e (src INTEGER, dst INTEGER);\n\
+     INSERT INTO e VALUES (1, 2), (2, 3);\n\
+     SELECT CHEAPEST SUM(1) WHERE 1 REACHES 3 OVER e EDGE (src, dst);\n\
+     SELECT CHEAPEST SUM(1) WHERE 1 REACHES 3 OVER e EDGE (src, dst);\n\
+     \\q\n"
+    (fun input ->
+      let out_f = Filename.temp_file "sqlgraph_cli_out" ".txt" in
+      let cmd =
+        Printf.sprintf "SQLGRAPH_FAULT=site=bfs %s repl < %s > %s 2>&1"
+          cli_path (Filename.quote input) (Filename.quote out_f)
+      in
+      let code = Sys.command cmd in
+      let out = read_file out_f in
+      Sys.remove out_f;
+      check tbool "repl exit 0" true (code = 0);
+      check tbool "fault surfaced" true (contains out "injected fault at bfs");
+      check tbool "one-shot: second query answers" true (contains out "| 2"))
+
 let () =
   Alcotest.run "cli"
     [
@@ -149,4 +209,11 @@ let () =
         ] );
       ( "cli",
         [ Alcotest.test_case "bad subcommand" `Quick test_bad_subcommand ] );
+      ( "governor",
+        [
+          Alcotest.test_case "--max-rows on run" `Quick test_run_max_rows_flag;
+          Alcotest.test_case "\\timeout and \\limit meta-commands" `Quick
+            test_repl_timeout_and_limit_meta;
+          Alcotest.test_case "SQLGRAPH_FAULT env" `Quick test_fault_env_var;
+        ] );
     ]
