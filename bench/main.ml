@@ -515,7 +515,7 @@ let baselines_bench ~ratio ~sfs ~reps ~seed =
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
-let micro ~ratio ~seed =
+let micro ?json ~ratio ~seed () =
   print_header "Bechamel micro-benchmarks (one kernel per experiment)";
   let setup = make_setup ~sf:1 ~ratio ~seed in
   let friends = setup.graph.Datagen.Snb.friends in
@@ -574,6 +574,7 @@ let micro ~ratio ~seed =
   in
   let instance = Toolkit.Instance.monotonic_clock in
   Printf.printf "%-36s %18s\n" "benchmark" "ns/run";
+  let measured = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -581,10 +582,36 @@ let micro ~ratio ~seed =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Printf.printf "%-36s %18.1f\n%!" name est
+          | Some [ est ] ->
+            measured := (name, est) :: !measured;
+            Printf.printf "%-36s %18.1f\n%!" name est
           | _ -> Printf.printf "%-36s %18s\n%!" name "n/a")
         analyzed)
-    tests
+    tests;
+  match json with
+  | None -> ()
+  | Some path ->
+    (* BENCH_*.json: the machine-readable perf trajectory (schema
+       sqlgraph-bench-v1; one result object per kernel, ns per run) *)
+    Sqlgraph.Metrics.write_file ~path
+      (Sqlgraph.Metrics.Obj
+         [
+           ("schema", Sqlgraph.Metrics.String "sqlgraph-bench-v1");
+           ("suite", Sqlgraph.Metrics.String "micro");
+           ("ratio", Sqlgraph.Metrics.num ratio);
+           ("seed", Sqlgraph.Metrics.Int seed);
+           ( "results",
+             Sqlgraph.Metrics.List
+               (List.rev_map
+                  (fun (name, ns) ->
+                    Sqlgraph.Metrics.Obj
+                      [
+                        ("name", Sqlgraph.Metrics.String name);
+                        ("ns_per_run", Sqlgraph.Metrics.num ns);
+                      ])
+                  !measured) );
+         ]);
+    Printf.printf "wrote %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
@@ -697,9 +724,18 @@ let baselines_cmd =
       const (fun ratio sfs reps seed -> baselines_bench ~ratio ~sfs ~reps ~seed)
       $ ratio_arg $ sfs_arg $ reps_arg $ seed_arg)
 
+let json_arg =
+  let doc =
+    "Write the micro-benchmark results to this file as JSON (schema \
+     sqlgraph-bench-v1), e.g. BENCH_micro.json."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
 let micro_cmd =
   cmd "micro" "Bechamel micro-benchmarks."
-    Term.(const (fun ratio seed -> micro ~ratio ~seed) $ ratio_arg $ seed_arg)
+    Term.(
+      const (fun ratio seed json -> micro ?json ~ratio ~seed ())
+      $ ratio_arg $ seed_arg $ json_arg)
 
 let run_everything ratio sfs batches reps seed =
   table1 ~ratio ~sfs ~seed;
@@ -714,7 +750,7 @@ let run_everything ratio sfs batches reps seed =
   ablation_parallel ~ratio ~sfs ~seed;
   ablation_vectorized ~ratio ~sfs ~seed;
   baselines_bench ~ratio ~sfs ~reps ~seed;
-  micro ~ratio ~seed
+  micro ~ratio ~seed ()
 
 let all_cmd =
   cmd "all" "Run every table, figure and ablation with the given settings."

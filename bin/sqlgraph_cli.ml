@@ -9,6 +9,10 @@
    with "resource error: ..." and the session keeps running):
      --timeout MS      per-statement wall-clock budget
      --max-rows N      per-statement result-row budget
+     --domains N       traversal parallelism (SET parallelism = N)
+     --json-metrics F  dump the last statement's execution counters to F
+                       as JSON (schema sqlgraph-metrics-v1) after each
+                       statement
 
    The repl understands a few meta-commands:
      \e SQL;                 EXPLAIN the (rewritten) plan of a SELECT
@@ -21,6 +25,7 @@
      \timeout MS;            set the per-statement timeout (0 or off: none)
      \limit ROWS;            set the per-statement row limit (0 or off: none)
      \timing;                toggle per-statement wall-clock timing
+     \stats;                 execution counters of the last query
      \q                      quit
 
    SQLGRAPH_FAULT=after=N | site=S arms the deterministic fault-injection
@@ -34,6 +39,7 @@ let print_outcome = function
   | Sqlgraph.Db.Deleted n -> Printf.printf "DELETE %d\n" n
   | Sqlgraph.Db.Selected r -> print_string (Sqlgraph.Resultset.to_string r)
   | Sqlgraph.Db.Explained plan -> print_string plan
+  | Sqlgraph.Db.Option_set (name, value) -> Printf.printf "SET %s = %d\n" name value
   | Sqlgraph.Db.Began -> print_endline "BEGIN"
   | Sqlgraph.Db.Committed -> print_endline "COMMIT"
   | Sqlgraph.Db.Rolled_back -> print_endline "ROLLBACK"
@@ -45,14 +51,61 @@ let timing = ref false
 let timeout_ms : float option ref = ref None
 let max_rows : int option ref = ref None
 
+(* --json-metrics FILE: after every statement, the last query's counters
+   are rewritten to FILE (last writer wins, like \stats shows). *)
+let json_metrics : string option ref = ref None
+
 let current_budget () =
   Sqlgraph.Governor.budget ?timeout_ms:!timeout_ms ?max_rows:!max_rows ()
+
+let dump_metrics db =
+  match !json_metrics with
+  | None -> ()
+  | Some path -> (
+    match Sqlgraph.Db.last_stats db with
+    | None -> ()
+    | Some s ->
+      Sqlgraph.Metrics.write_file ~path
+        (Sqlgraph.Metrics.Obj
+           [
+             ("schema", Sqlgraph.Metrics.String "sqlgraph-metrics-v1");
+             ("parallelism", Sqlgraph.Metrics.Int (Sqlgraph.Db.parallelism db));
+             ("stats", Sqlgraph.Metrics.stats_json s);
+           ]))
+
+let print_stats db =
+  match Sqlgraph.Db.last_stats db with
+  | None -> print_endline "no query statistics yet"
+  | Some s ->
+    let ms x = x *. 1000. in
+    Printf.printf "graphs: built=%d reused=%d  index: hits=%d misses=%d\n"
+      s.Executor.Interp.graphs_built s.Executor.Interp.graphs_reused
+      s.Executor.Interp.index_hits s.Executor.Interp.index_misses;
+    Printf.printf
+      "build: %.3fms (dict=%.3fms encode=%.3fms csr=%.3fms)  traverse: %.3fms\n"
+      (ms s.Executor.Interp.graph_build_seconds)
+      (ms s.Executor.Interp.build_dict_seconds)
+      (ms s.Executor.Interp.build_encode_seconds)
+      (ms s.Executor.Interp.build_csr_seconds)
+      (ms s.Executor.Interp.graph_traverse_seconds);
+    Printf.printf
+      "traversal: searches=%d settled=%d peak_frontier=%d edges_scanned=%d\n"
+      s.Executor.Interp.trav_searches s.Executor.Interp.trav_settled
+      s.Executor.Interp.trav_peak_frontier s.Executor.Interp.trav_edges;
+    Printf.printf "evaluation: vectorized=%d row=%d\n"
+      s.Executor.Interp.vec_ops s.Executor.Interp.row_ops;
+    Printf.printf "governor: checks=%d steps=%d peak_frontier=%d paths=%d%s\n"
+      s.Executor.Interp.gov_checks s.Executor.Interp.gov_steps
+      s.Executor.Interp.gov_peak_frontier s.Executor.Interp.gov_paths
+      (let r = s.Executor.Interp.gov_budget_remaining_ms in
+       if Float.is_nan r then "" else Printf.sprintf " budget_remaining=%.1fms" r)
 
 let execute db sql =
   let t0 = Unix.gettimeofday () in
   (match Sqlgraph.Db.exec db ~budget:(current_budget ()) sql with
   | Ok outcome -> print_outcome outcome
   | Error e -> Printf.printf "error: %s\n" (Sqlgraph.Error.to_string e));
+  dump_metrics db;
   if !timing then Printf.printf "time: %.3fs\n" (Unix.gettimeofday () -. t0)
 
 let describe db name =
@@ -156,11 +209,14 @@ let repl db =
            | [ "\\load"; dir ] -> (
              match Sqlgraph.Persist.load ~dir with
              | Ok fresh ->
+               (* session options survive the swap *)
+               Sqlgraph.Db.set_parallelism fresh (Sqlgraph.Db.parallelism !db);
                db := fresh;
                Printf.printf "loaded %s\n" dir
              | Error e -> Printf.printf "error: %s\n" (Sqlgraph.Error.to_string e))
            | [ "\\timeout"; ms ] -> set_timeout ms
            | [ "\\limit"; rows ] -> set_max_rows rows
+           | [ "\\stats" ] -> print_stats !db
            | [ "\\timing" ] ->
              timing := not !timing;
              Printf.printf "timing %s\n" (if !timing then "on" else "off")
@@ -179,7 +235,9 @@ let run_file db path =
     exit 1
   | source -> (
     match Sqlgraph.Db.exec_script db ~budget:(current_budget ()) source with
-    | Ok outcomes -> List.iter print_outcome outcomes
+    | Ok outcomes ->
+      List.iter print_outcome outcomes;
+      dump_metrics db
     | Error e ->
       Printf.eprintf "error: %s\n" (Sqlgraph.Error.to_string e);
       exit 1)
@@ -197,9 +255,16 @@ let load_demo db =
 
 open Cmdliner
 
-let apply_limits t r =
+let apply_limits t r j =
   timeout_ms := t;
-  max_rows := r
+  max_rows := r;
+  json_metrics := j
+
+(* A session database honouring --domains. *)
+let make_db d =
+  let db = Sqlgraph.Db.create () in
+  (match d with Some n -> Sqlgraph.Db.set_parallelism db n | None -> ());
+  db
 
 let timeout_arg =
   Arg.(
@@ -214,13 +279,31 @@ let max_rows_arg =
     & opt (some int) None
     & info [ "max-rows" ] ~docv:"N" ~doc:"Per-statement result-row budget.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Traversal parallelism: domains per shortest-path batch \
+           (equivalent to SET parallelism = N).")
+
+let json_metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json-metrics" ] ~docv:"FILE"
+        ~doc:
+          "After each statement, dump the last query's execution counters \
+           to FILE as JSON (schema sqlgraph-metrics-v1).")
+
 let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL shell.")
     Term.(
-      const (fun t r ->
-          apply_limits t r;
-          repl (Sqlgraph.Db.create ()))
-      $ timeout_arg $ max_rows_arg)
+      const (fun t r d j ->
+          apply_limits t r j;
+          repl (make_db d))
+      $ timeout_arg $ max_rows_arg $ domains_arg $ json_metrics_arg)
 
 let run_cmd =
   let file =
@@ -228,22 +311,22 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script file.")
     Term.(
-      const (fun t r f ->
-          apply_limits t r;
-          run_file (Sqlgraph.Db.create ()) f)
-      $ timeout_arg $ max_rows_arg $ file)
+      const (fun t r d j f ->
+          apply_limits t r j;
+          run_file (make_db d) f)
+      $ timeout_arg $ max_rows_arg $ domains_arg $ json_metrics_arg $ file)
 
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo"
        ~doc:"Open a shell with a synthetic social network preloaded.")
     Term.(
-      const (fun t r ->
-          apply_limits t r;
-          let db = Sqlgraph.Db.create () in
+      const (fun t r d j ->
+          apply_limits t r j;
+          let db = make_db d in
           load_demo db;
           repl db)
-      $ timeout_arg $ max_rows_arg)
+      $ timeout_arg $ max_rows_arg $ domains_arg $ json_metrics_arg)
 
 let () =
   Sqlgraph.Fault.arm_from_env ();
@@ -253,9 +336,9 @@ let () =
   in
   let default =
     Term.(
-      const (fun t r ->
-          apply_limits t r;
-          repl (Sqlgraph.Db.create ()))
-      $ timeout_arg $ max_rows_arg)
+      const (fun t r d j ->
+          apply_limits t r j;
+          repl (make_db d))
+      $ timeout_arg $ max_rows_arg $ domains_arg $ json_metrics_arg)
   in
   exit (Cmd.eval (Cmd.group ~default info [ repl_cmd; run_cmd; demo_cmd ]))

@@ -45,4 +45,43 @@ grep -q "| 2" "$out" || {
   exit 1
 }
 
-echo "OK: build, tests, and fault-injection e2e all passed"
+echo "== EXPLAIN ANALYZE smoke"
+ea_script=$(mktemp /tmp/sqlgraph_check_XXXXXX.sql)
+metrics=$(mktemp /tmp/sqlgraph_check_XXXXXX.json)
+trap 'rm -f "$script" "$out" "$ea_script" "$metrics" BENCH_smoke.json' EXIT
+cat > "$ea_script" <<'EOF'
+CREATE TABLE e (src INTEGER, dst INTEGER);
+INSERT INTO e VALUES (1, 2), (2, 3), (1, 4);
+SET parallelism = 2;
+EXPLAIN ANALYZE SELECT CHEAPEST SUM(1) WHERE 1 REACHES 3 OVER e EDGE (src, dst);
+EOF
+dune exec bin/sqlgraph_cli.exe -- run "$ea_script" \
+    --json-metrics "$metrics" > "$out" 2>&1
+for needle in "rows=" "time=" "traverse=" "settled=" "csr="; do
+  grep -q "$needle" "$out" || {
+    echo "FAIL: EXPLAIN ANALYZE output missing '$needle':"
+    cat "$out"
+    exit 1
+  }
+done
+grep -q '"schema": "sqlgraph-metrics-v1"' "$metrics" || {
+  echo "FAIL: --json-metrics did not emit sqlgraph-metrics-v1:"
+  cat "$metrics"
+  exit 1
+}
+
+echo "== bench micro --json smoke"
+dune exec bench/main.exe -- micro --ratio 0.002 --json BENCH_smoke.json \
+    > "$out" 2>&1
+grep -q '"schema": "sqlgraph-bench-v1"' BENCH_smoke.json || {
+  echo "FAIL: bench micro --json did not emit sqlgraph-bench-v1"
+  cat "$out"
+  exit 1
+}
+grep -q '"ns_per_run"' BENCH_smoke.json || {
+  echo "FAIL: BENCH_smoke.json has no measurements"
+  cat BENCH_smoke.json
+  exit 1
+}
+
+echo "OK: build, tests, fault-injection, EXPLAIN ANALYZE and bench smoke all passed"

@@ -11,6 +11,9 @@ type t = {
   mutable last_stats : Executor.Interp.stats option;
   mutable snapshot : (string * Storage.Table.t) list option;
       (* deep copy of every table at BEGIN; None = autocommit mode *)
+  mutable parallelism : int;
+      (* traversal domains per run_pairs batch (SET parallelism / CLI
+         --domains); 1 = serial *)
 }
 
 let create () =
@@ -19,10 +22,13 @@ let create () =
     indices = Executor.Graph_index.create ();
     last_stats = None;
     snapshot = None;
+    parallelism = 1;
   }
 
 let catalog t = t.catalog
 let load_table t ~name table = Storage.Catalog.replace t.catalog name table
+let parallelism t = t.parallelism
+let set_parallelism t n = t.parallelism <- max 1 n
 
 type exec_outcome =
   | Created
@@ -32,6 +38,7 @@ type exec_outcome =
   | Deleted of int
   | Selected of Resultset.t
   | Explained of string
+  | Option_set of string * int
   | Began
   | Committed
   | Rolled_back
@@ -76,8 +83,9 @@ let guard f =
 
 let protect = guard
 
-let fresh_ctx t gov =
-  Executor.Interp.create_ctx ~catalog:t.catalog ~indices:t.indices
+let fresh_ctx ?(tracing = false) t gov =
+  Executor.Interp.create_ctx ~catalog:t.catalog ~indices:t.indices ~tracing
+    ~domains:t.parallelism
     ~check:(Governor.checkpoint gov) ()
 
 (* Merge the governor's counters into the per-query stats record. *)
@@ -261,31 +269,45 @@ let exec_stmt t ~params ~optimize ~gov stmt =
     let rendered = Relalg.Explain.plan_to_string plan in
     if not analyze then Explained rendered
     else begin
-      let ctx =
-        Executor.Interp.create_ctx ~catalog:t.catalog ~indices:t.indices
-          ~tracing:true ~check:(Governor.checkpoint gov) ()
-      in
+      let ctx = fresh_ctx ~tracing:true t gov in
+      let t0 = Unix.gettimeofday () in
       let table = Executor.Interp.run ctx plan in
+      let total = Unix.gettimeofday () -. t0 in
       let stats = Executor.Interp.stats ctx in
       merge_counters gov stats;
       t.last_stats <- Some stats;
+      let annots =
+        List.map
+          (fun (e : Executor.Interp.trace_entry) ->
+            {
+              Relalg.Explain.a_depth = e.Executor.Interp.tr_depth;
+              a_label = e.Executor.Interp.tr_label;
+              a_rows = e.Executor.Interp.tr_rows;
+              a_seconds = e.Executor.Interp.tr_seconds;
+              a_detail = e.Executor.Interp.tr_detail;
+            })
+          (Executor.Interp.trace ctx)
+      in
       let buf = Buffer.create 256 in
       Buffer.add_string buf rendered;
       Buffer.add_string buf "-- analyze --\n";
-      (* completion order reversed puts the root first; indentation still
-         shows the tree structure *)
-      List.iter
-        (fun (e : Executor.Interp.trace_entry) ->
-          Buffer.add_string buf
-            (Printf.sprintf "%s%s: rows=%d time=%.6fs\n"
-               (String.make (2 * e.Executor.Interp.tr_depth) ' ')
-               e.Executor.Interp.tr_label e.Executor.Interp.tr_rows
-               e.Executor.Interp.tr_seconds))
-        (List.rev (Executor.Interp.trace ctx));
+      Buffer.add_string buf (Relalg.Explain.annotated_tree annots);
       Buffer.add_string buf
-        (Printf.sprintf "result: %d rows\n" (Storage.Table.nrows table));
+        (Printf.sprintf "result: %d rows in %.3fms\n"
+           (Storage.Table.nrows table) (total *. 1000.));
       Explained (Buffer.contents buf)
     end
+  | Sql.Ast.Set_option { name; value } -> (
+    match name with
+    | "parallelism" ->
+      if value < 1 then
+        raise (Relalg.Binder.Bind_error "SET parallelism expects a value >= 1");
+      set_parallelism t value;
+      Option_set (name, t.parallelism)
+    | other ->
+      raise
+        (Relalg.Binder.Bind_error
+           (Printf.sprintf "unknown option %s (available: parallelism)" other)))
   | Sql.Ast.Update { table; assignments; where } ->
     exec_update t ~params ~gov ~table ~assignments ~where
   | Sql.Ast.Delete { table; where } -> exec_delete t ~params ~gov ~table ~where

@@ -40,6 +40,7 @@ type exec_outcome =
   | Deleted of int  (** DELETE: rows removed *)
   | Selected of Resultset.t  (** a SELECT ran through {!exec} *)
   | Explained of string  (** an EXPLAIN statement: the rendered plan *)
+  | Option_set of string * int  (** SET name = n: the applied value *)
   | Began  (** BEGIN [TRANSACTION]: tables snapshotted *)
   | Committed  (** COMMIT: snapshot discarded *)
   | Rolled_back  (** ROLLBACK: tables restored, graph caches cleared *)
@@ -117,3 +118,11 @@ val drop_graph_index :
 (** [last_stats db] — graph build/traversal counters of the most recent
     {!query}/{!exec} (experiment A1's instrumentation). *)
 val last_stats : t -> Executor.Interp.stats option
+
+(** Session traversal parallelism ([SET parallelism = n] / CLI
+    [--domains]): the number of domains {!Graph.Runtime.run_pairs} may
+    spread source groups over. Clamped to >= 1; results are identical to
+    serial execution by construction (disjoint outcome slots). *)
+
+val parallelism : t -> int
+val set_parallelism : t -> int -> unit

@@ -1,0 +1,131 @@
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+(* NaN (e.g. gov_budget_remaining_ms with no timeout) and infinities have
+   no JSON spelling; emit null rather than an invalid document. *)
+let num f = if Float.is_finite f then Float f else Null
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  let rec go indent j =
+    let pad n = String.make (2 * n) ' ' in
+    match j with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      (* %.17g round-trips doubles; trim is not worth the dependency *)
+      Buffer.add_string buf
+        (if Float.is_integer f && Float.abs f < 1e15 then
+           Printf.sprintf "%.1f" f
+         else Printf.sprintf "%.17g" f)
+    | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (pad (indent + 1));
+          go (indent + 1) item)
+        items;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (pad indent);
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (pad (indent + 1));
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\": ";
+          go (indent + 1) v)
+        fields;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (pad indent);
+      Buffer.add_char buf '}'
+  in
+  go 0 j;
+  Buffer.contents buf
+
+let stats_json (s : Executor.Interp.stats) =
+  Obj
+    [
+      ("graph_build_seconds", num s.Executor.Interp.graph_build_seconds);
+      ("graph_traverse_seconds", num s.Executor.Interp.graph_traverse_seconds);
+      ("graphs_built", Int s.Executor.Interp.graphs_built);
+      ("graphs_reused", Int s.Executor.Interp.graphs_reused);
+      ( "build_phases",
+        Obj
+          [
+            ("dict_seconds", num s.Executor.Interp.build_dict_seconds);
+            ("encode_seconds", num s.Executor.Interp.build_encode_seconds);
+            ("csr_seconds", num s.Executor.Interp.build_csr_seconds);
+          ] );
+      ( "graph_index",
+        Obj
+          [
+            ("hits", Int s.Executor.Interp.index_hits);
+            ("misses", Int s.Executor.Interp.index_misses);
+          ] );
+      ( "traversal",
+        Obj
+          [
+            ("searches", Int s.Executor.Interp.trav_searches);
+            ("settled", Int s.Executor.Interp.trav_settled);
+            ("peak_frontier", Int s.Executor.Interp.trav_peak_frontier);
+            ("edges_scanned", Int s.Executor.Interp.trav_edges);
+          ] );
+      ( "evaluation",
+        Obj
+          [
+            ("vectorized_ops", Int s.Executor.Interp.vec_ops);
+            ("row_ops", Int s.Executor.Interp.row_ops);
+          ] );
+      ( "governor",
+        Obj
+          [
+            ("checks", Int s.Executor.Interp.gov_checks);
+            ("steps", Int s.Executor.Interp.gov_steps);
+            ("peak_frontier", Int s.Executor.Interp.gov_peak_frontier);
+            ("paths", Int s.Executor.Interp.gov_paths);
+            ( "budget_remaining_ms",
+              num s.Executor.Interp.gov_budget_remaining_ms );
+          ] );
+    ]
+
+let write_file ~path j =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string j);
+      output_char oc '\n')

@@ -1,0 +1,32 @@
+(** Minimal JSON emission for observability artifacts: the CLI's
+    [--json-metrics] dump (schema ["sqlgraph-metrics-v1"]) and the bench
+    harness's [BENCH_*.json] files (schema ["sqlgraph-bench-v1"]).
+
+    Emission only — nothing in the system reads JSON back, so there is no
+    parser and no external dependency. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+(** [num f] — [Float f], or [Null] when [f] is NaN or infinite (JSON has
+    no spelling for either). *)
+val num : float -> json
+
+(** [to_string j] — pretty-printed (2-space indent), no trailing
+    newline. *)
+val to_string : json -> string
+
+(** [stats_json stats] — an {!Executor.Interp.stats} record as a JSON
+    object: top-level build/traverse timings plus [build_phases],
+    [graph_index], [traversal], [evaluation] and [governor] sub-objects. *)
+val stats_json : Executor.Interp.stats -> json
+
+(** [write_file ~path j] — write [j] and a trailing newline to [path]
+    (truncating). *)
+val write_file : path:string -> json -> unit

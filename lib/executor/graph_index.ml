@@ -9,9 +9,12 @@ type entry = {
 type t = {
   enabled : (key, unit) Hashtbl.t;
   cache : (key, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
 }
 
-let create () = { enabled = Hashtbl.create 8; cache = Hashtbl.create 8 }
+let create () =
+  { enabled = Hashtbl.create 8; cache = Hashtbl.create 8; hits = 0; misses = 0 }
 
 let normalise k = { k with table = String.lowercase_ascii k.table }
 
@@ -27,11 +30,16 @@ let is_enabled t k = Hashtbl.mem t.enabled (normalise k)
 let lookup t k ~version =
   let k = normalise k in
   match Hashtbl.find_opt t.cache k with
-  | Some e when e.version = version -> Some (e.runtime, e.edges)
+  | Some e when e.version = version ->
+    t.hits <- t.hits + 1;
+    Some (e.runtime, e.edges)
   | Some _ ->
     Hashtbl.remove t.cache k;
+    t.misses <- t.misses + 1;
     None
-  | None -> None
+  | None ->
+    t.misses <- t.misses + 1;
+    None
 
 let store t k ~version runtime edges =
   let k = normalise k in
@@ -43,3 +51,5 @@ let keys t =
   |> List.sort (fun a b -> String.compare a.table b.table)
 
 let clear_cache t = Hashtbl.reset t.cache
+let hits t = t.hits
+let misses t = t.misses

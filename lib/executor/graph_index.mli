@@ -38,3 +38,9 @@ val keys : t -> key list
 (** [clear_cache t] drops every cached graph (enabled keys stay). Used on
     transaction rollback, where version counters may be reused. *)
 val clear_cache : t -> unit
+
+(** Lifetime cache-efficiency counters: {!lookup} outcomes. A stale entry
+    (table changed under the index) counts as a miss. *)
+
+val hits : t -> int
+val misses : t -> int

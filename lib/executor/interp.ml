@@ -5,11 +5,30 @@ module C = Storage.Column
 
 let rerror fmt = Printf.ksprintf (fun s -> raise (Relalg.Scalar.Runtime_error s)) fmt
 
+(* All instrumentation timings share one wall-clock source with the graph
+   runtime's build stats and Db's \timing, so phase times are additive. *)
+let now = Unix.gettimeofday
+
 type stats = {
   mutable graph_build_seconds : float;
   mutable graph_traverse_seconds : float;
   mutable graphs_built : int;
   mutable graphs_reused : int;
+  (* graph build phase breakdown, summed over every build this run *)
+  mutable build_dict_seconds : float;
+  mutable build_encode_seconds : float;
+  mutable build_csr_seconds : float;
+  (* graph-index cache outcomes for edge tables with an enabled index *)
+  mutable index_hits : int;
+  mutable index_misses : int;
+  (* traversal counters, deltas accumulated per graph operator *)
+  mutable trav_searches : int;
+  mutable trav_settled : int;
+  mutable trav_peak_frontier : int;
+  mutable trav_edges : int;
+  (* expression-evaluation dispatch: column-at-a-time hits vs fallbacks *)
+  mutable vec_ops : int;
+  mutable row_ops : int;
   (* governor observability, copied in by Db after each run: how many
      cooperative checkpoints fired, traversal steps consumed, the largest
      frontier seen, paths enumerated, and the wall-clock budget left
@@ -21,12 +40,17 @@ type stats = {
   mutable gov_budget_remaining_ms : float;
 }
 
-(* EXPLAIN ANALYZE instrumentation: one entry per completed operator. *)
+(* EXPLAIN ANALYZE instrumentation: one entry per completed operator.
+   Entries are emitted in completion (post-) order; [tr_depth] lets a
+   renderer rebuild the tree (see Relalg.Explain.annotated_tree). *)
 type trace_entry = {
   tr_depth : int;
   tr_label : string;
   tr_rows : int;
   tr_seconds : float;
+  tr_detail : (string * string) list;
+      (* operator-specific counters: graph build phases, cache outcome,
+         traversal counts, evaluation dispatch, ... *)
 }
 
 type ctx = {
@@ -35,6 +59,9 @@ type ctx = {
   vectorize : bool;
       (* try the column-at-a-time evaluator before the row-at-a-time one *)
   tracing : bool;
+  domains : int;
+      (* traversal parallelism (SET parallelism / --domains), forwarded to
+         Graph.Runtime.run_pairs; 1 = serial *)
   check : Graph.Cancel.checkpoint;
       (* cooperative cancellation: fired per operator, per fixpoint
          iteration, per N join/cross pairs, and inside every graph kernel *)
@@ -44,24 +71,39 @@ type ctx = {
       (* working tables of in-flight recursive CTEs, innermost first *)
   mutable trace_depth : int;
   mutable trace_log : trace_entry list; (* completion order, reversed *)
+  mutable trace_notes : (string * string) list;
+      (* pending detail for the operator currently executing, reversed *)
 }
 
 let create_ctx ~catalog ?(indices = Graph_index.create ()) ?(vectorize = true)
-    ?(tracing = false) ?(check = Graph.Cancel.none) () =
+    ?(tracing = false) ?(domains = 1) ?(check = Graph.Cancel.none) () =
   {
     catalog;
     indices;
     vectorize;
     tracing;
+    domains = max 1 domains;
     check;
     trace_depth = 0;
     trace_log = [];
+    trace_notes = [];
     st =
       {
         graph_build_seconds = 0.;
         graph_traverse_seconds = 0.;
         graphs_built = 0;
         graphs_reused = 0;
+        build_dict_seconds = 0.;
+        build_encode_seconds = 0.;
+        build_csr_seconds = 0.;
+        index_hits = 0;
+        index_misses = 0;
+        trav_searches = 0;
+        trav_settled = 0;
+        trav_peak_frontier = 0;
+        trav_edges = 0;
+        vec_ops = 0;
+        row_ops = 0;
         gov_checks = 0;
         gov_steps = 0;
         gov_peak_frontier = 0;
@@ -80,11 +122,41 @@ let reset_stats ctx =
   ctx.st.graph_traverse_seconds <- 0.;
   ctx.st.graphs_built <- 0;
   ctx.st.graphs_reused <- 0;
+  ctx.st.build_dict_seconds <- 0.;
+  ctx.st.build_encode_seconds <- 0.;
+  ctx.st.build_csr_seconds <- 0.;
+  ctx.st.index_hits <- 0;
+  ctx.st.index_misses <- 0;
+  ctx.st.trav_searches <- 0;
+  ctx.st.trav_settled <- 0;
+  ctx.st.trav_peak_frontier <- 0;
+  ctx.st.trav_edges <- 0;
+  ctx.st.vec_ops <- 0;
+  ctx.st.row_ops <- 0;
   ctx.st.gov_checks <- 0;
   ctx.st.gov_steps <- 0;
   ctx.st.gov_peak_frontier <- 0;
   ctx.st.gov_paths <- 0;
   ctx.st.gov_budget_remaining_ms <- Float.nan
+
+(* Attach a detail pair to the operator currently being traced. *)
+let note ctx key value =
+  if ctx.tracing then ctx.trace_notes <- (key, value) :: ctx.trace_notes
+
+let note_ms ctx key seconds =
+  note ctx key (Printf.sprintf "%.3fms" (seconds *. 1000.))
+
+(* Increment an integer-valued detail (e.g. vectorized-primitive counts). *)
+let note_count ctx key =
+  if ctx.tracing then begin
+    let rec bump = function
+      | [] -> [ (key, "1") ]
+      | (k, v) :: rest when String.equal k key ->
+        (k, string_of_int (1 + int_of_string v)) :: rest
+      | kv :: rest -> kv :: bump rest
+    in
+    ctx.trace_notes <- bump ctx.trace_notes
+  end
 
 (* Group keys are lists of cells. *)
 module Vkey = struct
@@ -180,11 +252,29 @@ let finish_state (a : L.agg) st =
 (* The interpreter                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let timed_traversal ctx f =
-  let t0 = Sys.time () in
+(* Time a traversal batch and attribute the graph runtime's counter
+   deltas (searches started, vertices settled, edges scanned, per-batch
+   peak frontier) to this execution's stats. *)
+let timed_traversal ctx rt f =
+  let before = Graph.Runtime.traversal_counters rt in
+  let t0 = now () in
   let r = f () in
-  ctx.st.graph_traverse_seconds <-
-    ctx.st.graph_traverse_seconds +. (Sys.time () -. t0);
+  let dt = now () -. t0 in
+  ctx.st.graph_traverse_seconds <- ctx.st.graph_traverse_seconds +. dt;
+  let after = Graph.Runtime.traversal_counters rt in
+  ctx.st.trav_searches <-
+    ctx.st.trav_searches + after.Graph.Workspace.searches
+    - before.Graph.Workspace.searches;
+  ctx.st.trav_settled <-
+    ctx.st.trav_settled + after.Graph.Workspace.settled
+    - before.Graph.Workspace.settled;
+  ctx.st.trav_edges <-
+    ctx.st.trav_edges + after.Graph.Workspace.edges_scanned
+    - before.Graph.Workspace.edges_scanned;
+  (* run_pairs resets the workspace peak per batch, so [after] is this
+     batch's peak exactly *)
+  ctx.st.trav_peak_frontier <-
+    max ctx.st.trav_peak_frontier after.Graph.Workspace.peak_frontier;
   r
 
 let node_label = function
@@ -213,19 +303,24 @@ let rec run ?outer ctx (plan : L.plan) : T.t =
   if not ctx.tracing then run_node ?outer ctx plan
   else begin
     let depth = ctx.trace_depth in
+    let saved_notes = ctx.trace_notes in
     ctx.trace_depth <- depth + 1;
-    let t0 = Sys.time () in
+    ctx.trace_notes <- [];
+    let t0 = now () in
     let result =
       Fun.protect
         ~finally:(fun () -> ctx.trace_depth <- depth)
         (fun () -> run_node ?outer ctx plan)
     in
+    let detail = List.rev ctx.trace_notes in
+    ctx.trace_notes <- saved_notes;
     ctx.trace_log <-
       {
         tr_depth = depth;
         tr_label = node_label plan;
         tr_rows = T.nrows result;
-        tr_seconds = Sys.time () -. t0;
+        tr_seconds = now () -. t0;
+        tr_detail = detail;
       }
       :: ctx.trace_log;
     result
@@ -325,8 +420,13 @@ and eval_column ?outer ctx t e =
   match
     if ctx.vectorize then Vectorized.eval_column ~check:ctx.check t e else None
   with
-  | Some col -> col
+  | Some col ->
+    ctx.st.vec_ops <- ctx.st.vec_ops + 1;
+    note_count ctx "vectorized";
+    col
   | None ->
+    ctx.st.row_ops <- ctx.st.row_ops + 1;
+    note_count ctx "row_eval";
     Eval.eval_column ~run_subplan:(run_subplan ctx) ?outer
       ~run_correlated:(run_correlated ctx) t e
 
@@ -335,8 +435,13 @@ and eval_filter ?outer ctx t pred =
     if ctx.vectorize then Vectorized.eval_filter ~check:ctx.check t pred
     else None
   with
-  | Some kept -> kept
+  | Some kept ->
+    ctx.st.vec_ops <- ctx.st.vec_ops + 1;
+    note_count ctx "vectorized";
+    kept
   | None ->
+    ctx.st.row_ops <- ctx.st.row_ops + 1;
+    note_count ctx "row_eval";
     Eval.eval_filter ~run_subplan:(run_subplan ctx) ?outer
       ~run_correlated:(run_correlated ctx) t pred
 
@@ -618,15 +723,29 @@ and obtain_graph ctx (op : L.graph_op) =
     (* a last cancellation point before the long uncheckpointed
        dictionary/CSR construction *)
     Graph.Cancel.report ctx.check ~site:"graph_build" ();
-    let t0 = Sys.time () in
+    let t0 = now () in
     let rt =
       Graph.Runtime.build_multi
         ~src:(List.map (T.column edges) op.L.edge_src)
         ~dst:(List.map (T.column edges) op.L.edge_dst)
     in
-    ctx.st.graph_build_seconds <- ctx.st.graph_build_seconds +. (Sys.time () -. t0);
+    ctx.st.graph_build_seconds <- ctx.st.graph_build_seconds +. (now () -. t0);
     ctx.st.graphs_built <- ctx.st.graphs_built + 1;
+    let bs = Graph.Runtime.stats rt in
+    ctx.st.build_dict_seconds <-
+      ctx.st.build_dict_seconds +. bs.Graph.Runtime.dict_seconds;
+    ctx.st.build_encode_seconds <-
+      ctx.st.build_encode_seconds +. bs.Graph.Runtime.encode_seconds;
+    ctx.st.build_csr_seconds <-
+      ctx.st.build_csr_seconds +. bs.Graph.Runtime.csr_seconds;
+    note_ms ctx "dict" bs.Graph.Runtime.dict_seconds;
+    note_ms ctx "encode" bs.Graph.Runtime.encode_seconds;
+    note_ms ctx "csr" bs.Graph.Runtime.csr_seconds;
     rt
+  in
+  let describe rt =
+    note ctx "vertices" (string_of_int (Graph.Runtime.vertex_count rt));
+    note ctx "graph_edges" (string_of_int (Graph.Runtime.edge_count rt))
   in
   match op.L.edge with
   | L.Scan { table; _ } -> (
@@ -640,20 +759,32 @@ and obtain_graph ctx (op : L.graph_op) =
       match Graph_index.lookup ctx.indices key ~version with
       | Some (rt, edges) ->
         ctx.st.graphs_reused <- ctx.st.graphs_reused + 1;
+        ctx.st.index_hits <- ctx.st.index_hits + 1;
+        note ctx "cache" "hit";
+        describe rt;
         (edges, rt)
       | None ->
+        ctx.st.index_misses <- ctx.st.index_misses + 1;
         let edges = run ctx op.L.edge in
+        note ctx "cache" "miss";
         let rt = build edges in
+        describe rt;
         Graph_index.store ctx.indices key ~version rt edges;
         (edges, rt)
     end
     else begin
       let edges = run ctx op.L.edge in
-      (edges, build edges)
+      note ctx "cache" "off";
+      let rt = build edges in
+      describe rt;
+      (edges, rt)
     end)
   | _ ->
     let edges = run ctx op.L.edge in
-    (edges, build edges)
+    note ctx "cache" "off";
+    let rt = build edges in
+    describe rt;
+    (edges, rt)
 
 (* Evaluate and validate a CHEAPEST SUM weight expression over the whole
    edge table (§2: strictly positive, so NULL is also rejected). *)
@@ -698,11 +829,31 @@ and is_unweighted (c : L.cheapest) =
 
 (* Shared tail of graph select/join: compute outcomes per cheapest. *)
 and run_cheapests ctx rt edges (op : L.graph_op) pairs =
+  note ctx "pairs" (string_of_int (Array.length pairs));
+  if ctx.domains > 1 then note ctx "domains" (string_of_int ctx.domains);
+  let traverse f =
+    let before = Graph.Runtime.traversal_counters rt in
+    let t0 = now () in
+    let r = timed_traversal ctx rt f in
+    let dt = now () -. t0 in
+    let after = Graph.Runtime.traversal_counters rt in
+    note ctx "groups"
+      (string_of_int (after.Graph.Workspace.searches - before.Graph.Workspace.searches));
+    note ctx "settled"
+      (string_of_int (after.Graph.Workspace.settled - before.Graph.Workspace.settled));
+    note ctx "edges_scanned"
+      (string_of_int
+         (after.Graph.Workspace.edges_scanned - before.Graph.Workspace.edges_scanned));
+    note ctx "peak_frontier" (string_of_int after.Graph.Workspace.peak_frontier);
+    note_ms ctx "traverse" dt;
+    r
+  in
   match op.L.cheapests with
   | [] ->
     let reach =
-      timed_traversal ctx (fun () ->
-          Graph.Runtime.reachable ~check:ctx.check rt ~pairs)
+      traverse (fun () ->
+          Graph.Runtime.reachable ~check:ctx.check ~domains:ctx.domains rt
+            ~pairs)
     in
     (reach, [])
   | cheapests ->
@@ -714,8 +865,9 @@ and run_cheapests ctx rt edges (op : L.graph_op) pairs =
             else eval_weights ctx edges c
           in
           ( c,
-            timed_traversal ctx (fun () ->
-                Graph.Runtime.run_pairs rt ~weights ~check:ctx.check ~pairs ()) ))
+            traverse (fun () ->
+                Graph.Runtime.run_pairs rt ~weights ~domains:ctx.domains
+                  ~check:ctx.check ~pairs ()) ))
         cheapests
     in
     let _, first = List.hd outcomes in

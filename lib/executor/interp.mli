@@ -7,16 +7,34 @@
     store lets REACHES predicates over indexed base tables skip the
     dominating graph-construction phase. *)
 
-(** Per-execution counters, for the build-vs-traverse ablation (A1), plus
-    resource-governor observability ([gov_*]: checkpoints fired, traversal
-    steps, peak frontier, paths enumerated, wall-clock budget remaining —
-    [nan] when no timeout applied; filled in by [Sqlgraph.Db] after each
-    governed run). *)
+(** Per-execution counters. Graph timings split the build into its
+    dictionary/encode/CSR phases ([build_*_seconds], which sum to
+    [graph_build_seconds] up to clock granularity); [index_*] count
+    {!Graph_index} cache outcomes; [trav_*] accumulate traversal-kernel
+    work (searches run, vertices settled, edges scanned, peak frontier
+    across any single batch); [vec_ops]/[row_ops] count expression
+    evaluations dispatched to the vectorized vs row-at-a-time engine.
+    [gov_*] are resource-governor observability (checkpoints fired,
+    traversal steps, peak frontier, paths enumerated, wall-clock budget
+    remaining — [nan] when no timeout applied; filled in by
+    [Sqlgraph.Db] after each governed run). All timings use the shared
+    wall clock ([Unix.gettimeofday]). *)
 type stats = {
   mutable graph_build_seconds : float;
   mutable graph_traverse_seconds : float;
   mutable graphs_built : int;
   mutable graphs_reused : int;
+  mutable build_dict_seconds : float;
+  mutable build_encode_seconds : float;
+  mutable build_csr_seconds : float;
+  mutable index_hits : int;
+  mutable index_misses : int;
+  mutable trav_searches : int;
+  mutable trav_settled : int;
+  mutable trav_peak_frontier : int;
+  mutable trav_edges : int;
+  mutable vec_ops : int;
+  mutable row_ops : int;
   mutable gov_checks : int;
   mutable gov_steps : int;
   mutable gov_peak_frontier : int;
@@ -26,30 +44,37 @@ type stats = {
 
 type ctx
 
-(** One completed operator of a traced execution (EXPLAIN ANALYZE). *)
+(** One completed operator of a traced execution (EXPLAIN ANALYZE).
+    Entries are emitted in completion (post-) order; [tr_depth] lets a
+    renderer rebuild the tree ({!Relalg.Explain.annotated_tree}). *)
 type trace_entry = {
   tr_depth : int;  (** nesting depth in the plan tree *)
   tr_label : string;
   tr_rows : int;  (** output cardinality *)
-  tr_seconds : float;  (** inclusive of children *)
+  tr_seconds : float;  (** wall-clock, inclusive of children *)
+  tr_detail : (string * string) list;
+      (** operator-specific counters: graph build phases, cache outcome,
+          traversal counts, evaluation dispatch, ... *)
 }
 
-(** [create_ctx ~catalog ~indices ~vectorize ~tracing ~check ()].
+(** [create_ctx ~catalog ~indices ~vectorize ~tracing ~domains ~check ()].
     [vectorize] (default true) tries the column-at-a-time evaluator
     ({!Vectorized}) before the row-at-a-time fallback — the MonetDB-style
     execution path. [tracing] (default false) records a {!trace_entry} per
-    executed operator. [check] (default {!Graph.Cancel.none}) is the
-    cooperative cancellation checkpoint, fired per operator ("interp"),
-    per recursive-CTE round ("rec_cte"), every N join/cross pairs
-    ("join"/"cross"), per vectorized primitive ("vectorized"), before
-    graph construction ("graph_build"), and inside every graph kernel
-    ("bfs"/"dijkstra"/"all_paths"); raising from it unwinds the
-    execution. *)
+    executed operator. [domains] (default 1, clamped to >= 1) is the
+    traversal parallelism forwarded to {!Graph.Runtime.run_pairs}.
+    [check] (default {!Graph.Cancel.none}) is the cooperative cancellation
+    checkpoint, fired per operator ("interp"), per recursive-CTE round
+    ("rec_cte"), every N join/cross pairs ("join"/"cross"), per vectorized
+    primitive ("vectorized"), before graph construction ("graph_build"),
+    and inside every graph kernel ("bfs"/"dijkstra"/"all_paths"); raising
+    from it unwinds the execution (domains are joined first). *)
 val create_ctx :
   catalog:Storage.Catalog.t ->
   ?indices:Graph_index.t ->
   ?vectorize:bool ->
   ?tracing:bool ->
+  ?domains:int ->
   ?check:Graph.Cancel.checkpoint ->
   unit ->
   ctx

@@ -26,11 +26,14 @@ let run ?(check = Cancel.none) (ws : Workspace.t) (csr : Csr.t) ~source
   settle source;
   Queue.add source queue;
   let finished = ref (early_exit && !remaining = 0) in
+  Workspace.note_frontier ws 1;
   while (not !finished) && not (Queue.is_empty queue) do
     let u = Queue.pop queue in
+    Workspace.note_settled ws;
     Cancel.tick tk ~frontier:(Queue.length queue);
     let du = ws.dist_int.(u) in
     Csr.iter_out csr u (fun ~slot ~target ->
+        Workspace.note_edge ws;
         if not (Workspace.visited ws target) then begin
           Workspace.mark_visited ws target;
           ws.dist_int.(target) <- du + 1;
@@ -39,6 +42,7 @@ let run ?(check = Cancel.none) (ws : Workspace.t) (csr : Csr.t) ~source
           settle target;
           Queue.add target queue
         end);
+    Workspace.note_frontier ws (Queue.length queue);
     if early_exit && !remaining = 0 then finished := true
   done;
   Cancel.flush tk

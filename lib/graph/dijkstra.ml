@@ -49,6 +49,7 @@ let run_int ?(check = Cancel.none) (ws : Workspace.t) (csr : Csr.t) ~weights
     Cancel.tick tk ~frontier:(heap_size ());
     (* Lazy deletion: skip entries made stale by a later relaxation. *)
     if d = ws.dist_int.(u) && Workspace.visited ws u then begin
+      Workspace.note_settled ws;
       if Workspace.is_pending_target ws u then begin
         Workspace.clear_target ws u;
         decr remaining;
@@ -56,6 +57,7 @@ let run_int ?(check = Cancel.none) (ws : Workspace.t) (csr : Csr.t) ~weights
       end;
       if not !finished then
         Csr.iter_out csr u (fun ~slot ~target ->
+            Workspace.note_edge ws;
             let cand = d + weights.(slot) in
             if
               (not (Workspace.visited ws target))
@@ -65,7 +67,8 @@ let run_int ?(check = Cancel.none) (ws : Workspace.t) (csr : Csr.t) ~weights
               ws.dist_int.(target) <- cand;
               ws.parent_vertex.(target) <- u;
               ws.parent_slot.(target) <- slot;
-              insert cand target
+              insert cand target;
+              Workspace.note_frontier ws (heap_size ())
             end)
     end
   done;
@@ -88,6 +91,7 @@ let run_float ?(check = Cancel.none) (ws : Workspace.t) (csr : Csr.t) ~weights
     let d, u = Binary_heap.extract_min h in
     Cancel.tick tk ~frontier:(Binary_heap.size h);
     if d = ws.dist_float.(u) && Workspace.visited ws u then begin
+      Workspace.note_settled ws;
       if Workspace.is_pending_target ws u then begin
         Workspace.clear_target ws u;
         decr remaining;
@@ -95,6 +99,7 @@ let run_float ?(check = Cancel.none) (ws : Workspace.t) (csr : Csr.t) ~weights
       end;
       if not !finished then
         Csr.iter_out csr u (fun ~slot ~target ->
+            Workspace.note_edge ws;
             let cand = d +. weights.(slot) in
             if
               (not (Workspace.visited ws target))
@@ -104,7 +109,8 @@ let run_float ?(check = Cancel.none) (ws : Workspace.t) (csr : Csr.t) ~weights
               ws.dist_float.(target) <- cand;
               ws.parent_vertex.(target) <- u;
               ws.parent_slot.(target) <- slot;
-              Binary_heap.insert h ~priority:cand ~payload:target
+              Binary_heap.insert h ~priority:cand ~payload:target;
+              Workspace.note_frontier ws (Binary_heap.size h)
             end)
     end
   done;

@@ -1,5 +1,10 @@
 exception Weight_error of string
 
+(* Monotonic-enough wall clock shared with [\timing]/Db (PR 1 moved those
+   off [Sys.time]); build stats must use the same source or EXPLAIN
+   ANALYZE phase times cannot be compared against operator times. *)
+let now = Unix.gettimeofday
+
 type build_stats = {
   dict_seconds : float;
   encode_seconds : float;
@@ -22,15 +27,15 @@ let build_multi ~src ~dst =
   | s :: _, d :: _ ->
     if Storage.Column.length s <> Storage.Column.length d then
       invalid_arg "Runtime.build: src/dst column length mismatch");
-  let t0 = Sys.time () in
+  let t0 = now () in
   let dict = Vertex_dict.build_groups [ src; dst ] in
-  let t1 = Sys.time () in
+  let t1 = now () in
   let src_ids = Vertex_dict.encode_columns dict src in
   let dst_ids = Vertex_dict.encode_columns dict dst in
-  let t2 = Sys.time () in
+  let t2 = now () in
   let vertex_count = Vertex_dict.cardinality dict in
   let csr = Csr.build ~vertex_count ~src:src_ids ~dst:dst_ids in
-  let t3 = Sys.time () in
+  let t3 = now () in
   {
     dict;
     csr;
@@ -52,6 +57,11 @@ let stats t = t.stats
 let vertex_count t = t.stats.vertex_count
 let edge_count t = t.stats.edge_count
 let dict t = t.dict
+
+(* Cumulative traversal counters live on the shared workspace; parallel
+   runs absorb their private workspaces back into it, so a snapshot
+   before/after any batch yields a per-batch delta. *)
+let traversal_counters t = Workspace.snapshot_counters t.ws
 
 type weights =
   | Unweighted
@@ -142,6 +152,10 @@ let run_group t ~slot_w ~heap ~check ~out ws (source, entries) =
 
 let run_pairs t ~weights ?(heap = Dijkstra.Radix) ?(domains = 1)
     ?(check = Cancel.none) ~pairs () =
+  (* searches/settled/edges accumulate across batches (delta-friendly);
+     the peak frontier restarts per batch so callers can attribute an
+     exact per-batch peak. *)
+  (Workspace.counters t.ws).Workspace.peak_frontier <- 0;
   let slot_w =
     match weights with
     | Unweighted -> `None
@@ -168,16 +182,32 @@ let run_pairs t ~weights ?(heap = Dijkstra.Radix) ?(domains = 1)
       group_list;
     let work chunk () =
       let ws = Workspace.create t.stats.vertex_count in
-      List.iter (run_group t ~slot_w ~heap ~check ~out ws) chunk
+      List.iter (run_group t ~slot_w ~heap ~check ~out ws) chunk;
+      Workspace.counters ws
     in
     let spawned =
       Array.to_list
         (Array.map (fun chunk -> Domain.spawn (work chunk)) chunks)
     in
-    List.iter Domain.join spawned
+    (* Join every domain before re-raising so no domain outlives the
+       batch; the first failure wins, later ones are dropped. *)
+    let results = List.map (fun d -> try Ok (Domain.join d) with e -> Error e) spawned in
+    List.iter
+      (function
+        | Ok (c : Workspace.counters) ->
+          let into = Workspace.counters t.ws in
+          into.Workspace.searches <- into.Workspace.searches + c.Workspace.searches;
+          into.Workspace.settled <- into.Workspace.settled + c.Workspace.settled;
+          into.Workspace.peak_frontier <-
+            max into.Workspace.peak_frontier c.Workspace.peak_frontier;
+          into.Workspace.edges_scanned <-
+            into.Workspace.edges_scanned + c.Workspace.edges_scanned
+        | Error _ -> ())
+      results;
+    List.iter (function Ok _ -> () | Error e -> raise e) results
   end;
   out
 
-let reachable ?(check = Cancel.none) t ~pairs =
-  let outcomes = run_pairs t ~weights:Unweighted ~check ~pairs () in
+let reachable ?(check = Cancel.none) ?domains t ~pairs =
+  let outcomes = run_pairs t ~weights:Unweighted ~check ?domains ~pairs () in
   Array.map (function Unreachable -> false | Reached _ -> true) outcomes

@@ -13,7 +13,9 @@ exception Weight_error of string
     strictly greater than zero (§2: "Its value must always be strictly
     greater than 0, otherwise a runtime exception is raised"). *)
 
-(** Wall-clock breakdown of {!build}, for the build-dominates ablation. *)
+(** Wall-clock breakdown of {!build} (same [Unix.gettimeofday] source as
+    the executor's operator timings, so [EXPLAIN ANALYZE] phase times are
+    directly comparable), for the build-dominates ablation. *)
 type build_stats = {
   dict_seconds : float;
   encode_seconds : float;
@@ -40,6 +42,13 @@ val stats : t -> build_stats
 val vertex_count : t -> int
 val edge_count : t -> int
 val dict : t -> Vertex_dict.t
+
+(** [traversal_counters t] — a snapshot of the cumulative traversal
+    counters (searches, settled vertices, peak frontier, edges scanned)
+    accumulated by every batch run against this graph. Parallel batches
+    fold their per-domain counters in before {!run_pairs} returns, so
+    before/after snapshots delimit one batch exactly. *)
+val traversal_counters : t -> Workspace.counters
 
 (** Edge weights, indexed by *edge-table row* (the runtime re-aligns them
     to CSR slots internally). [Unweighted] is the paper's
@@ -86,9 +95,11 @@ val run_pairs :
   outcome array
 
 (** [reachable t ~pairs] — reachability only: runs BFS and discards paths,
-    as the paper's runtime does for bare REACHES predicates. *)
+    as the paper's runtime does for bare REACHES predicates. [domains] as
+    in {!run_pairs}. *)
 val reachable :
   ?check:Cancel.checkpoint ->
+  ?domains:int ->
   t ->
   pairs:(Storage.Value.t * Storage.Value.t) array ->
   bool array

@@ -1,3 +1,10 @@
+type counters = {
+  mutable searches : int;
+  mutable settled : int;
+  mutable peak_frontier : int;
+  mutable edges_scanned : int;
+}
+
 type t = {
   stamp : int array;
   target_stamp : int array;
@@ -6,7 +13,11 @@ type t = {
   parent_vertex : int array;
   parent_slot : int array;
   mutable epoch : int;
+  counters : counters;
 }
+
+let fresh_counters () =
+  { searches = 0; settled = 0; peak_frontier = 0; edges_scanned = 0 }
 
 let create vertex_count =
   let n = max vertex_count 1 in
@@ -18,11 +29,46 @@ let create vertex_count =
     parent_vertex = Array.make n (-1);
     parent_slot = Array.make n (-1);
     epoch = 0;
+    counters = fresh_counters ();
   }
 
-let next_epoch t = t.epoch <- t.epoch + 1
+let next_epoch t =
+  t.epoch <- t.epoch + 1;
+  t.counters.searches <- t.counters.searches + 1
+
 let visited t v = t.stamp.(v) = t.epoch
 let mark_visited t v = t.stamp.(v) <- t.epoch
 let mark_target t v = t.target_stamp.(v) <- t.epoch
 let is_pending_target t v = t.target_stamp.(v) = t.epoch
 let clear_target t v = t.target_stamp.(v) <- 0
+
+let counters t = t.counters
+
+let snapshot_counters t =
+  {
+    searches = t.counters.searches;
+    settled = t.counters.settled;
+    peak_frontier = t.counters.peak_frontier;
+    edges_scanned = t.counters.edges_scanned;
+  }
+
+let note_settled t = t.counters.settled <- t.counters.settled + 1
+
+let note_frontier t n =
+  if n > t.counters.peak_frontier then t.counters.peak_frontier <- n
+
+let note_edge t = t.counters.edges_scanned <- t.counters.edges_scanned + 1
+
+let absorb_counters ~into src =
+  let c = into.counters in
+  c.searches <- c.searches + src.counters.searches;
+  c.settled <- c.settled + src.counters.settled;
+  c.peak_frontier <- max c.peak_frontier src.counters.peak_frontier;
+  c.edges_scanned <- c.edges_scanned + src.counters.edges_scanned
+
+let reset_counters t =
+  let c = t.counters in
+  c.searches <- 0;
+  c.settled <- 0;
+  c.peak_frontier <- 0;
+  c.edges_scanned <- 0

@@ -6,6 +6,17 @@
     per-vertex state is epoch-stamped: bumping the epoch invalidates
     everything in O(1). *)
 
+(** Cumulative traversal counters, fed by the kernels and read by the
+    executor's [EXPLAIN ANALYZE] instrumentation. A workspace accumulates
+    across searches; snapshot before/after an operator and subtract to
+    attribute counts to it. *)
+type counters = {
+  mutable searches : int;  (** searches started (one per [next_epoch]) *)
+  mutable settled : int;  (** vertices settled (BFS pops / final Dijkstra pops) *)
+  mutable peak_frontier : int;  (** max queue / heap size ever observed *)
+  mutable edges_scanned : int;  (** CSR out-edge visits *)
+}
+
 type t = {
   stamp : int array;          (** visit epoch per vertex *)
   target_stamp : int array;   (** epoch in which the vertex is a pending target *)
@@ -14,12 +25,14 @@ type t = {
   parent_vertex : int array;
   parent_slot : int array;    (** CSR slot that discovered the vertex; -1 at source *)
   mutable epoch : int;
+  counters : counters;
 }
 
 (** [create vertex_count]. *)
 val create : int -> t
 
-(** [next_epoch t] invalidates all per-vertex state in O(1). *)
+(** [next_epoch t] invalidates all per-vertex state in O(1) and counts the
+    start of a new search. *)
 val next_epoch : t -> unit
 
 (** [visited t v] — was [v] reached in the current epoch? *)
@@ -33,3 +46,24 @@ val mark_visited : t -> int -> unit
 val mark_target : t -> int -> unit
 val is_pending_target : t -> int -> bool
 val clear_target : t -> int -> unit
+
+(** Counter plumbing. *)
+
+val counters : t -> counters
+
+(** [snapshot_counters t] — an independent copy (for before/after deltas). *)
+val snapshot_counters : t -> counters
+
+val note_settled : t -> unit
+
+(** [note_frontier t n] — record a frontier of size [n] (tracks the peak). *)
+val note_frontier : t -> int -> unit
+
+val note_edge : t -> unit
+
+(** [absorb_counters ~into src] — fold [src]'s counters into [into]
+    (sums; peak frontier by max). Used to merge the private workspaces of
+    parallel traversal domains back into the shared one. *)
+val absorb_counters : into:t -> t -> unit
+
+val reset_counters : t -> unit

@@ -241,3 +241,65 @@ let plan_to_string plan =
   in
   go 0 plan;
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE rendering                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The executor reports completed operators in post-order with their
+   nesting depth; this layer cannot see executor types, so it takes a
+   neutral record and rebuilds the tree itself. *)
+type annot = {
+  a_depth : int;
+  a_label : string;
+  a_rows : int;
+  a_seconds : float;
+  a_detail : (string * string) list;
+}
+
+type tree = Node of annot * tree list
+
+(* Post-order + depth uniquely determines the tree: scanning in emission
+   order, an entry at depth [d] adopts every tree accumulated so far at
+   depth [d+1] as its children (siblings complete left-to-right, so the
+   accumulated order is already the plan order). *)
+let rebuild entries =
+  let pending = Hashtbl.create 8 in
+  let take depth =
+    match Hashtbl.find_opt pending depth with
+    | Some l ->
+      Hashtbl.remove pending depth;
+      List.rev l
+    | None -> []
+  in
+  let put depth t =
+    let l = match Hashtbl.find_opt pending depth with Some l -> l | None -> [] in
+    Hashtbl.replace pending depth (t :: l)
+  in
+  List.iter
+    (fun a -> put a.a_depth (Node (a, take (a.a_depth + 1))))
+    entries;
+  take 0
+
+let ms s = Printf.sprintf "%.3f" (s *. 1000.)
+
+let annotated_tree entries =
+  let buf = Buffer.create 512 in
+  let rec go indent (Node (a, children)) =
+    let pad = String.make (2 * indent) ' ' in
+    let rows_in =
+      List.fold_left (fun acc (Node (c, _)) -> acc + c.a_rows) 0 children
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s  (rows=%d%s, time=%sms)\n" pad a.a_label a.a_rows
+         (if children = [] then "" else Printf.sprintf ", rows_in=%d" rows_in)
+         (ms a.a_seconds));
+    if a.a_detail <> [] then
+      Buffer.add_string buf
+        (Printf.sprintf "%s  [%s]\n" pad
+           (String.concat ", "
+              (List.map (fun (k, v) -> k ^ "=" ^ v) a.a_detail)));
+    List.iter (go (indent + 1)) children
+  in
+  List.iter (go 0) (rebuild entries);
+  Buffer.contents buf

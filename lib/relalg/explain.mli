@@ -5,3 +5,20 @@ val expr_to_string : ?schema:Rschema.t -> Lplan.expr -> string
 (** [plan_to_string plan] — an indented operator tree, one node per line,
     with expressions rendered against each operator's input schema. *)
 val plan_to_string : Lplan.plan -> string
+
+(** One executed operator of an [EXPLAIN ANALYZE] trace, in a
+    layer-neutral form (the executor's trace entries convert 1:1). *)
+type annot = {
+  a_depth : int;  (** nesting depth in the plan tree *)
+  a_label : string;
+  a_rows : int;  (** output cardinality *)
+  a_seconds : float;  (** wall-clock, inclusive of children *)
+  a_detail : (string * string) list;  (** operator-specific counters *)
+}
+
+(** [annotated_tree entries] — render a post-order operator trace (as
+    produced by a traced execution) as an indented tree. Each node shows
+    output rows, the sum of its direct children's rows ([rows_in]) and
+    wall-clock time; non-empty details render as a bracketed
+    [key=value] line under the node. *)
+val annotated_tree : annot list -> string

@@ -158,6 +158,9 @@ type stmt =
   | Explain of { query : query; analyze : bool }
       (** [EXPLAIN] renders the plan; [EXPLAIN ANALYZE] also runs it and
           reports per-operator output rows and wall time *)
+  | Set_option of { name : string; value : int }
+      (** [SET name = n] — session options (e.g. [SET parallelism = 4]);
+          the name is stored lowercased *)
 [@@deriving show { with_path = false }]
 
 (** [empty_query] — a [SELECT] skeleton to build on. *)

@@ -778,6 +778,12 @@ let parse_stmt_body st =
       | _ -> false
     in
     Ast.Explain { query = parse_query_body st; analyze }
+  | Token.KEYWORD "SET" ->
+    advance st;
+    let name = expect_ident st in
+    expect st Token.EQ;
+    let value = expect_int st in
+    Ast.Set_option { name = String.lowercase_ascii name; value }
   | Token.KEYWORD ("SELECT" | "WITH") -> Ast.Select (parse_query_body st)
   | _ -> error st "expected a statement"
 

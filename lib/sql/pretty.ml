@@ -261,6 +261,7 @@ let stmt_to_string = function
     | Ast.Insert_query q ->
       Printf.sprintf "INSERT INTO %s%s %s" (quote_ident table) cols
         (query_to_string q))
+  | Ast.Set_option { name; value } -> Printf.sprintf "SET %s = %d" name value
   | Ast.Begin_txn -> "BEGIN"
   | Ast.Commit_txn -> "COMMIT"
   | Ast.Rollback_txn -> "ROLLBACK"

@@ -596,10 +596,23 @@ let test_explain_analyze () =
     check tbool "analyze section" true
       (Astring.String.is_infix ~affix:"-- analyze --" out);
     check tbool "row counts" true
-      (Astring.String.is_infix ~affix:"Filter: rows=4" out);
+      (Astring.String.is_infix ~affix:"Filter  (rows=4" out);
     check tbool "result footer" true
       (Astring.String.is_infix ~affix:"result: 4 rows" out)
   | _ -> Alcotest.fail "expected Explained"
+
+let test_set_parallelism () =
+  let db = Sqlgraph.Db.create () in
+  (match Sqlgraph.Db.exec_exn db "SET parallelism = 4" with
+  | Sqlgraph.Db.Option_set ("parallelism", 4) -> ()
+  | _ -> Alcotest.fail "expected Option_set parallelism 4");
+  check tbool "session remembers" true (Sqlgraph.Db.parallelism db = 4);
+  (match Sqlgraph.Db.exec db "SET parallelism = 0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "SET parallelism = 0 should be rejected");
+  match Sqlgraph.Db.exec db "SET no_such_option = 1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown option should be rejected"
 
 let test_csv_parse () =
   let rows = Sqlgraph.Csv.parse_string "a,b\n1,\"x,y\"\n2,\"he said \"\"hi\"\"\"\n" in
@@ -803,6 +816,7 @@ let () =
         [
           Alcotest.test_case "explain statement" `Quick test_explain_statement;
           Alcotest.test_case "explain analyze" `Quick test_explain_analyze;
+          Alcotest.test_case "set parallelism" `Quick test_set_parallelism;
           Alcotest.test_case "csv parsing" `Quick test_csv_parse;
           Alcotest.test_case "csv typed tables" `Quick test_csv_table_roundtrip;
           Alcotest.test_case "csv file roundtrip" `Quick test_csv_file_roundtrip;

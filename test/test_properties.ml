@@ -1,0 +1,360 @@
+(* Property-based graph oracle suite: random small digraphs checked
+   against independent reference implementations.
+
+   - CHEAPEST SUM(1) and CHEAPEST SUM(x: w) through the full SQL stack
+     vs an in-test Bellman-Ford oracle (and Baselines.Native_bfs for the
+     unweighted case);
+   - Dijkstra radix-heap vs binary-heap equivalence on the graph runtime;
+   - run_pairs parallel-domains determinism, including under an armed
+     fault;
+   - EXPLAIN ANALYZE timing consistency (wall-clock phases sum to at
+     most the enclosing measurements). *)
+
+module V = Storage.Value
+
+(* ------------------------------------------------------------------ *)
+(* Random digraphs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Vertices are labelled 1..8; queries probe 0..9 so endpoints outside
+   the graph's vertex set (the paper's semi-join against V) are hit. *)
+type edge = { src : int; dst : int; w : int }
+
+let gen_edge =
+  QCheck.Gen.(
+    map3
+      (fun src dst w -> { src; dst; w })
+      (int_range 1 8) (int_range 1 8) (int_range 1 9))
+
+let gen_edges = QCheck.Gen.(list_size (int_range 1 20) gen_edge)
+
+let gen_query_pairs =
+  QCheck.Gen.(
+    list_size (int_range 1 8) (pair (int_range 0 9) (int_range 0 9)))
+
+let gen_graph_and_pairs = QCheck.Gen.pair gen_edges gen_query_pairs
+
+let edge_schema =
+  Storage.Schema.of_pairs
+    [
+      ("a", Storage.Dtype.TInt); ("b", Storage.Dtype.TInt);
+      ("w", Storage.Dtype.TInt);
+    ]
+
+let edge_table edges =
+  Storage.Table.of_rows edge_schema
+    (List.map (fun e -> [ V.Int e.src; V.Int e.dst; V.Int e.w ]) edges)
+
+let load_graph edges =
+  let db = Sqlgraph.Db.create () in
+  Sqlgraph.Db.load_table db ~name:"e" (edge_table edges);
+  db
+
+(* ------------------------------------------------------------------ *)
+(* The oracle: Bellman-Ford over the raw edge list                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Distance from [src] to [dst] summing [weight e] per edge, or None when
+   unreachable. Endpoints must appear in the graph's vertex set (source
+   or destination column of some edge) — REACHES is defined over V, so a
+   pair like (3, 3) with 3 absent from the table is *not* reachable. *)
+let oracle_distance edges ~weight ~src ~dst =
+  let vertices =
+    List.concat_map (fun e -> [ e.src; e.dst ]) edges |> List.sort_uniq compare
+  in
+  if not (List.mem src vertices && List.mem dst vertices) then None
+  else begin
+    let dist = Hashtbl.create 16 in
+    Hashtbl.replace dist src 0;
+    (* |V| - 1 relaxation rounds suffice; weights are positive *)
+    for _ = 1 to List.length vertices - 1 do
+      List.iter
+        (fun e ->
+          match Hashtbl.find_opt dist e.src with
+          | None -> ()
+          | Some d ->
+            let cand = d + weight e in
+            (match Hashtbl.find_opt dist e.dst with
+            | Some d' when d' <= cand -> ()
+            | _ -> Hashtbl.replace dist e.dst cand))
+        edges
+    done;
+    Hashtbl.find_opt dist dst
+  end
+
+(* ------------------------------------------------------------------ *)
+(* SQL vs oracle                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let sql_cheapest db sql ~src ~dst =
+  match Sqlgraph.Db.query db ~params:[| V.Int src; V.Int dst |] sql with
+  | Ok r -> (
+    match Sqlgraph.Resultset.rows r with
+    | [] -> None
+    | [ [ V.Int c ] ] -> Some c
+    | rows ->
+      Alcotest.failf "unexpected result shape (%d rows)" (List.length rows))
+  | Error e -> Alcotest.failf "engine failed: %s" (Sqlgraph.Error.to_string e)
+
+let prop_unweighted_matches_oracle =
+  QCheck.Test.make
+    ~name:"CHEAPEST SUM(1) = BFS oracle = native BFS on random digraphs"
+    ~count:150
+    (QCheck.make gen_graph_and_pairs)
+    (fun (edges, pairs) ->
+      let db = load_graph edges in
+      let native =
+        Baselines.Native_bfs.of_table (edge_table edges) ~src_col:"a"
+          ~dst_col:"b"
+      in
+      List.for_all
+        (fun (src, dst) ->
+          let got =
+            sql_cheapest db
+              "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER e EDGE (a, b)"
+              ~src ~dst
+          in
+          let want = oracle_distance edges ~weight:(fun _ -> 1) ~src ~dst in
+          let native_want =
+            Baselines.Native_bfs.distance native ~source:src ~target:dst
+          in
+          got = want && got = native_want)
+        pairs)
+
+let prop_weighted_matches_oracle =
+  QCheck.Test.make
+    ~name:"CHEAPEST SUM(x: w) = Bellman-Ford oracle on random digraphs"
+    ~count:150
+    (QCheck.make gen_graph_and_pairs)
+    (fun (edges, pairs) ->
+      let db = load_graph edges in
+      List.for_all
+        (fun (src, dst) ->
+          let got =
+            sql_cheapest db
+              "SELECT CHEAPEST SUM(x: w) WHERE ? REACHES ? OVER e x EDGE (a, b)"
+              ~src ~dst
+          in
+          got = oracle_distance edges ~weight:(fun e -> e.w) ~src ~dst)
+        pairs)
+
+(* ------------------------------------------------------------------ *)
+(* Radix heap vs binary heap on the runtime                            *)
+(* ------------------------------------------------------------------ *)
+
+let build_runtime edges =
+  let t = edge_table edges in
+  Graph.Runtime.build
+    ~src:(Option.get (Storage.Table.column_by_name t "a"))
+    ~dst:(Option.get (Storage.Table.column_by_name t "b"))
+
+let value_pairs pairs =
+  Array.of_list (List.map (fun (s, d) -> (V.Int s, V.Int d)) pairs)
+
+let outcome_cost = function
+  | Graph.Runtime.Unreachable -> None
+  | Graph.Runtime.Reached { cost; _ } -> Some cost
+
+(* A returned path must be a genuine src->dst walk whose weights sum to
+   the reported cost; radix and binary heaps may pick different
+   equally-cheap paths, but never different costs. *)
+let path_ok edges (e : edge array) outcome ~src ~dst =
+  match outcome with
+  | Graph.Runtime.Unreachable -> true
+  | Graph.Runtime.Reached { cost; edge_rows } ->
+    ignore edges;
+    let ok_chain =
+      Array.length edge_rows = 0
+      || (e.(edge_rows.(0)).src = src
+         && e.(edge_rows.(Array.length edge_rows - 1)).dst = dst
+         && Array.for_all
+              (fun i -> 0 <= i && i < Array.length e)
+              edge_rows
+         && (let linked = ref true in
+             for i = 0 to Array.length edge_rows - 2 do
+               if e.(edge_rows.(i)).dst <> e.(edge_rows.(i + 1)).src then
+                 linked := false
+             done;
+             !linked))
+    in
+    let sum =
+      Array.fold_left (fun acc i -> acc + e.(i).w) 0 edge_rows
+    in
+    let cost_matches =
+      match cost with
+      | V.Int c -> c = sum && (Array.length edge_rows > 0 || c = 0)
+      | _ -> false
+    in
+    (* a zero-length path only arises for src = dst *)
+    (Array.length edge_rows > 0 || src = dst) && ok_chain && cost_matches
+
+let prop_radix_equals_binary =
+  QCheck.Test.make
+    ~name:"Dijkstra radix heap = binary heap (costs; both paths valid)"
+    ~count:150
+    (QCheck.make gen_graph_and_pairs)
+    (fun (edges, pairs) ->
+      let rt = build_runtime edges in
+      let e = Array.of_list edges in
+      let weights =
+        Graph.Runtime.Int_weights (Array.map (fun x -> x.w) e)
+      in
+      let vp = value_pairs pairs in
+      let run heap = Graph.Runtime.run_pairs rt ~weights ~heap ~pairs:vp () in
+      let radix = run Graph.Dijkstra.Radix in
+      let binary = run Graph.Dijkstra.Binary in
+      List.for_all
+        (fun i ->
+          let src, dst = List.nth pairs i in
+          outcome_cost radix.(i) = outcome_cost binary.(i)
+          && path_ok edges e radix.(i) ~src ~dst
+          && path_ok edges e binary.(i) ~src ~dst)
+        (List.init (Array.length vp) Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel-domain determinism                                         *)
+(* ------------------------------------------------------------------ *)
+
+let outcomes_agree a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> outcome_cost x = outcome_cost y) a b
+
+let prop_domains_deterministic =
+  QCheck.Test.make
+    ~name:"run_pairs domains=1 = domains=4 (costs and reachability)"
+    ~count:120
+    (QCheck.make gen_graph_and_pairs)
+    (fun (edges, pairs) ->
+      let rt = build_runtime edges in
+      let vp = value_pairs pairs in
+      let run domains =
+        Graph.Runtime.run_pairs rt ~weights:Graph.Runtime.Unweighted ~domains
+          ~pairs:vp ()
+      in
+      outcomes_agree (run 1) (run 4))
+
+(* An armed fault must abort the parallel batch cleanly (every domain
+   joined, the injection surfaced), and the next batch — fault disarmed,
+   it is one-shot — must match a serial run exactly. *)
+let prop_domains_fault_then_recover =
+  QCheck.Test.make
+    ~name:"run_pairs under domains=4 with an armed fault: abort then recover"
+    ~count:100
+    (QCheck.make gen_edges)
+    (fun edges ->
+      let rt = build_runtime edges in
+      (* sources drawn from real edges so at least one search runs and
+         the "bfs" site is guaranteed to fire *)
+      let vp =
+        value_pairs (List.map (fun e -> (e.src, e.dst)) edges)
+      in
+      let check = Sqlgraph.Governor.(checkpoint (start no_limits)) in
+      Sqlgraph.Fault.set (Some (Sqlgraph.Fault.At_site "bfs"));
+      let aborted =
+        match
+          Graph.Runtime.run_pairs rt ~weights:Graph.Runtime.Unweighted
+            ~domains:4 ~check ~pairs:vp ()
+        with
+        | _ -> false
+        | exception Sqlgraph.Fault.Injected _ -> true
+      in
+      Sqlgraph.Fault.clear ();
+      let serial =
+        Graph.Runtime.run_pairs rt ~weights:Graph.Runtime.Unweighted ~pairs:vp
+          ()
+      in
+      let parallel =
+        Graph.Runtime.run_pairs rt ~weights:Graph.Runtime.Unweighted
+          ~domains:4 ~check ~pairs:vp ()
+      in
+      aborted && outcomes_agree serial parallel)
+
+(* SET parallelism must not change any result byte through the SQL stack. *)
+let prop_sql_parallelism_identical =
+  QCheck.Test.make
+    ~name:"SET parallelism = 4: byte-identical batch results" ~count:100
+    (QCheck.make gen_graph_and_pairs)
+    (fun (edges, pairs) ->
+      let pairs_table =
+        Storage.Table.of_rows
+          (Storage.Schema.of_pairs
+             [ ("s", Storage.Dtype.TInt); ("d", Storage.Dtype.TInt) ])
+          (List.map (fun (s, d) -> [ V.Int s; V.Int d ]) pairs)
+      in
+      let sql =
+        "SELECT s, d, CHEAPEST SUM(1) AS c FROM pairs \
+         WHERE s REACHES d OVER e EDGE (a, b)"
+      in
+      let run parallelism =
+        let db = load_graph edges in
+        Sqlgraph.Db.load_table db ~name:"pairs" pairs_table;
+        Sqlgraph.Db.set_parallelism db parallelism;
+        match Sqlgraph.Db.query db sql with
+        | Ok r -> Sqlgraph.Resultset.rows r
+        | Error e -> Alcotest.failf "%s" (Sqlgraph.Error.to_string e)
+      in
+      run 1 = run 4)
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE timing consistency                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The wall-clock fix: build phases are measured inside build_multi and
+   re-surfaced by the executor; with one shared clock they can never sum
+   past the enclosing build measurement (up to scheduling noise). Under
+   the old CPU-clock stats this failed structurally on any query with
+   measurable build time. *)
+let test_phase_times_sum () =
+  let edges =
+    List.init 200 (fun i -> { src = (i mod 50) + 1; dst = ((i + 7) mod 50) + 1; w = 1 })
+  in
+  let db = load_graph edges in
+  (match
+     Sqlgraph.Db.exec_exn db
+       "EXPLAIN ANALYZE SELECT CHEAPEST SUM(1) WHERE 1 REACHES 3 OVER e EDGE \
+        (a, b)"
+   with
+  | Sqlgraph.Db.Explained out ->
+    Alcotest.(check bool)
+      "annotated tree has build detail" true
+      (Astring.String.is_infix ~affix:"dict=" out
+      && Astring.String.is_infix ~affix:"traverse=" out)
+  | _ -> Alcotest.fail "expected Explained");
+  match Sqlgraph.Db.last_stats db with
+  | None -> Alcotest.fail "no stats after EXPLAIN ANALYZE"
+  | Some s ->
+    let phases =
+      s.Executor.Interp.build_dict_seconds
+      +. s.Executor.Interp.build_encode_seconds
+      +. s.Executor.Interp.build_csr_seconds
+    in
+    let eps = 0.005 in
+    Alcotest.(check bool)
+      "phases sum to at most the build time" true
+      (phases <= s.Executor.Interp.graph_build_seconds +. eps);
+    Alcotest.(check bool)
+      "build and traverse times are non-negative wall-clock" true
+      (s.Executor.Interp.graph_build_seconds >= 0.
+      && s.Executor.Interp.graph_traverse_seconds >= 0.
+      && s.Executor.Interp.trav_searches >= 1
+      && s.Executor.Interp.trav_settled >= 1)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "sql-vs-oracle",
+        [
+          QCheck_alcotest.to_alcotest prop_unweighted_matches_oracle;
+          QCheck_alcotest.to_alcotest prop_weighted_matches_oracle;
+        ] );
+      ( "heaps",
+        [ QCheck_alcotest.to_alcotest prop_radix_equals_binary ] );
+      ( "parallelism",
+        [
+          QCheck_alcotest.to_alcotest prop_domains_deterministic;
+          QCheck_alcotest.to_alcotest prop_domains_fault_then_recover;
+          QCheck_alcotest.to_alcotest prop_sql_parallelism_identical;
+        ] );
+      ( "explain-analyze",
+        [ Alcotest.test_case "phase times" `Quick test_phase_times_sum ] );
+    ]
