@@ -13,6 +13,7 @@
      ablation-parallel batched traversal over 1..8 domains (§6)
      ablation-vectorized column-at-a-time vs row-at-a-time evaluation
      baselines        extension vs §1's standard-SQL techniques vs native BFS
+     pairs            scalar per-source BFS vs batched MS-BFS on one batch
      micro            Bechamel micro-benchmarks of the kernels
      all              everything, with the given settings
 
@@ -512,6 +513,113 @@ let baselines_bench ~ratio ~sfs ~reps ~seed =
     sfs
 
 (* ------------------------------------------------------------------ *)
+(* Pairs: scalar vs batched multi-source traversal                     *)
+(* ------------------------------------------------------------------ *)
+
+(* P1: the batched traversal engine. One graph, many sources — the §4
+   batch workload — answered per-source (one BFS per distinct source)
+   vs bit-parallel MS-BFS (63 sources per wave), with byte-identity of
+   every outcome asserted before any number is reported. *)
+let pairs_bench ?json ~ratio ~sources ~seed () =
+  print_header
+    (Printf.sprintf
+       "Pairs P1: scalar per-source BFS vs batched MS-BFS (%d sources, \
+        ratio %.3f)"
+       sources ratio);
+  let setup = make_setup ~sf:1 ~ratio ~seed in
+  let friends = setup.graph.Datagen.Snb.friends in
+  let src = Option.get (Storage.Table.column_by_name friends "src") in
+  let dst = Option.get (Storage.Table.column_by_name friends "dst") in
+  let rt = Graph.Runtime.build ~src ~dst in
+  Graph.Runtime.prepare_bidir rt;
+  let pairs =
+    Array.map
+      (fun (a, b) -> (V.Int a, V.Int b))
+      (Datagen.Workload.random_pairs ~seed:(seed + 11) ~ids:setup.ids sources)
+  in
+  let run ?domains engine =
+    Graph.Runtime.run_pairs rt ~weights:Graph.Runtime.Unweighted ?domains
+      ~engine ~pairs ()
+  in
+  (* warm the workspaces/allocator once per engine *)
+  ignore (run `Scalar);
+  ignore (run `Batched);
+  let scalar, t_scalar = time (fun () -> run `Scalar) in
+  let before = Graph.Runtime.traversal_counters rt in
+  let batched, t_batched = time (fun () -> run `Batched) in
+  let after = Graph.Runtime.traversal_counters rt in
+  let _, t_batched4 = time (fun () -> run ~domains:4 `Batched) in
+  let identical =
+    Array.for_all2
+      (fun a b ->
+        match a, b with
+        | Graph.Runtime.Unreachable, Graph.Runtime.Unreachable -> true
+        | ( Graph.Runtime.Reached { cost = c1; edge_rows = r1 },
+            Graph.Runtime.Reached { cost = c2; edge_rows = r2 } ) ->
+          V.equal c1 c2 && r1 = r2
+        | _ -> false)
+      scalar batched
+  in
+  if not identical then
+    failwith "pairs: batched outcomes differ from scalar outcomes";
+  let waves = after.Graph.Workspace.waves - before.Graph.Workspace.waves in
+  let switches =
+    after.Graph.Workspace.dir_switches - before.Graph.Workspace.dir_switches
+  in
+  let n_edges = Graph.Runtime.edge_count rt in
+  Printf.printf
+    "graph: %d vertices, %d edges; %d pairs (byte-identical outcomes)\n"
+    (Graph.Runtime.vertex_count rt)
+    n_edges sources;
+  Printf.printf "%-28s %14s\n" "engine" "seconds";
+  Printf.printf "%-28s %14.6f\n" "scalar per-source" t_scalar;
+  Printf.printf "%-28s %14.6f   (%d waves, %d dir switches)\n" "batched ms-bfs"
+    t_batched waves switches;
+  Printf.printf "%-28s %14.6f\n" "batched ms-bfs, domains=4" t_batched4;
+  Printf.printf "speedup (batched vs scalar, domains=1): %.2fx\n%!"
+    (t_scalar /. t_batched);
+  match json with
+  | None -> ()
+  | Some path ->
+    Sqlgraph.Metrics.write_file ~path
+      (Sqlgraph.Metrics.Obj
+         [
+           ("schema", Sqlgraph.Metrics.String "sqlgraph-bench-v1");
+           ("suite", Sqlgraph.Metrics.String "pairs");
+           ("ratio", Sqlgraph.Metrics.num ratio);
+           ("seed", Sqlgraph.Metrics.Int seed);
+           ("vertices", Sqlgraph.Metrics.Int (Graph.Runtime.vertex_count rt));
+           ("edges", Sqlgraph.Metrics.Int n_edges);
+           ("sources", Sqlgraph.Metrics.Int sources);
+           ("identical", Sqlgraph.Metrics.Bool identical);
+           ( "results",
+             Sqlgraph.Metrics.List
+               [
+                 Sqlgraph.Metrics.Obj
+                   [
+                     ("name", Sqlgraph.Metrics.String "pairs/scalar-per-source");
+                     ("seconds", Sqlgraph.Metrics.num t_scalar);
+                   ];
+                 Sqlgraph.Metrics.Obj
+                   [
+                     ("name", Sqlgraph.Metrics.String "pairs/batched-msbfs");
+                     ("seconds", Sqlgraph.Metrics.num t_batched);
+                     ("waves", Sqlgraph.Metrics.Int waves);
+                     ("dir_switches", Sqlgraph.Metrics.Int switches);
+                   ];
+                 Sqlgraph.Metrics.Obj
+                   [
+                     ( "name",
+                       Sqlgraph.Metrics.String "pairs/batched-msbfs-domains4" );
+                     ("seconds", Sqlgraph.Metrics.num t_batched4);
+                   ];
+               ] );
+           ( "speedup_batched_vs_scalar",
+             Sqlgraph.Metrics.num (t_scalar /. t_batched) );
+         ]);
+    Printf.printf "wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -737,6 +845,25 @@ let micro_cmd =
       const (fun ratio seed json -> micro ?json ~ratio ~seed ())
       $ ratio_arg $ seed_arg $ json_arg)
 
+let sources_arg =
+  let doc = "Number of ⟨source, destination⟩ pairs for the pairs scenario." in
+  Arg.(value & opt int 512 & info [ "sources" ] ~doc)
+
+let pairs_json_arg =
+  let doc =
+    "Write the pairs results to this file as JSON (schema \
+     sqlgraph-bench-v1), e.g. BENCH_pairs.json."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let pairs_cmd =
+  cmd "pairs"
+    "Scalar per-source BFS vs batched MS-BFS on one multi-source batch (P1)."
+    Term.(
+      const (fun ratio sources seed json ->
+          pairs_bench ?json ~ratio ~sources ~seed ())
+      $ ratio_arg $ sources_arg $ seed_arg $ pairs_json_arg)
+
 let run_everything ratio sfs batches reps seed =
   table1 ~ratio ~sfs ~seed;
   fig1a ~ratio ~sfs ~reps ~seed;
@@ -750,6 +877,7 @@ let run_everything ratio sfs batches reps seed =
   ablation_parallel ~ratio ~sfs ~seed;
   ablation_vectorized ~ratio ~sfs ~seed;
   baselines_bench ~ratio ~sfs ~reps ~seed;
+  pairs_bench ~ratio ~sources:512 ~seed ();
   micro ~ratio ~seed ()
 
 let all_cmd =
@@ -777,5 +905,6 @@ let () =
             table1_cmd; fig1a_cmd; fig1b_cmd; ablation_build_cmd;
             ablation_heap_cmd; ablation_rewrite_cmd; ablation_csr_cmd;
             ablation_index_cmd; ablation_dict_cmd; ablation_parallel_cmd;
-            ablation_vectorized_cmd; baselines_cmd; micro_cmd; all_cmd;
+            ablation_vectorized_cmd; baselines_cmd; pairs_cmd; micro_cmd;
+            all_cmd;
           ]))

@@ -89,9 +89,14 @@ let print_stats db =
       (ms s.Executor.Interp.build_csr_seconds)
       (ms s.Executor.Interp.graph_traverse_seconds);
     Printf.printf
-      "traversal: searches=%d settled=%d peak_frontier=%d edges_scanned=%d\n"
+      "traversal: searches=%d settled=%d peak_frontier=%d edges_scanned=%d \
+       batched_waves=%d dir_switches=%d\n"
       s.Executor.Interp.trav_searches s.Executor.Interp.trav_settled
-      s.Executor.Interp.trav_peak_frontier s.Executor.Interp.trav_edges;
+      s.Executor.Interp.trav_peak_frontier s.Executor.Interp.trav_edges
+      s.Executor.Interp.trav_waves s.Executor.Interp.trav_dir_switches;
+    if s.Executor.Interp.pool_hits + s.Executor.Interp.pool_misses > 0 then
+      Printf.printf "workspace pool: hits=%d misses=%d\n"
+        s.Executor.Interp.pool_hits s.Executor.Interp.pool_misses;
     Printf.printf "evaluation: vectorized=%d row=%d\n"
       s.Executor.Interp.vec_ops s.Executor.Interp.row_ops;
     Printf.printf "governor: checks=%d steps=%d peak_frontier=%d paths=%d%s\n"

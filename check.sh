@@ -70,6 +70,25 @@ grep -q '"schema": "sqlgraph-metrics-v1"' "$metrics" || {
   exit 1
 }
 
+echo "== batched traversal smoke (multi-source EXPLAIN ANALYZE)"
+ms_script=$(mktemp /tmp/sqlgraph_check_XXXXXX.sql)
+trap 'rm -f "$script" "$out" "$ea_script" "$metrics" "$ms_script" BENCH_smoke.json BENCH_pairs_smoke.json' EXIT
+cat > "$ms_script" <<'EOF'
+CREATE TABLE e (src INTEGER, dst INTEGER);
+INSERT INTO e VALUES (1, 2), (2, 3), (1, 4), (4, 3), (3, 5);
+CREATE TABLE pairs (s INTEGER, d INTEGER);
+INSERT INTO pairs VALUES (1, 3), (2, 5), (4, 5), (1, 5);
+EXPLAIN ANALYZE SELECT s, d, CHEAPEST SUM(1) AS c FROM pairs
+  WHERE s REACHES d OVER e EDGE (src, dst);
+EOF
+dune exec bin/sqlgraph_cli.exe -- run "$ms_script" > "$out" 2>&1
+# a multi-source unweighted batch must route through the MS-BFS engine
+grep -q "batched_waves=" "$out" || {
+  echo "FAIL: multi-source EXPLAIN ANALYZE shows no batched_waves:"
+  cat "$out"
+  exit 1
+}
+
 echo "== bench micro --json smoke"
 dune exec bench/main.exe -- micro --ratio 0.002 --json BENCH_smoke.json \
     > "$out" 2>&1
@@ -84,4 +103,18 @@ grep -q '"ns_per_run"' BENCH_smoke.json || {
   exit 1
 }
 
-echo "OK: build, tests, fault-injection, EXPLAIN ANALYZE and bench smoke all passed"
+echo "== bench pairs --json smoke (scalar vs batched, byte-identity asserted)"
+dune exec bench/main.exe -- pairs --ratio 0.01 --sources 32 \
+    --json BENCH_pairs_smoke.json > "$out" 2>&1
+grep -q '"schema": "sqlgraph-bench-v1"' BENCH_pairs_smoke.json || {
+  echo "FAIL: bench pairs --json did not emit sqlgraph-bench-v1"
+  cat "$out"
+  exit 1
+}
+grep -q '"speedup_batched_vs_scalar"' BENCH_pairs_smoke.json || {
+  echo "FAIL: BENCH_pairs_smoke.json has no speedup measurement"
+  cat BENCH_pairs_smoke.json
+  exit 1
+}
+
+echo "OK: build, tests, fault-injection, EXPLAIN ANALYZE, batched traversal and bench smoke all passed"

@@ -103,6 +103,14 @@ let stats_json (s : Executor.Interp.stats) =
             ("settled", Int s.Executor.Interp.trav_settled);
             ("peak_frontier", Int s.Executor.Interp.trav_peak_frontier);
             ("edges_scanned", Int s.Executor.Interp.trav_edges);
+            ("batched_waves", Int s.Executor.Interp.trav_waves);
+            ("dir_switches", Int s.Executor.Interp.trav_dir_switches);
+          ] );
+      ( "workspace_pool",
+        Obj
+          [
+            ("hits", Int s.Executor.Interp.pool_hits);
+            ("misses", Int s.Executor.Interp.pool_misses);
           ] );
       ( "evaluation",
         Obj

@@ -26,6 +26,11 @@ type stats = {
   mutable trav_settled : int;
   mutable trav_peak_frontier : int;
   mutable trav_edges : int;
+  mutable trav_waves : int;
+  mutable trav_dir_switches : int;
+  (* workspace-pool outcomes for parallel traversal batches *)
+  mutable pool_hits : int;
+  mutable pool_misses : int;
   (* expression-evaluation dispatch: column-at-a-time hits vs fallbacks *)
   mutable vec_ops : int;
   mutable row_ops : int;
@@ -102,6 +107,10 @@ let create_ctx ~catalog ?(indices = Graph_index.create ()) ?(vectorize = true)
         trav_settled = 0;
         trav_peak_frontier = 0;
         trav_edges = 0;
+        trav_waves = 0;
+        trav_dir_switches = 0;
+        pool_hits = 0;
+        pool_misses = 0;
         vec_ops = 0;
         row_ops = 0;
         gov_checks = 0;
@@ -131,6 +140,10 @@ let reset_stats ctx =
   ctx.st.trav_settled <- 0;
   ctx.st.trav_peak_frontier <- 0;
   ctx.st.trav_edges <- 0;
+  ctx.st.trav_waves <- 0;
+  ctx.st.trav_dir_switches <- 0;
+  ctx.st.pool_hits <- 0;
+  ctx.st.pool_misses <- 0;
   ctx.st.vec_ops <- 0;
   ctx.st.row_ops <- 0;
   ctx.st.gov_checks <- 0;
@@ -271,6 +284,12 @@ let timed_traversal ctx rt f =
   ctx.st.trav_edges <-
     ctx.st.trav_edges + after.Graph.Workspace.edges_scanned
     - before.Graph.Workspace.edges_scanned;
+  ctx.st.trav_waves <-
+    ctx.st.trav_waves + after.Graph.Workspace.waves
+    - before.Graph.Workspace.waves;
+  ctx.st.trav_dir_switches <-
+    ctx.st.trav_dir_switches + after.Graph.Workspace.dir_switches
+    - before.Graph.Workspace.dir_switches;
   (* run_pairs resets the workspace peak per batch, so [after] is this
      batch's peak exactly *)
   ctx.st.trav_peak_frontier <-
@@ -745,7 +764,8 @@ and obtain_graph ctx (op : L.graph_op) =
   in
   let describe rt =
     note ctx "vertices" (string_of_int (Graph.Runtime.vertex_count rt));
-    note ctx "graph_edges" (string_of_int (Graph.Runtime.edge_count rt))
+    note ctx "graph_edges" (string_of_int (Graph.Runtime.edge_count rt));
+    if Graph.Runtime.has_bidir rt then note ctx "bidir" "on"
   in
   match op.L.edge with
   | L.Scan { table; _ } -> (
@@ -768,6 +788,9 @@ and obtain_graph ctx (op : L.graph_op) =
         let edges = run ctx op.L.edge in
         note ctx "cache" "miss";
         let rt = build edges in
+        (* A cached graph will be traversed again: pay one O(V+E) pass now
+           for the reverse CSR so every later batch can direction-optimize. *)
+        Graph.Runtime.prepare_bidir rt;
         describe rt;
         Graph_index.store ctx.indices key ~version rt edges;
         (edges, rt)
@@ -833,10 +856,14 @@ and run_cheapests ctx rt edges (op : L.graph_op) pairs =
   if ctx.domains > 1 then note ctx "domains" (string_of_int ctx.domains);
   let traverse f =
     let before = Graph.Runtime.traversal_counters rt in
+    let pool_before_h, pool_before_m = Graph.Runtime.pool_stats rt in
     let t0 = now () in
     let r = timed_traversal ctx rt f in
     let dt = now () -. t0 in
     let after = Graph.Runtime.traversal_counters rt in
+    let pool_after_h, pool_after_m = Graph.Runtime.pool_stats rt in
+    ctx.st.pool_hits <- ctx.st.pool_hits + pool_after_h - pool_before_h;
+    ctx.st.pool_misses <- ctx.st.pool_misses + pool_after_m - pool_before_m;
     note ctx "groups"
       (string_of_int (after.Graph.Workspace.searches - before.Graph.Workspace.searches));
     note ctx "settled"
@@ -845,6 +872,17 @@ and run_cheapests ctx rt edges (op : L.graph_op) pairs =
       (string_of_int
          (after.Graph.Workspace.edges_scanned - before.Graph.Workspace.edges_scanned));
     note ctx "peak_frontier" (string_of_int after.Graph.Workspace.peak_frontier);
+    (let waves = after.Graph.Workspace.waves - before.Graph.Workspace.waves in
+     if waves > 0 then note ctx "batched_waves" (string_of_int waves));
+    (let sw =
+       after.Graph.Workspace.dir_switches - before.Graph.Workspace.dir_switches
+     in
+     if sw > 0 then note ctx "dir_switches" (string_of_int sw));
+    (if pool_after_h + pool_after_m > pool_before_h + pool_before_m then
+       note ctx "pool_reuse"
+         (Printf.sprintf "%d/%d"
+            (pool_after_h - pool_before_h)
+            (pool_after_h - pool_before_h + pool_after_m - pool_before_m)));
     note_ms ctx "traverse" dt;
     r
   in

@@ -12,7 +12,9 @@
     [graph_build_seconds] up to clock granularity); [index_*] count
     {!Graph_index} cache outcomes; [trav_*] accumulate traversal-kernel
     work (searches run, vertices settled, edges scanned, peak frontier
-    across any single batch); [vec_ops]/[row_ops] count expression
+    across any single batch, batched MS-BFS waves, top-down/bottom-up
+    direction switches); [pool_*] count workspace-pool outcomes of
+    parallel traversal batches; [vec_ops]/[row_ops] count expression
     evaluations dispatched to the vectorized vs row-at-a-time engine.
     [gov_*] are resource-governor observability (checkpoints fired,
     traversal steps, peak frontier, paths enumerated, wall-clock budget
@@ -33,6 +35,10 @@ type stats = {
   mutable trav_settled : int;
   mutable trav_peak_frontier : int;
   mutable trav_edges : int;
+  mutable trav_waves : int;
+  mutable trav_dir_switches : int;
+  mutable pool_hits : int;
+  mutable pool_misses : int;
   mutable vec_ops : int;
   mutable row_ops : int;
   mutable gov_checks : int;

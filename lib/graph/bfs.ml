@@ -1,5 +1,24 @@
-let run ?(check = Cancel.none) (ws : Workspace.t) (csr : Csr.t) ~source
-    ~targets =
+(* Level-synchronous BFS with canonical parents.
+
+   The frontier of every level is kept in ascending vertex id, so the
+   first edge that discovers a vertex is the minimal forward CSR slot
+   among all its shortest-path parents. That canonical choice is
+   direction-independent: a bottom-up step scanning a vertex's in-edges
+   (sorted by forward slot — see Csr.reverse) finds exactly the same
+   parent at its first hit, and the bit-parallel Msbfs engine makes the
+   same choice lane-wise. All three engines therefore settle *identical*
+   shortest-path trees, which is what lets the runtime pick whichever is
+   fastest without changing a single result byte. *)
+
+(* Direction-optimizing thresholds (Beamer et al., "Direction-Optimizing
+   Breadth-First Search"): go bottom-up when the frontier's out-edges
+   outnumber a 1/alpha fraction of the unexplored edges; come back
+   top-down when the frontier shrinks below 1/beta of the vertices. *)
+let default_alpha = 14
+let default_beta = 24
+
+let run ?(check = Cancel.none) ?rev ?(alpha = default_alpha)
+    ?(beta = default_beta) (ws : Workspace.t) (csr : Csr.t) ~source ~targets =
   Workspace.next_epoch ws;
   (* Register pending targets; duplicates count once. *)
   let remaining = ref 0 in
@@ -11,7 +30,6 @@ let run ?(check = Cancel.none) (ws : Workspace.t) (csr : Csr.t) ~source
       end)
     targets;
   let early_exit = Array.length targets > 0 in
-  let queue = Queue.create () in
   let tk = Cancel.ticker check ~site:"bfs" in
   let settle v =
     if Workspace.is_pending_target ws v then begin
@@ -19,30 +37,108 @@ let run ?(check = Cancel.none) (ws : Workspace.t) (csr : Csr.t) ~source
       decr remaining
     end
   in
+  let n = csr.Csr.vertex_count in
+  let bs = Workspace.batch_state ws in
+  let cur = ref bs.Workspace.cur_vs and next = ref bs.Workspace.next_vs in
   Workspace.mark_visited ws source;
   ws.dist_int.(source) <- 0;
   ws.parent_vertex.(source) <- -1;
   ws.parent_slot.(source) <- -1;
   settle source;
-  Queue.add source queue;
-  let finished = ref (early_exit && !remaining = 0) in
+  !cur.(0) <- source;
+  let ncur = ref 1 in
+  let level = ref 0 in
+  (* Edges out of still-unexplored vertices, for the switch heuristic. *)
+  let m_unexplored = ref (Csr.edge_count csr - Csr.out_degree csr source) in
+  let edges = ref 0 in
+  let settled = ref 1 in
+  let bottom_up = ref false in
   Workspace.note_frontier ws 1;
-  while (not !finished) && not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
-    Workspace.note_settled ws;
-    Cancel.tick tk ~frontier:(Queue.length queue);
-    let du = ws.dist_int.(u) in
-    Csr.iter_out csr u (fun ~slot ~target ->
-        Workspace.note_edge ws;
-        if not (Workspace.visited ws target) then begin
-          Workspace.mark_visited ws target;
-          ws.dist_int.(target) <- du + 1;
-          ws.parent_vertex.(target) <- u;
-          ws.parent_slot.(target) <- slot;
-          settle target;
-          Queue.add target queue
-        end);
-    Workspace.note_frontier ws (Queue.length queue);
+  (* Settling the source counts as one step even when every target is
+     trivially satisfied and the loop never runs: cancellation (and an
+     armed fault) must be able to fire once per search at this site. *)
+  Cancel.tick tk ~frontier:1;
+  let finished = ref (early_exit && !remaining = 0) in
+  while (not !finished) && !ncur > 0 do
+    (match rev with
+    | None -> ()
+    | Some _ ->
+      if not !bottom_up then begin
+        let m_frontier = ref 0 in
+        for i = 0 to !ncur - 1 do
+          m_frontier := !m_frontier + Csr.out_degree csr !cur.(i)
+        done;
+        if !m_frontier * alpha > !m_unexplored then begin
+          bottom_up := true;
+          Workspace.note_dir_switch ws
+        end
+      end
+      else if !ncur * beta < n then begin
+        bottom_up := false;
+        Workspace.note_dir_switch ws
+      end);
+    let nnext = ref 0 in
+    let d = !level in
+    (match (!bottom_up, rev) with
+    | true, Some rev ->
+      (* Bottom-up: every unvisited vertex scans its in-edges (ascending
+         forward slot) and adopts the first parent found on the current
+         level — the canonical one. Vertex ids ascend, so the next
+         frontier comes out sorted for free. *)
+      for v = 0 to n - 1 do
+        if not (Workspace.visited ws v) then begin
+          Cancel.tick tk ~frontier:!ncur;
+          let found = ref false in
+          let k = ref rev.Csr.offsets.(v) in
+          let stop = rev.Csr.offsets.(v + 1) in
+          while (not !found) && !k < stop do
+            incr edges;
+            let u = rev.Csr.targets.(!k) in
+            if Workspace.visited ws u && ws.dist_int.(u) = d then begin
+              found := true;
+              Workspace.mark_visited ws v;
+              ws.dist_int.(v) <- d + 1;
+              ws.parent_vertex.(v) <- u;
+              ws.parent_slot.(v) <- rev.Csr.edge_rows.(!k);
+              m_unexplored := !m_unexplored - Csr.out_degree csr v;
+              settle v;
+              !next.(!nnext) <- v;
+              incr nnext
+            end;
+            incr k
+          done
+        end
+      done
+    | _ ->
+      (* Top-down over the ascending frontier; sort what it discovered. *)
+      for i = 0 to !ncur - 1 do
+        let u = !cur.(i) in
+        Cancel.tick tk ~frontier:!ncur;
+        Csr.iter_out csr u (fun ~slot ~target ->
+            incr edges;
+            if not (Workspace.visited ws target) then begin
+              Workspace.mark_visited ws target;
+              ws.dist_int.(target) <- d + 1;
+              ws.parent_vertex.(target) <- u;
+              ws.parent_slot.(target) <- slot;
+              m_unexplored := !m_unexplored - Csr.out_degree csr target;
+              settle target;
+              !next.(!nnext) <- target;
+              incr nnext
+            end)
+      done;
+      Workspace.sort_prefix !next !nnext);
+    settled := !settled + !nnext;
+    let t = !cur in
+    cur := !next;
+    next := t;
+    ncur := !nnext;
+    incr level;
+    Workspace.note_frontier ws !nnext;
     if early_exit && !remaining = 0 then finished := true
   done;
+  ws.Workspace.counters.Workspace.settled <-
+    ws.Workspace.counters.Workspace.settled + !settled;
+  ws.Workspace.counters.Workspace.edges_scanned <-
+    ws.Workspace.counters.Workspace.edges_scanned + !edges;
   Cancel.flush tk

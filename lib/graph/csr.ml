@@ -12,10 +12,15 @@ type timings = {
   scatter_phase : float;
 }
 
+(* Wall clock, not CPU time: phase times must be comparable with the
+   executor's operator timings in EXPLAIN ANALYZE (and with the other
+   build phases measured in Runtime.build_multi). *)
+let now = Unix.gettimeofday
+
 let build_timed ~vertex_count ~src ~dst =
   if Array.length src <> Array.length dst then
     invalid_arg "Csr.build: src/dst length mismatch";
-  let t0 = Sys.time () in
+  let t0 = now () in
   let n = Array.length src in
   (* counting pass: out-degree per vertex, ignoring dropped slots *)
   let counts = Array.make (vertex_count + 1) 0 in
@@ -27,13 +32,13 @@ let build_timed ~vertex_count ~src ~dst =
       incr kept
     end
   done;
-  let t1 = Sys.time () in
+  let t1 = now () in
   (* prefix sum -> offsets *)
   for v = 1 to vertex_count do
     counts.(v) <- counts.(v) + counts.(v - 1)
   done;
   let offsets = counts in
-  let t2 = Sys.time () in
+  let t2 = now () in
   (* scatter pass using a moving cursor per vertex *)
   let cursor = Array.copy offsets in
   let targets = Array.make !kept 0 in
@@ -47,7 +52,7 @@ let build_timed ~vertex_count ~src ~dst =
       cursor.(s) <- slot + 1
     end
   done;
-  let t3 = Sys.time () in
+  let t3 = now () in
   ( { vertex_count; offsets; targets; edge_rows },
     {
       total = t3 -. t0;
@@ -58,6 +63,44 @@ let build_timed ~vertex_count ~src ~dst =
 
 let build ~vertex_count ~src ~dst =
   fst (build_timed ~vertex_count ~src ~dst)
+
+(* Reverse adjacency by the same count/prefix/scatter passes, run over the
+   forward CSR's slots instead of the raw edge list. The payload of a
+   reverse slot is the *forward slot* it mirrors (not the edge-table row):
+   bottom-up traversal steps can then record parent slots that index the
+   forward CSR, keeping Path_tree oblivious to the direction a vertex was
+   discovered from. Scattering in ascending forward-slot order also leaves
+   every vertex's in-edge list sorted by forward slot, which is what makes
+   the bottom-up kernels' first-hit parent the canonical (minimal-slot)
+   one. *)
+let reverse t =
+  let n = t.vertex_count in
+  let e = Array.length t.targets in
+  let counts = Array.make (n + 1) 0 in
+  for slot = 0 to e - 1 do
+    counts.(t.targets.(slot) + 1) <- counts.(t.targets.(slot) + 1) + 1
+  done;
+  for v = 1 to n do
+    counts.(v) <- counts.(v) + counts.(v - 1)
+  done;
+  let offsets = counts in
+  let cursor = Array.copy offsets in
+  let rev_targets = Array.make e 0 in
+  let rev_slots = Array.make e 0 in
+  for v = 0 to n - 1 do
+    for slot = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+      let d = t.targets.(slot) in
+      let k = cursor.(d) in
+      rev_targets.(k) <- v;
+      rev_slots.(k) <- slot;
+      cursor.(d) <- k + 1
+    done
+  done;
+  { vertex_count = n; offsets; targets = rev_targets; edge_rows = rev_slots }
+
+let build_bidir ~vertex_count ~src ~dst =
+  let fwd = build ~vertex_count ~src ~dst in
+  (fwd, reverse fwd)
 
 let edge_count t = Array.length t.targets
 

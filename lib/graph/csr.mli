@@ -20,6 +20,23 @@ type t = {
     if the two arrays have different lengths. *)
 val build : vertex_count:int -> src:int array -> dst:int array -> t
 
+(** [reverse t] — the reverse adjacency of [t], built by the same
+    count/prefix/scatter passes over the forward slots. In the result,
+    [targets] holds the *source* vertex of each mirrored edge and
+    [edge_rows] holds the mirrored edge's **forward CSR slot** (not its
+    edge-table row): a bottom-up traversal that discovers [v] through a
+    reverse slot can store that payload directly in
+    [Workspace.parent_slot] and path extraction through the forward CSR
+    keeps working unchanged. Every in-edge list is sorted by forward slot,
+    so a first-match scan yields the canonical (minimal forward slot)
+    parent. *)
+val reverse : t -> t
+
+(** [build_bidir ~vertex_count ~src ~dst] = the forward CSR and its
+    {!reverse}, for direction-optimizing traversal. *)
+val build_bidir :
+  vertex_count:int -> src:int array -> dst:int array -> t * t
+
 val edge_count : t -> int
 
 (** [out_degree t v]. *)

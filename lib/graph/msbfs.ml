@@ -1,0 +1,210 @@
+(* Bit-parallel multi-source BFS (after Then et al., "The More the
+   Merrier: Efficient Multi-Source Graph Traversal", VLDB 2015).
+
+   Up to 63 BFS sources run as *lanes* of one wave: every vertex carries
+   an int bitmask of the lanes that have reached it ([seen]) and of the
+   lanes whose frontier currently contains it ([cur_mask]). One sweep
+   over the CSR advances all lanes at once, so a batch of S sources costs
+   ~⌈S/63⌉ sweeps instead of S.
+
+   Parent bookkeeping is per *discovery*, not per vertex: when a set of
+   lanes first reaches [v] through edge (u, slot), one record (mask, u,
+   slot, level) is appended to the workspace's record pool. Per-lane
+   distances and paths are read back from those records after the wave.
+
+   Canonical parents: frontiers are scanned in ascending vertex id and
+   out-edges in ascending slot, so the first edge offering a lane to [v]
+   is the minimal forward CSR slot among that lane's shortest-path
+   parents — exactly the parent the scalar level-synchronous Bfs settles.
+   The bottom-up step preserves this because every reverse in-edge list
+   is sorted by forward slot (Csr.reverse). MS-BFS results are therefore
+   byte-identical to per-source scalar runs. *)
+
+let max_lanes = 62 + 1 (* 63: all lanes fit a tagged 63-bit OCaml int *)
+
+let popcount x =
+  let c = ref 0 and x = ref x in
+  while !x <> 0 do
+    incr c;
+    x := !x land (!x - 1)
+  done;
+  !c
+
+let run ?(check = Cancel.none) ?rev ?(alpha = Bfs.default_alpha)
+    ?(beta = Bfs.default_beta) (ws : Workspace.t) (csr : Csr.t) ~sources
+    ~targets =
+  let nlanes = Array.length sources in
+  if nlanes = 0 || nlanes > max_lanes then
+    invalid_arg
+      (Printf.sprintf "Msbfs.run: %d sources (want 1..%d)" nlanes max_lanes);
+  let n = csr.Csr.vertex_count in
+  let bs = Workspace.batch_state ws in
+  Workspace.reset_batch bs;
+  let c = Workspace.counters ws in
+  c.Workspace.searches <- c.Workspace.searches + nlanes;
+  Workspace.note_wave ws;
+  let seen = bs.Workspace.seen
+  and cur_mask = bs.Workspace.cur_mask
+  and next_mask = bs.Workspace.next_mask
+  and tgt_mask = bs.Workspace.tgt_mask in
+  let cur = ref bs.Workspace.cur_vs and next = ref bs.Workspace.next_vs in
+  (* Seed the lanes; sources are distinct, one lane each. *)
+  let ncur = ref 0 in
+  Array.iteri
+    (fun lane s ->
+      let bit = 1 lsl lane in
+      if seen.(s) = 0 then begin
+        !cur.(!ncur) <- s;
+        incr ncur
+      end;
+      seen.(s) <- seen.(s) lor bit;
+      cur_mask.(s) <- cur_mask.(s) lor bit)
+    sources;
+  Workspace.sort_prefix !cur !ncur;
+  (* Register per-lane targets; a lane whose target is its own source is
+     delivered immediately (distance 0, empty path). *)
+  let remaining = ref 0 in
+  Array.iter
+    (fun (lane, dst) ->
+      let bit = 1 lsl lane in
+      if sources.(lane) <> dst && tgt_mask.(dst) land bit = 0 then begin
+        tgt_mask.(dst) <- tgt_mask.(dst) lor bit;
+        incr remaining
+      end)
+    targets;
+  let tk = Cancel.ticker check ~site:"bfs" in
+  let m_unexplored = ref (Csr.edge_count csr) in
+  for i = 0 to !ncur - 1 do
+    m_unexplored := !m_unexplored - Csr.out_degree csr !cur.(i)
+  done;
+  let edges = ref 0 in
+  let settled = ref nlanes in
+  let level = ref 0 in
+  let bottom_up = ref false in
+  Workspace.note_frontier ws !ncur;
+  (* Seeding the lanes counts as one step even when every target is
+     trivially satisfied and the loop never runs: cancellation (and an
+     armed fault) must be able to fire once per wave at this site. *)
+  Cancel.tick tk ~frontier:!ncur;
+  let finished = ref (!remaining = 0) in
+  while (not !finished) && !ncur > 0 do
+    (match rev with
+    | None -> ()
+    | Some _ ->
+      if not !bottom_up then begin
+        let m_frontier = ref 0 in
+        for i = 0 to !ncur - 1 do
+          m_frontier := !m_frontier + Csr.out_degree csr !cur.(i)
+        done;
+        if !m_frontier * alpha > !m_unexplored then begin
+          bottom_up := true;
+          Workspace.note_dir_switch ws
+        end
+      end
+      else if !ncur * beta < n then begin
+        bottom_up := false;
+        Workspace.note_dir_switch ws
+      end);
+    let nnext = ref 0 in
+    let d = !level in
+    let discover v avail ~parent ~slot =
+      if next_mask.(v) = 0 then begin
+        if seen.(v) = 0 then
+          m_unexplored := !m_unexplored - Csr.out_degree csr v;
+        !next.(!nnext) <- v;
+        incr nnext
+      end;
+      next_mask.(v) <- next_mask.(v) lor avail;
+      Workspace.add_record bs ~v ~mask:avail ~parent ~slot ~level:(d + 1);
+      settled := !settled + popcount avail;
+      let hits = avail land tgt_mask.(v) in
+      if hits <> 0 then begin
+        remaining := !remaining - popcount hits;
+        tgt_mask.(v) <- tgt_mask.(v) land lnot hits
+      end
+    in
+    (match (!bottom_up, rev) with
+    | true, Some rev ->
+      (* Bottom-up: vertices still missing lanes pull from in-edges. *)
+      let active = ref 0 in
+      for i = 0 to !ncur - 1 do
+        active := !active lor cur_mask.(!cur.(i))
+      done;
+      for v = 0 to n - 1 do
+        let poss = ref (!active land lnot seen.(v)) in
+        if !poss <> 0 then begin
+          Cancel.tick tk ~frontier:!ncur;
+          let k = ref rev.Csr.offsets.(v) in
+          let stop = rev.Csr.offsets.(v + 1) in
+          while !poss <> 0 && !k < stop do
+            incr edges;
+            let u = rev.Csr.targets.(!k) in
+            let avail = cur_mask.(u) land !poss in
+            if avail <> 0 then begin
+              discover v avail ~parent:u ~slot:rev.Csr.edge_rows.(!k);
+              poss := !poss land lnot avail
+            end;
+            incr k
+          done
+        end
+      done
+    | _ ->
+      (* Top-down over the ascending frontier; sort what it discovered. *)
+      for i = 0 to !ncur - 1 do
+        let u = !cur.(i) in
+        Cancel.tick tk ~frontier:!ncur;
+        let fm = cur_mask.(u) in
+        Csr.iter_out csr u (fun ~slot ~target ->
+            incr edges;
+            let avail =
+              fm land lnot seen.(target) land lnot next_mask.(target)
+            in
+            if avail <> 0 then discover target avail ~parent:u ~slot)
+      done;
+      Workspace.sort_prefix !next !nnext);
+    (* Level merge: clear the old frontier's masks *before* installing the
+       new ones — a vertex can sit in both when a late lane reaches it. *)
+    for i = 0 to !ncur - 1 do
+      cur_mask.(!cur.(i)) <- 0
+    done;
+    for j = 0 to !nnext - 1 do
+      let v = !next.(j) in
+      seen.(v) <- seen.(v) lor next_mask.(v);
+      cur_mask.(v) <- next_mask.(v);
+      next_mask.(v) <- 0
+    done;
+    let t = !cur in
+    cur := !next;
+    next := t;
+    ncur := !nnext;
+    incr level;
+    Workspace.note_frontier ws !nnext;
+    if !remaining = 0 then finished := true
+  done;
+  c.Workspace.settled <- c.Workspace.settled + !settled;
+  c.Workspace.edges_scanned <- c.Workspace.edges_scanned + !edges;
+  Cancel.flush tk
+
+let dist (ws : Workspace.t) ~lane ~source ~dst =
+  if source = dst then Some 0
+  else
+    let bs = Workspace.batch_state ws in
+    let k = Workspace.find_record bs ~v:dst ~lane in
+    if k < 0 then None else Some bs.Workspace.rec_level.(k)
+
+let edge_rows (ws : Workspace.t) (csr : Csr.t) ~lane ~source ~dst =
+  if source = dst then [||]
+  else begin
+    let bs = Workspace.batch_state ws in
+    let k = Workspace.find_record bs ~v:dst ~lane in
+    if k < 0 then invalid_arg "Msbfs.edge_rows: destination not reached";
+    let hops = bs.Workspace.rec_level.(k) in
+    let rows = Array.make hops 0 in
+    let v = ref dst in
+    for i = hops - 1 downto 0 do
+      let k = Workspace.find_record bs ~v:!v ~lane in
+      rows.(i) <- csr.Csr.edge_rows.(bs.Workspace.rec_slot.(k));
+      v := bs.Workspace.rec_parent.(k)
+    done;
+    rows
+  end

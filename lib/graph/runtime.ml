@@ -19,6 +19,10 @@ type t = {
   csr : Csr.t;
   ws : Workspace.t;
   stats : build_stats;
+  mutable rev : Csr.t option;  (* reverse CSR, built on demand, kept *)
+  mutable pool : Workspace.t list;  (* spare workspaces for domains *)
+  mutable pool_hits : int;
+  mutable pool_misses : int;
 }
 
 let build_multi ~src ~dst =
@@ -49,6 +53,10 @@ let build_multi ~src ~dst =
         vertex_count;
         edge_count = Csr.edge_count csr;
       };
+    rev = None;
+    pool = [];
+    pool_hits = 0;
+    pool_misses = 0;
   }
 
 let build ~src ~dst = build_multi ~src:[ src ] ~dst:[ dst ]
@@ -57,6 +65,33 @@ let stats t = t.stats
 let vertex_count t = t.stats.vertex_count
 let edge_count t = t.stats.edge_count
 let dict t = t.dict
+
+let prepare_bidir t =
+  match t.rev with None -> t.rev <- Some (Csr.reverse t.csr) | Some _ -> ()
+
+let has_bidir t = t.rev <> None
+let pool_stats t = (t.pool_hits, t.pool_misses)
+
+(* Workspace pool for parallel batches. Acquire/release happen only on the
+   coordinating thread — before Domain.spawn and after Domain.join — so no
+   lock is needed; the join provides the happens-before edge that makes
+   reading the domain's counter writes safe. Released workspaces first fold
+   their counters into the shared workspace, then reset, so a pooled
+   workspace always starts clean. *)
+let acquire_ws t =
+  match t.pool with
+  | ws :: rest ->
+    t.pool <- rest;
+    t.pool_hits <- t.pool_hits + 1;
+    ws
+  | [] ->
+    t.pool_misses <- t.pool_misses + 1;
+    Workspace.create t.stats.vertex_count
+
+let release_ws t ws =
+  Workspace.absorb_counters ~into:t.ws ws;
+  Workspace.reset_counters ws;
+  t.pool <- ws :: t.pool
 
 (* Cumulative traversal counters live on the shared workspace; parallel
    runs absorb their private workspaces back into it, so a snapshot
@@ -67,6 +102,8 @@ type weights =
   | Unweighted
   | Int_weights of int array
   | Float_weights of float array
+
+type engine = [ `Auto | `Scalar | `Batched ]
 
 type outcome =
   | Unreachable
@@ -109,26 +146,43 @@ let encode_pairs t pairs =
       | _, _ -> None)
     pairs
 
-let group_by_source encoded =
+(* Duplicate encoded pairs extract once and fan out afterwards: alias.(i)
+   is the index of the first pair with the same (source, destination)
+   encoding, or -1 when pair i is itself the canonical occurrence. *)
+let dedup_pairs encoded =
+  let canon = Hashtbl.create 64 in
+  let alias = Array.make (Array.length encoded) (-1) in
+  Array.iteri
+    (fun idx enc ->
+      match enc with
+      | None -> ()
+      | Some key -> (
+        match Hashtbl.find_opt canon key with
+        | Some first -> alias.(idx) <- first
+        | None -> Hashtbl.add canon key idx))
+    encoded;
+  alias
+
+let group_by_source encoded alias =
   let groups = Hashtbl.create 64 in
   Array.iteri
     (fun idx enc ->
       match enc with
-      | Some (si, di) ->
+      | Some (si, di) when alias.(idx) < 0 ->
         let entries =
           match Hashtbl.find_opt groups si with Some l -> l | None -> []
         in
         Hashtbl.replace groups si ((idx, di) :: entries)
-      | None -> ())
+      | _ -> ())
     encoded;
   groups
 
 (* Run one source group (search + per-pair extraction) on a given
    workspace, writing its outcomes into disjoint slots of [out]. *)
-let run_group t ~slot_w ~heap ~check ~out ws (source, entries) =
+let run_scalar_group t ~slot_w ~heap ~check ~rev ~out ws (source, entries) =
   (match slot_w with
   | `None ->
-    Bfs.run ~check ws t.csr ~source
+    Bfs.run ~check ?rev ws t.csr ~source
       ~targets:(Array.of_list (List.map snd entries))
   | `Int w ->
     Dijkstra.run_int ~check ws t.csr ~weights:w ~source
@@ -150,8 +204,44 @@ let run_group t ~slot_w ~heap ~check ~out ws (source, entries) =
       end)
     entries
 
+(* One MS-BFS wave over <= Msbfs.max_lanes source groups: lane i is the
+   search rooted at groups.(i). Outcomes are extracted before the next
+   wave reuses the batch scratch. *)
+let run_wave t ~check ~rev ~out ws groups =
+  let sources = Array.map fst groups in
+  let targets =
+    let acc = ref [] in
+    Array.iteri
+      (fun lane (_, entries) ->
+        List.iter (fun (_, dst) -> acc := (lane, dst) :: !acc) entries)
+      groups;
+    Array.of_list !acc
+  in
+  Msbfs.run ~check ?rev ws t.csr ~sources ~targets;
+  Array.iteri
+    (fun lane (source, entries) ->
+      List.iter
+        (fun (idx, dst) ->
+          match Msbfs.dist ws ~lane ~source ~dst with
+          | None -> ()
+          | Some hops ->
+            let edge_rows = Msbfs.edge_rows ws t.csr ~lane ~source ~dst in
+            out.(idx) <- Reached { cost = Storage.Value.Int hops; edge_rows })
+        entries)
+    groups
+
+let run_batched t ~check ~rev ~out ws groups =
+  let arr = Array.of_list groups in
+  let n = Array.length arr in
+  let i = ref 0 in
+  while !i < n do
+    let len = min Msbfs.max_lanes (n - !i) in
+    run_wave t ~check ~rev ~out ws (Array.sub arr !i len);
+    i := !i + len
+  done
+
 let run_pairs t ~weights ?(heap = Dijkstra.Radix) ?(domains = 1)
-    ?(check = Cancel.none) ~pairs () =
+    ?(check = Cancel.none) ?(engine = `Auto) ~pairs () =
   (* searches/settled/edges accumulate across batches (delta-friendly);
      the peak frontier restarts per batch so callers can attribute an
      exact per-batch peak. *)
@@ -163,49 +253,63 @@ let run_pairs t ~weights ?(heap = Dijkstra.Radix) ?(domains = 1)
     | Float_weights per_row -> `Float (slot_weights_float t per_row)
   in
   let encoded = encode_pairs t pairs in
-  let groups = group_by_source encoded in
+  let alias = dedup_pairs encoded in
+  let groups = group_by_source encoded alias in
   let out = Array.make (Array.length pairs) Unreachable in
-  let group_list = Hashtbl.fold (fun s e acc -> (s, e) :: acc) groups [] in
+  (* Largest group first (by pending pair count, source id breaking ties)
+     so the round-robin chunk assignment below is deterministic and the
+     biggest traversals spread across domains instead of piling onto
+     whichever chunk the hash order favoured. *)
+  let group_list =
+    Hashtbl.fold (fun s e acc -> (s, e) :: acc) groups []
+    |> List.sort (fun (s1, e1) (s2, e2) ->
+           let c = compare (List.length e2) (List.length e1) in
+           if c <> 0 then c else compare s1 s2)
+  in
+  (* The batched engine answers unweighted multi-source batches 63 lanes
+     per sweep; weighted traversal stays on per-source Dijkstra. *)
+  let batched =
+    match slot_w, (engine : engine) with
+    | `None, `Batched -> true
+    | `None, `Auto -> List.length group_list > 1
+    | _ -> false
+  in
+  let rev = t.rev in
+  let run_chunk ws chunk =
+    if batched then run_batched t ~check ~rev ~out ws chunk
+    else List.iter (run_scalar_group t ~slot_w ~heap ~check ~rev ~out ws) chunk
+  in
   if domains <= 1 || List.length group_list <= 1 then
-    List.iter (run_group t ~slot_w ~heap ~check ~out t.ws) group_list
+    run_chunk t.ws group_list
   else begin
     (* §6's parallelism: one domain per chunk of source groups, each with
-       a private workspace; the CSR and weights are shared read-only and
-       outcome slots are disjoint. The checkpoint is shared across domains
-       (its counters may race benignly); a raise aborts that domain and
-       resurfaces at the join below. *)
+       a private (pooled) workspace; the CSR and weights are shared
+       read-only and outcome slots are disjoint. The checkpoint is shared
+       across domains (its counters may race benignly); a raise aborts
+       that domain and resurfaces at the join below. *)
     let n = List.length group_list in
     let d = min domains n in
     let chunks = Array.make d [] in
     List.iteri
       (fun i g -> chunks.(i mod d) <- g :: chunks.(i mod d))
       group_list;
-    let work chunk () =
-      let ws = Workspace.create t.stats.vertex_count in
-      List.iter (run_group t ~slot_w ~heap ~check ~out ws) chunk;
-      Workspace.counters ws
-    in
+    let chunks = Array.map List.rev chunks in
+    let wss = Array.map (fun _ -> acquire_ws t) chunks in
     let spawned =
-      Array.to_list
-        (Array.map (fun chunk -> Domain.spawn (work chunk)) chunks)
+      Array.mapi
+        (fun k chunk -> Domain.spawn (fun () -> run_chunk wss.(k) chunk))
+        chunks
     in
     (* Join every domain before re-raising so no domain outlives the
        batch; the first failure wins, later ones are dropped. *)
-    let results = List.map (fun d -> try Ok (Domain.join d) with e -> Error e) spawned in
-    List.iter
-      (function
-        | Ok (c : Workspace.counters) ->
-          let into = Workspace.counters t.ws in
-          into.Workspace.searches <- into.Workspace.searches + c.Workspace.searches;
-          into.Workspace.settled <- into.Workspace.settled + c.Workspace.settled;
-          into.Workspace.peak_frontier <-
-            max into.Workspace.peak_frontier c.Workspace.peak_frontier;
-          into.Workspace.edges_scanned <-
-            into.Workspace.edges_scanned + c.Workspace.edges_scanned
-        | Error _ -> ())
-      results;
-    List.iter (function Ok _ -> () | Error e -> raise e) results
+    let results =
+      Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) spawned
+    in
+    Array.iter (release_ws t) wss;
+    Array.iter (function Ok () -> () | Error e -> raise e) results
   end;
+  (* Fan the canonical outcomes back out to the deduplicated pairs. *)
+  Array.iteri (fun idx a -> if a >= 0 then out.(idx) <- out.(a)) alias;
   out
 
 let reachable ?(check = Cancel.none) ?domains t ~pairs =

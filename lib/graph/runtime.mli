@@ -43,6 +43,19 @@ val vertex_count : t -> int
 val edge_count : t -> int
 val dict : t -> Vertex_dict.t
 
+(** [prepare_bidir t] builds (once) and caches the reverse CSR, enabling
+    direction-optimizing traversal for every subsequent batch. Costs one
+    O(V + E) pass — worth it exactly when the graph will be traversed more
+    than once, so the executor calls it when a graph enters its cache. *)
+val prepare_bidir : t -> unit
+
+val has_bidir : t -> bool
+
+(** [pool_stats t] — [(hits, misses)] of the workspace pool used by
+    parallel batches: a hit reuses a workspace released by an earlier
+    batch, a miss allocates a fresh one. *)
+val pool_stats : t -> int * int
+
 (** [traversal_counters t] — a snapshot of the cumulative traversal
     counters (searches, settled vertices, peak frontier, edges scanned)
     accumulated by every batch run against this graph. Parallel batches
@@ -58,6 +71,15 @@ type weights =
   | Int_weights of int array
   | Float_weights of float array
 
+(** Traversal engine selection for {!run_pairs}. [`Auto] (the default)
+    answers unweighted batches with more than one distinct source through
+    the bit-parallel {!Msbfs} engine (63 sources per sweep) and everything
+    else per source; [`Scalar] forces one scalar search per source;
+    [`Batched] forces MS-BFS for unweighted batches regardless of size.
+    Weighted batches always run per-source Dijkstra. Every engine settles
+    the same canonical shortest-path tree, so outcomes are identical. *)
+type engine = [ `Auto | `Scalar | `Batched ]
+
 type outcome =
   | Unreachable
       (** includes the case where an endpoint is not a vertex of the graph *)
@@ -67,15 +89,22 @@ type outcome =
           source→destination order — empty when source = destination. *)
 
 (** [run_pairs t ~weights ~heap ~domains ~pairs] answers every pair.
-    Pairs sharing a source value share one traversal. [heap] picks the
+    Pairs sharing a source value share one traversal; identical
+    ⟨source, destination⟩ pairs are answered once and fanned back out.
+    [heap] picks the
     Dijkstra queue for integer weights (default [Radix], the paper's
     choice); it is ignored for BFS and float weights.
 
     [domains] (default 1) runs the per-source traversals on that many
     OCaml domains — the parallelism the paper's §6 suggests. The CSR is
-    shared read-only; every domain gets its own workspace, and results
-    are written to disjoint slots, so output is deterministic and
-    identical to the sequential run.
+    shared read-only; every domain gets its own workspace (reused across
+    batches through the runtime's pool), source groups are dealt to
+    domains round-robin from a size-sorted order, and results are written
+    to disjoint slots, so output is deterministic and identical to the
+    sequential run.
+
+    [engine] selects the unweighted traversal engine (see {!engine});
+    the default [`Auto] batches multi-source workloads through MS-BFS.
 
     [check] (default {!Cancel.none}) is forwarded into every kernel so a
     governor can cancel or budget the batch; with [domains > 1] the same
@@ -90,6 +119,7 @@ val run_pairs :
   ?heap:Dijkstra.heap_kind ->
   ?domains:int ->
   ?check:Cancel.checkpoint ->
+  ?engine:engine ->
   pairs:(Storage.Value.t * Storage.Value.t) array ->
   unit ->
   outcome array

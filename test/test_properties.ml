@@ -296,6 +296,165 @@ let prop_sql_parallelism_identical =
       run 1 = run 4)
 
 (* ------------------------------------------------------------------ *)
+(* Batched traversal engines                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Byte-identity, not just cost-identity: every engine must settle the
+   same canonical shortest-path tree, so costs AND extracted edge rows
+   have to match exactly. *)
+let outcome_identical a b =
+  match a, b with
+  | Graph.Runtime.Unreachable, Graph.Runtime.Unreachable -> true
+  | ( Graph.Runtime.Reached { cost = c1; edge_rows = r1 },
+      Graph.Runtime.Reached { cost = c2; edge_rows = r2 } ) ->
+    V.equal c1 c2 && r1 = r2
+  | _ -> false
+
+let outcomes_identical a b =
+  Array.length a = Array.length b && Array.for_all2 outcome_identical a b
+
+let prop_batched_equals_scalar =
+  QCheck.Test.make
+    ~name:
+      "MS-BFS engine = scalar BFS byte-identically (with/without bidir, \
+       domains=4)"
+    ~count:200
+    (QCheck.make gen_graph_and_pairs)
+    (fun (edges, pairs) ->
+      let rt = build_runtime edges in
+      let vp = value_pairs pairs in
+      let run ?domains engine =
+        Graph.Runtime.run_pairs rt ~weights:Graph.Runtime.Unweighted ?domains
+          ~engine ~pairs:vp ()
+      in
+      let scalar = run `Scalar in
+      let ok_batched = outcomes_identical scalar (run `Batched) in
+      Graph.Runtime.prepare_bidir rt;
+      (* ... and again with the reverse CSR enabling direction switches *)
+      let ok_bidir = outcomes_identical scalar (run `Batched) in
+      let ok_scalar_bidir = outcomes_identical scalar (run `Scalar) in
+      let ok_par = outcomes_identical scalar (run ~domains:4 `Batched) in
+      ok_batched && ok_bidir && ok_scalar_bidir && ok_par)
+
+(* Same recovery contract as the scalar engines: an armed fault aborts the
+   parallel batched run cleanly, and the next batch is byte-identical to a
+   serial scalar run. *)
+let prop_batched_fault_then_recover =
+  QCheck.Test.make
+    ~name:"batched engine under domains=4 with an armed fault: abort, recover"
+    ~count:80
+    (QCheck.make gen_edges)
+    (fun edges ->
+      let rt = build_runtime edges in
+      Graph.Runtime.prepare_bidir rt;
+      let vp = value_pairs (List.map (fun e -> (e.src, e.dst)) edges) in
+      (* a self-loop-only edge list never enters a traversal loop, so the
+         "bfs" site cannot fire; require a real hop for the abort leg *)
+      let has_hop = List.exists (fun e -> e.src <> e.dst) edges in
+      let check = Sqlgraph.Governor.(checkpoint (start no_limits)) in
+      Sqlgraph.Fault.set (Some (Sqlgraph.Fault.At_site "bfs"));
+      let aborted =
+        match
+          Graph.Runtime.run_pairs rt ~weights:Graph.Runtime.Unweighted
+            ~domains:4 ~check ~engine:`Batched ~pairs:vp ()
+        with
+        | _ -> false
+        | exception Sqlgraph.Fault.Injected _ -> true
+      in
+      Sqlgraph.Fault.clear ();
+      let scalar =
+        Graph.Runtime.run_pairs rt ~weights:Graph.Runtime.Unweighted
+          ~engine:`Scalar ~pairs:vp ()
+      in
+      let batched =
+        Graph.Runtime.run_pairs rt ~weights:Graph.Runtime.Unweighted
+          ~domains:4 ~check ~engine:`Batched ~pairs:vp ()
+      in
+      (aborted || not has_hop) && outcomes_identical scalar batched)
+
+(* Kernel-level: forced bottom-up traversal settles the same distances,
+   canonical parents and paths as plain top-down. *)
+let build_csr edges =
+  let e = Array.of_list edges in
+  Graph.Csr.build ~vertex_count:9
+    ~src:(Array.map (fun x -> x.src) e)
+    ~dst:(Array.map (fun x -> x.dst) e)
+
+let prop_dir_opt_equals_topdown =
+  QCheck.Test.make
+    ~name:"forced bottom-up BFS = top-down BFS (dist, parents, paths)"
+    ~count:200
+    (QCheck.make gen_graph_and_pairs)
+    (fun (edges, pairs) ->
+      let csr = build_csr edges in
+      let rev = Graph.Csr.reverse csr in
+      let ws1 = Graph.Workspace.create 9 in
+      let ws2 = Graph.Workspace.create 9 in
+      List.for_all
+        (fun (s, _) ->
+          s < 1 || s > 8
+          || begin
+               Graph.Bfs.run ws1 csr ~source:s ~targets:[||];
+               (* huge alpha switches bottom-up at the first level; huge
+                  beta keeps it there for the rest of the traversal *)
+               Graph.Bfs.run ~rev ~alpha:1_000_000 ~beta:1_000_000 ws2 csr
+                 ~source:s ~targets:[||];
+               List.for_all
+                 (fun v ->
+                   let a = Graph.Workspace.visited ws1 v
+                   and b = Graph.Workspace.visited ws2 v in
+                   a = b
+                   && ((not a)
+                      || ws1.Graph.Workspace.dist_int.(v)
+                           = ws2.Graph.Workspace.dist_int.(v)
+                         && ws1.Graph.Workspace.parent_slot.(v)
+                            = ws2.Graph.Workspace.parent_slot.(v)
+                         && Graph.Path_tree.edge_rows ws1 csr ~source:s ~dst:v
+                            = Graph.Path_tree.edge_rows ws2 csr ~source:s
+                                ~dst:v))
+                 (List.init 9 Fun.id)
+             end)
+        pairs)
+
+(* Every in-edge of the reverse CSR must mirror exactly one forward edge,
+   carry its forward slot as payload, and the per-vertex in-edge lists
+   must ascend by forward slot (the canonical-parent invariant the
+   bottom-up kernels rely on). *)
+let prop_reverse_mirrors_forward =
+  QCheck.Test.make ~name:"reverse CSR mirrors forward edges exactly"
+    ~count:300
+    (QCheck.make gen_edges)
+    (fun edges ->
+      let csr = build_csr edges in
+      let rev = Graph.Csr.reverse csr in
+      let n = 9 in
+      let nedges = Array.length csr.Graph.Csr.targets in
+      let slot_src = Array.make (max nedges 1) (-1) in
+      for v = 0 to n - 1 do
+        for s = csr.Graph.Csr.offsets.(v) to csr.Graph.Csr.offsets.(v + 1) - 1
+        do
+          slot_src.(s) <- v
+        done
+      done;
+      let ok = ref (Array.length rev.Graph.Csr.targets = nedges) in
+      for v = 0 to n - 1 do
+        let last = ref (-1) in
+        for k = rev.Graph.Csr.offsets.(v) to rev.Graph.Csr.offsets.(v + 1) - 1
+        do
+          let u = rev.Graph.Csr.targets.(k) in
+          let slot = rev.Graph.Csr.edge_rows.(k) in
+          if
+            not
+              (slot > !last
+              && slot_src.(slot) = u
+              && csr.Graph.Csr.targets.(slot) = v)
+          then ok := false;
+          last := slot
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
 (* EXPLAIN ANALYZE timing consistency                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -354,6 +513,13 @@ let () =
           QCheck_alcotest.to_alcotest prop_domains_deterministic;
           QCheck_alcotest.to_alcotest prop_domains_fault_then_recover;
           QCheck_alcotest.to_alcotest prop_sql_parallelism_identical;
+        ] );
+      ( "batched-traversal",
+        [
+          QCheck_alcotest.to_alcotest prop_batched_equals_scalar;
+          QCheck_alcotest.to_alcotest prop_batched_fault_then_recover;
+          QCheck_alcotest.to_alcotest prop_dir_opt_equals_topdown;
+          QCheck_alcotest.to_alcotest prop_reverse_mirrors_forward;
         ] );
       ( "explain-analyze",
         [ Alcotest.test_case "phase times" `Quick test_phase_times_sum ] );
