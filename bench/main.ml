@@ -562,6 +562,37 @@ let pairs_bench ?json ~ratio ~sources ~seed () =
   in
   if not identical then
     failwith "pairs: batched outcomes differ from scalar outcomes";
+  (* Telemetry overhead on this scenario.  The span hooks are always
+     compiled in; with tracing off each reduces to one atomic load, so
+     the honest in-binary bound on "tracing-off overhead" is the
+     repeat-run delta of two identical tracing-off passes (min-of-5 each
+     — minima of the same distribution converge to the same floor).
+     check.sh asserts it stays under the 2%-of-noise line.  The
+     tracing-on cost is measured against the faster off pass and is
+     informational. *)
+  let min_time n f =
+    let best = ref infinity in
+    for _ = 1 to n do
+      let _, dt = time f in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  Telemetry.Trace.set_enabled false;
+  let t_off_a = min_time 5 (fun () -> ignore (run `Batched)) in
+  let t_off_b = min_time 5 (fun () -> ignore (run `Batched)) in
+  Telemetry.Trace.configure ~capacity:65536;
+  Telemetry.Trace.set_enabled true;
+  let t_on = min_time 5 (fun () -> ignore (run `Batched)) in
+  Telemetry.Trace.set_enabled false;
+  let t_off = Float.min t_off_a t_off_b in
+  let trace_off_overhead_pct =
+    Float.max 0. (100. *. (t_off_b -. t_off_a) /. t_off_a)
+  in
+  let trace_on_overhead_pct = 100. *. (t_on -. t_off) /. t_off in
+  Printf.printf
+    "tracing overhead: off=%.2f%% (repeat-run delta), on=%.2f%%\n%!"
+    trace_off_overhead_pct trace_on_overhead_pct;
   let waves = after.Graph.Workspace.waves - before.Graph.Workspace.waves in
   let switches =
     after.Graph.Workspace.dir_switches - before.Graph.Workspace.dir_switches
@@ -616,6 +647,9 @@ let pairs_bench ?json ~ratio ~sources ~seed () =
                ] );
            ( "speedup_batched_vs_scalar",
              Sqlgraph.Metrics.num (t_scalar /. t_batched) );
+           ( "trace_off_overhead_pct",
+             Sqlgraph.Metrics.num trace_off_overhead_pct );
+           ("trace_on_overhead_pct", Sqlgraph.Metrics.num trace_on_overhead_pct);
          ]);
     Printf.printf "wrote %s\n%!" path
 
@@ -623,7 +657,8 @@ let pairs_bench ?json ~ratio ~sources ~seed () =
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
-let micro ?json ~ratio ~seed () =
+let micro ?json ?trace_out ~ratio ~seed () =
+  if trace_out <> None then Telemetry.Trace.set_enabled true;
   print_header "Bechamel micro-benchmarks (one kernel per experiment)";
   let setup = make_setup ~sf:1 ~ratio ~seed in
   let friends = setup.graph.Datagen.Snb.friends in
@@ -696,6 +731,21 @@ let micro ?json ~ratio ~seed () =
           | _ -> Printf.printf "%-36s %18s\n%!" name "n/a")
         analyzed)
     tests;
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    (* A deterministic closing exercise so the dump always carries every
+       span family — parse (full SQL stack), graph_build/dict/encode/csr
+       (direct build), waves on >= 2 spawned-domain tracks — regardless
+       of what the benchmark loops evicted from the ring. *)
+    ignore (run_single setup q13_sql (pick ()));
+    ignore (Graph.Runtime.build ~src ~dst);
+    ignore
+      (Graph.Runtime.run_pairs rt ~weights:Graph.Runtime.Unweighted
+         ~engine:`Batched ~domains:2 ~pairs:batch_pairs ());
+    Telemetry.Trace.write_catapult ~path;
+    Telemetry.Trace.set_enabled false;
+    Printf.printf "wrote %s\n%!" path);
   match json with
   | None -> ()
   | Some path ->
@@ -839,11 +889,19 @@ let json_arg =
   in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
+let trace_out_arg =
+  let doc =
+    "Enable span tracing and dump the ring buffer to this file as Chrome \
+     trace-event JSON (chrome://tracing, Perfetto), e.g. TRACE_micro.json."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
 let micro_cmd =
   cmd "micro" "Bechamel micro-benchmarks."
     Term.(
-      const (fun ratio seed json -> micro ?json ~ratio ~seed ())
-      $ ratio_arg $ seed_arg $ json_arg)
+      const (fun ratio seed json trace_out ->
+          micro ?json ?trace_out ~ratio ~seed ())
+      $ ratio_arg $ seed_arg $ json_arg $ trace_out_arg)
 
 let sources_arg =
   let doc = "Number of ⟨source, destination⟩ pairs for the pairs scenario." in

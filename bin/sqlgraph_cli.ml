@@ -10,9 +10,25 @@
      --timeout MS      per-statement wall-clock budget
      --max-rows N      per-statement result-row budget
      --domains N       traversal parallelism (SET parallelism = N)
-     --json-metrics F  dump the last statement's execution counters to F
-                       as JSON (schema sqlgraph-metrics-v1) after each
-                       statement
+
+   Observability:
+     --json-metrics F         dump the last statement's execution counters
+                              to F as JSON (schema sqlgraph-metrics-v1)
+                              after each statement; one-shot — each
+                              statement overwrites F (last writer wins)
+     --json-metrics-append F  append one compact JSON line per statement
+                              (NDJSON) so scripted workloads keep every
+                              statement's counters
+     --metrics-out F          after each statement, write the session's
+                              cumulative metrics registry to F in
+                              Prometheus text exposition format v0.0.4
+     --trace-out F            enable span tracing; on exit, dump the ring
+                              buffer to F as Chrome trace-event JSON
+                              (chrome://tracing / Perfetto)
+     --slow-query-ms N        log statements slower than N ms to the
+                              slow-query log (NDJSON); 0 logs everything
+     --slow-query-log F       slow-query log destination
+                              (default sqlgraph-slow.ndjson)
 
    The repl understands a few meta-commands:
      \e SQL;                 EXPLAIN the (rewritten) plan of a SELECT
@@ -26,6 +42,10 @@
      \limit ROWS;            set the per-statement row limit (0 or off: none)
      \timing;                toggle per-statement wall-clock timing
      \stats;                 execution counters of the last query
+     \metrics;               cumulative session metrics (counters +
+                             p50/p90/p99/max latency histograms)
+     \trace on|off;          toggle span tracing
+     \trace dump FILE;       write the span ring buffer as catapult JSON
      \q                      quit
 
    SQLGRAPH_FAULT=after=N | site=S arms the deterministic fault-injection
@@ -52,11 +72,41 @@ let timeout_ms : float option ref = ref None
 let max_rows : int option ref = ref None
 
 (* --json-metrics FILE: after every statement, the last query's counters
-   are rewritten to FILE (last writer wins, like \stats shows). *)
+   are rewritten to FILE.  One-shot by design: each statement truncates
+   and overwrites, so after a script only the final query's counters
+   survive (use --json-metrics-append to keep them all). *)
 let json_metrics : string option ref = ref None
+
+(* --json-metrics-append FILE: one compact JSON object per statement,
+   appended (NDJSON), so scripted workloads keep every statement. *)
+let json_metrics_append : string option ref = ref None
+
+(* --metrics-out FILE: cumulative session registry, Prometheus text
+   exposition v0.0.4, rewritten after each statement. *)
+let metrics_out : string option ref = ref None
+
+(* --trace-out FILE: dump the span ring buffer as catapult JSON on
+   exit. *)
+let trace_out : string option ref = ref None
+
+(* Slow-query log destination; the threshold lives on the Db session
+   (SET slow_query_ms / --slow-query-ms). *)
+let slow_query_log : string ref = ref "sqlgraph-slow.ndjson"
 
 let current_budget () =
   Sqlgraph.Governor.budget ?timeout_ms:!timeout_ms ?max_rows:!max_rows ()
+
+let metrics_doc db =
+  Sqlgraph.Metrics.Obj
+    [
+      ("schema", Sqlgraph.Metrics.String "sqlgraph-metrics-v1");
+      ("parallelism", Sqlgraph.Metrics.Int (Sqlgraph.Db.parallelism db));
+      ( "stats",
+        match Sqlgraph.Db.last_stats db with
+        | Some s -> Sqlgraph.Metrics.stats_json s
+        | None -> Sqlgraph.Metrics.Null );
+      ("session", Sqlgraph.Metrics.registry_json (Sqlgraph.Db.registry db));
+    ]
 
 let dump_metrics db =
   match !json_metrics with
@@ -64,14 +114,111 @@ let dump_metrics db =
   | Some path -> (
     match Sqlgraph.Db.last_stats db with
     | None -> ()
-    | Some s ->
-      Sqlgraph.Metrics.write_file ~path
-        (Sqlgraph.Metrics.Obj
-           [
-             ("schema", Sqlgraph.Metrics.String "sqlgraph-metrics-v1");
-             ("parallelism", Sqlgraph.Metrics.Int (Sqlgraph.Db.parallelism db));
-             ("stats", Sqlgraph.Metrics.stats_json s);
-           ]))
+    | Some _ -> Sqlgraph.Metrics.write_file ~path (metrics_doc db))
+
+let append_line path line =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc line;
+      output_char oc '\n')
+
+let append_metrics db ~sql ~ms ~ok =
+  match !json_metrics_append with
+  | None -> ()
+  | Some path ->
+    append_line path
+      (Sqlgraph.Metrics.to_compact_string
+         (Sqlgraph.Metrics.Obj
+            [
+              ("schema", Sqlgraph.Metrics.String "sqlgraph-metrics-v1");
+              ("sql", Sqlgraph.Metrics.String sql);
+              ("ms", Sqlgraph.Metrics.num ms);
+              ("ok", Sqlgraph.Metrics.Bool ok);
+              ( "stats",
+                match Sqlgraph.Db.last_stats db with
+                | Some s -> Sqlgraph.Metrics.stats_json s
+                | None -> Sqlgraph.Metrics.Null );
+            ]))
+
+let write_prometheus db =
+  match !metrics_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc
+          (Telemetry.Registry.to_prometheus (Sqlgraph.Db.registry db)))
+
+let dump_trace () =
+  match !trace_out with
+  | None -> ()
+  | Some path -> Telemetry.Trace.write_catapult ~path
+
+(* The slow-query log: one NDJSON record per over-threshold statement —
+   query text, duration, result rows, governor verdict and the top-3
+   spans by self-time (when tracing is on; --slow-query-ms enables it so
+   the spans field is populated). *)
+let outcome_rows = function
+  | Ok (Sqlgraph.Db.Selected r) -> Some (Sqlgraph.Resultset.nrows r)
+  | Ok (Sqlgraph.Db.Inserted n)
+  | Ok (Sqlgraph.Db.Updated n)
+  | Ok (Sqlgraph.Db.Deleted n) ->
+    Some n
+  | _ -> None
+
+let verdict = function
+  | Ok _ -> "ok"
+  | Error (Sqlgraph.Error.Resource_error { kind; _ }) ->
+    Sqlgraph.Error.resource_kind_name kind
+  | Error _ -> "error"
+
+let slow_query_check db ~sql ~ms result =
+  match Sqlgraph.Db.slow_query_ms db with
+  | None -> ()
+  | Some thr when ms < float_of_int thr -> ()
+  | Some _ ->
+    let spans =
+      Telemetry.Trace.self_ms_by_name
+        ~query:(Telemetry.Trace.current_query ())
+      |> List.filteri (fun i _ -> i < 3)
+      |> List.map (fun (name, self_ms) ->
+             Sqlgraph.Metrics.Obj
+               [
+                 ("name", Sqlgraph.Metrics.String name);
+                 ("self_ms", Sqlgraph.Metrics.num self_ms);
+               ])
+    in
+    append_line !slow_query_log
+      (Sqlgraph.Metrics.to_compact_string
+         (Sqlgraph.Metrics.Obj
+            [
+              ("ts", Sqlgraph.Metrics.num (Unix.gettimeofday ()));
+              ("query", Sqlgraph.Metrics.String sql);
+              ("ms", Sqlgraph.Metrics.num ms);
+              ( "rows",
+                match outcome_rows result with
+                | Some n -> Sqlgraph.Metrics.Int n
+                | None -> Sqlgraph.Metrics.Null );
+              ("verdict", Sqlgraph.Metrics.String (verdict result));
+              ( "error",
+                match result with
+                | Error e ->
+                  Sqlgraph.Metrics.String (Sqlgraph.Error.to_string e)
+                | Ok _ -> Sqlgraph.Metrics.Null );
+              ("spans", Sqlgraph.Metrics.List spans);
+            ]))
+
+(* Every per-statement observability sink, in one place so the repl and
+   script paths cannot drift. *)
+let statement_sinks db ~sql ~ms result =
+  dump_metrics db;
+  append_metrics db ~sql ~ms ~ok:(Result.is_ok result);
+  write_prometheus db;
+  slow_query_check db ~sql ~ms result
 
 let print_stats db =
   match Sqlgraph.Db.last_stats db with
@@ -107,11 +254,13 @@ let print_stats db =
 
 let execute db sql =
   let t0 = Unix.gettimeofday () in
-  (match Sqlgraph.Db.exec db ~budget:(current_budget ()) sql with
+  let result = Sqlgraph.Db.exec db ~budget:(current_budget ()) sql in
+  let dt = Unix.gettimeofday () -. t0 in
+  (match result with
   | Ok outcome -> print_outcome outcome
   | Error e -> Printf.printf "error: %s\n" (Sqlgraph.Error.to_string e));
-  dump_metrics db;
-  if !timing then Printf.printf "time: %.3fs\n" (Unix.gettimeofday () -. t0)
+  statement_sinks db ~sql ~ms:(dt *. 1000.) result;
+  if !timing then Printf.printf "time: %.3fs\n" dt
 
 let describe db name =
   match Storage.Catalog.find (Sqlgraph.Db.catalog db) name with
@@ -222,6 +371,23 @@ let repl db =
            | [ "\\timeout"; ms ] -> set_timeout ms
            | [ "\\limit"; rows ] -> set_max_rows rows
            | [ "\\stats" ] -> print_stats !db
+           | [ "\\metrics" ] ->
+             print_string
+               (Telemetry.Registry.to_table (Sqlgraph.Db.registry !db))
+           | [ "\\trace"; "on" ] ->
+             Telemetry.Trace.set_enabled true;
+             print_endline "trace on"
+           | [ "\\trace"; "off" ] ->
+             Telemetry.Trace.set_enabled false;
+             print_endline "trace off"
+           | [ "\\trace"; "dump"; file ] -> (
+             match
+               Sqlgraph.Db.protect (fun () ->
+                   Telemetry.Trace.write_catapult ~path:file)
+             with
+             | Ok () -> Printf.printf "trace written to %s\n" file
+             | Error e ->
+               Printf.printf "error: %s\n" (Sqlgraph.Error.to_string e))
            | [ "\\timing" ] ->
              timing := not !timing;
              Printf.printf "timing %s\n" (if !timing then "on" else "off")
@@ -231,7 +397,8 @@ let repl db =
         else prompt ()
       end
   in
-  prompt ()
+  prompt ();
+  dump_trace ()
 
 let run_file db path =
   match In_channel.with_open_text path In_channel.input_all with
@@ -239,12 +406,23 @@ let run_file db path =
     Printf.eprintf "cannot read %s: %s\n" path m;
     exit 1
   | source -> (
-    match Sqlgraph.Db.exec_script db ~budget:(current_budget ()) source with
-    | Ok outcomes ->
-      List.iter print_outcome outcomes;
-      dump_metrics db
+    (* Statement-at-a-time so every observability sink (metrics files,
+       slow-query log, histograms) sees each statement as it runs, not
+       just a script-final summary. *)
+    let t0 = ref (Unix.gettimeofday ()) in
+    match
+      Sqlgraph.Db.exec_script_each db ~budget:(current_budget ()) source
+        ~f:(fun ~sql result ->
+          let dt = Unix.gettimeofday () -. !t0 in
+          (match result with Ok outcome -> print_outcome outcome | Error _ -> ());
+          statement_sinks db ~sql ~ms:(dt *. 1000.) result;
+          t0 := Unix.gettimeofday ();
+          `Continue)
+    with
+    | Ok () -> dump_trace ()
     | Error e ->
       Printf.eprintf "error: %s\n" (Sqlgraph.Error.to_string e);
+      dump_trace ();
       exit 1)
 
 let load_demo db =
@@ -260,15 +438,23 @@ let load_demo db =
 
 open Cmdliner
 
-let apply_limits t r j =
+let apply_limits t r j (ja, mo, tr, sq, sl) =
   timeout_ms := t;
   max_rows := r;
-  json_metrics := j
+  json_metrics := j;
+  json_metrics_append := ja;
+  metrics_out := mo;
+  trace_out := tr;
+  (match sl with Some p -> slow_query_log := p | None -> ());
+  (* --trace-out enables tracing for the whole session; --slow-query-ms
+     too, so slow records carry their top-spans breakdown. *)
+  if tr <> None || sq <> None then Telemetry.Trace.set_enabled true
 
-(* A session database honouring --domains. *)
-let make_db d =
+(* A session database honouring --domains and --slow-query-ms. *)
+let make_db d sq =
   let db = Sqlgraph.Db.create () in
   (match d with Some n -> Sqlgraph.Db.set_parallelism db n | None -> ());
+  Sqlgraph.Db.set_slow_query_ms db sq;
   db
 
 let timeout_arg =
@@ -300,15 +486,72 @@ let json_metrics_arg =
     & info [ "json-metrics" ] ~docv:"FILE"
         ~doc:
           "After each statement, dump the last query's execution counters \
-           to FILE as JSON (schema sqlgraph-metrics-v1).")
+           to FILE as JSON (schema sqlgraph-metrics-v1). One-shot: each \
+           statement overwrites FILE, so a script keeps only its final \
+           query (use $(b,--json-metrics-append) to keep them all).")
+
+let json_metrics_append_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json-metrics-append" ] ~docv:"FILE"
+        ~doc:
+          "Append one compact JSON object per statement to FILE (NDJSON): \
+           sql, duration, outcome and execution counters.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "After each statement, write the session's cumulative metrics \
+           registry to FILE in Prometheus text exposition format v0.0.4.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable span tracing and, on exit, dump the ring buffer to FILE \
+           as Chrome trace-event JSON (chrome://tracing, Perfetto).")
+
+let slow_query_ms_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "slow-query-ms" ] ~docv:"MS"
+        ~doc:
+          "Append statements slower than MS milliseconds to the slow-query \
+           log as NDJSON (0 logs every statement). Equivalent to SET \
+           slow_query_ms = MS.")
+
+let slow_query_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "slow-query-log" ] ~docv:"FILE"
+        ~doc:"Slow-query log destination (default sqlgraph-slow.ndjson).")
+
+(* The observability flags travel as one tuple so each subcommand's term
+   stays readable. *)
+let obs_args =
+  Term.(
+    const (fun ja mo tr sq sl -> (ja, mo, tr, sq, sl))
+    $ json_metrics_append_arg $ metrics_out_arg $ trace_out_arg
+    $ slow_query_ms_arg $ slow_query_log_arg)
+
+let repl_main t r d j obs =
+  apply_limits t r j obs;
+  let _, _, _, sq, _ = obs in
+  repl (make_db d sq)
 
 let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL shell.")
     Term.(
-      const (fun t r d j ->
-          apply_limits t r j;
-          repl (make_db d))
-      $ timeout_arg $ max_rows_arg $ domains_arg $ json_metrics_arg)
+      const repl_main $ timeout_arg $ max_rows_arg $ domains_arg
+      $ json_metrics_arg $ obs_args)
 
 let run_cmd =
   let file =
@@ -316,22 +559,25 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script file.")
     Term.(
-      const (fun t r d j f ->
-          apply_limits t r j;
-          run_file (make_db d) f)
-      $ timeout_arg $ max_rows_arg $ domains_arg $ json_metrics_arg $ file)
+      const (fun t r d j obs f ->
+          apply_limits t r j obs;
+          let _, _, _, sq, _ = obs in
+          run_file (make_db d sq) f)
+      $ timeout_arg $ max_rows_arg $ domains_arg $ json_metrics_arg
+      $ obs_args $ file)
 
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo"
        ~doc:"Open a shell with a synthetic social network preloaded.")
     Term.(
-      const (fun t r d j ->
-          apply_limits t r j;
-          let db = make_db d in
+      const (fun t r d j obs ->
+          apply_limits t r j obs;
+          let _, _, _, sq, _ = obs in
+          let db = make_db d sq in
           load_demo db;
           repl db)
-      $ timeout_arg $ max_rows_arg $ domains_arg $ json_metrics_arg)
+      $ timeout_arg $ max_rows_arg $ domains_arg $ json_metrics_arg $ obs_args)
 
 let () =
   Sqlgraph.Fault.arm_from_env ();
@@ -341,9 +587,7 @@ let () =
   in
   let default =
     Term.(
-      const (fun t r d j ->
-          apply_limits t r j;
-          repl (make_db d))
-      $ timeout_arg $ max_rows_arg $ domains_arg $ json_metrics_arg)
+      const repl_main $ timeout_arg $ max_rows_arg $ domains_arg
+      $ json_metrics_arg $ obs_args)
   in
   exit (Cmd.eval (Cmd.group ~default info [ repl_cmd; run_cmd; demo_cmd ]))

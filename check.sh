@@ -89,9 +89,9 @@ grep -q "batched_waves=" "$out" || {
   exit 1
 }
 
-echo "== bench micro --json smoke"
+echo "== bench micro --json + --trace-out smoke"
 dune exec bench/main.exe -- micro --ratio 0.002 --json BENCH_smoke.json \
-    > "$out" 2>&1
+    --trace-out TRACE_smoke.json > "$out" 2>&1
 grep -q '"schema": "sqlgraph-bench-v1"' BENCH_smoke.json || {
   echo "FAIL: bench micro --json did not emit sqlgraph-bench-v1"
   cat "$out"
@@ -117,4 +117,94 @@ grep -q '"speedup_batched_vs_scalar"' BENCH_pairs_smoke.json || {
   exit 1
 }
 
-echo "OK: build, tests, fault-injection, EXPLAIN ANALYZE, batched traversal and bench smoke all passed"
+echo "== tracing-off overhead (< 2% on bench pairs)"
+# trace_off_overhead_pct is the repeat-run delta between two tracing-off
+# passes: the cost of the always-compiled-in hooks when disabled.
+off_pct=$(sed -n 's/.*"trace_off_overhead_pct": \([0-9.eE+-]*\).*/\1/p' \
+    BENCH_pairs_smoke.json | head -1)
+[ -n "$off_pct" ] || {
+  echo "FAIL: BENCH_pairs_smoke.json has no trace_off_overhead_pct"
+  cat BENCH_pairs_smoke.json
+  exit 1
+}
+awk "BEGIN { exit !($off_pct < 2.0) }" || {
+  echo "FAIL: tracing-off overhead $off_pct% >= 2%"
+  exit 1
+}
+echo "   tracing-off overhead: $off_pct%"
+
+echo "== catapult trace validation (bench micro --trace-out)"
+trap 'rm -f "$script" "$out" "$ea_script" "$metrics" "$ms_script" BENCH_smoke.json BENCH_pairs_smoke.json TRACE_smoke.json' EXIT
+# Valid JSON, >0 complete spans, per-domain tracks, and at least one
+# span each for parse, CSR build and a traversal wave.
+dune exec test/json_lint.exe -- --catapult TRACE_smoke.json \
+    --require parse --require csr --require wave --min-tracks 2 || {
+  echo "FAIL: TRACE_smoke.json failed catapult validation"
+  exit 1
+}
+
+echo "== session metrics over a 100+ statement script (--metrics-out)"
+obs_script=$(mktemp /tmp/sqlgraph_check_XXXXXX.sql)
+prom=$(mktemp /tmp/sqlgraph_check_XXXXXX.prom)
+slowlog=$(mktemp /tmp/sqlgraph_check_XXXXXX.ndjson)
+trap 'rm -f "$script" "$out" "$ea_script" "$metrics" "$ms_script" "$obs_script" "$prom" "$slowlog" BENCH_smoke.json BENCH_pairs_smoke.json TRACE_smoke.json' EXIT
+{
+  echo "CREATE TABLE e (src INTEGER, dst INTEGER);"
+  echo "INSERT INTO e VALUES (1, 2), (2, 3), (3, 4), (4, 5), (1, 5);"
+  i=0
+  while [ "$i" -lt 100 ]; do
+    echo "SELECT CHEAPEST SUM(1) WHERE 1 REACHES 4 OVER e EDGE (src, dst);"
+    i=$((i + 1))
+  done
+} > "$obs_script"
+rm -f "$slowlog"
+dune exec bin/sqlgraph_cli.exe -- run "$obs_script" \
+    --metrics-out "$prom" --slow-query-ms 0 --slow-query-log "$slowlog" \
+    > "$out" 2>&1
+# Prometheus text exposition v0.0.4: every non-empty line is a HELP/TYPE
+# comment or a sample "name{labels} value".
+awk '
+  /^$/ { next }
+  /^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*/ { next }
+  /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+]?([0-9]|\.[0-9]|Inf|NaN)/ { next }
+  { print "bad prometheus line: " $0; bad = 1 }
+  END { exit bad }
+' "$prom" || {
+  echo "FAIL: --metrics-out is not valid Prometheus text format"
+  cat "$prom"
+  exit 1
+}
+grep -q '^sqlgraph_statement_seconds_bucket{le="+Inf"}' "$prom" || {
+  echo "FAIL: no cumulative histogram in Prometheus output"
+  cat "$prom"
+  exit 1
+}
+n_stmts=$(sed -n 's/^sqlgraph_statements_total \([0-9]*\)$/\1/p' "$prom")
+[ -n "$n_stmts" ] && [ "$n_stmts" -ge 100 ] || {
+  echo "FAIL: sqlgraph_statements_total=$n_stmts, expected >= 100"
+  exit 1
+}
+
+echo "== slow-query log (--slow-query-ms 0 fires, huge threshold stays silent)"
+# Threshold 0: every statement lands in the NDJSON log.
+dune exec test/json_lint.exe -- --ndjson "$slowlog" || {
+  echo "FAIL: slow-query log is not valid NDJSON"
+  cat "$slowlog"
+  exit 1
+}
+n_slow=$(grep -c . "$slowlog")
+[ "$n_slow" -ge 100 ] || {
+  echo "FAIL: slow-query log has $n_slow records, expected >= 100"
+  exit 1
+}
+# A huge threshold must never fire.
+rm -f "$slowlog"
+dune exec bin/sqlgraph_cli.exe -- run "$ea_script" \
+    --slow-query-ms 600000 --slow-query-log "$slowlog" > "$out" 2>&1
+if [ -s "$slowlog" ]; then
+  echo "FAIL: slow-query log fired below a 600s threshold:"
+  cat "$slowlog"
+  exit 1
+fi
+
+echo "OK: build, tests, fault-injection, EXPLAIN ANALYZE, batched traversal, bench and telemetry smokes all passed"

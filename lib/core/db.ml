@@ -14,6 +14,12 @@ type t = {
   mutable parallelism : int;
       (* traversal domains per run_pairs batch (SET parallelism / CLI
          --domains); 1 = serial *)
+  registry : Telemetry.Registry.t;
+      (* cumulative session metrics; every statement absorbs its stats
+         here (see [observe_stmt]) *)
+  mutable slow_query_ms : int option;
+      (* SET slow_query_ms / CLI --slow-query-ms; None = off.  The Db
+         only stores the threshold — the CLI owns the log file. *)
 }
 
 let create () =
@@ -23,12 +29,17 @@ let create () =
     last_stats = None;
     snapshot = None;
     parallelism = 1;
+    registry = Telemetry.Registry.create ();
+    slow_query_ms = None;
   }
 
 let catalog t = t.catalog
 let load_table t ~name table = Storage.Catalog.replace t.catalog name table
 let parallelism t = t.parallelism
 let set_parallelism t n = t.parallelism <- max 1 n
+let registry t = t.registry
+let slow_query_ms t = t.slow_query_ms
+let set_slow_query_ms t v = t.slow_query_ms <- Option.map (max 0) v
 
 type exec_outcome =
   | Created
@@ -110,7 +121,10 @@ let run_select t ~params ~optimize ~gov q =
   in
   let plan = timed "rewrite" (fun () -> Relalg.Rewriter.rewrite ~options:optimize plan) in
   let ctx = fresh_ctx t gov in
-  let table = timed "execute" (fun () -> Executor.Interp.run ctx plan) in
+  let table =
+    timed "execute" (fun () ->
+        Telemetry.Trace.span "execute" (fun () -> Executor.Interp.run ctx plan))
+  in
   (* the result-row budget tests the final cardinality *)
   Governor.check gov ~site:"result" ~rows:(Storage.Table.nrows table) ();
   let stats = Executor.Interp.stats ctx in
@@ -304,10 +318,20 @@ let exec_stmt t ~params ~optimize ~gov stmt =
         raise (Relalg.Binder.Bind_error "SET parallelism expects a value >= 1");
       set_parallelism t value;
       Option_set (name, t.parallelism)
+    | "slow_query_ms" ->
+      (* threshold in milliseconds; 0 logs every statement.  The CLI
+         reads this back after each statement and owns the log file. *)
+      if value < 0 then
+        raise
+          (Relalg.Binder.Bind_error "SET slow_query_ms expects a value >= 0");
+      set_slow_query_ms t (Some value);
+      Option_set (name, value)
     | other ->
       raise
         (Relalg.Binder.Bind_error
-           (Printf.sprintf "unknown option %s (available: parallelism)" other)))
+           (Printf.sprintf
+              "unknown option %s (available: parallelism, slow_query_ms)"
+              other)))
   | Sql.Ast.Update { table; assignments; where } ->
     exec_update t ~params ~gov ~table ~assignments ~where
   | Sql.Ast.Delete { table; where } -> exec_delete t ~params ~gov ~table ~where
@@ -419,31 +443,133 @@ let exec_stmt t ~params ~optimize ~gov stmt =
         Storage.Catalog.touch t.catalog table;
         Inserted (Storage.Table.nrows src)))
 
+(* Fold one statement's execution into the session registry.  [delta] is
+   the stats record [run_select] installed for this statement, if any —
+   DML/DDL never produce one, and a failed statement's partial counters
+   are deliberately not absorbed. *)
+module Reg = Telemetry.Registry
+
+let absorb_stats t ~dt ~failed ~delta =
+  let reg = t.registry in
+  Reg.inc reg "sqlgraph_statements_total" 1 ~help:"Statements executed";
+  if failed then
+    Reg.inc reg "sqlgraph_statements_failed_total" 1
+      ~help:"Statements that returned an error";
+  Reg.observe reg "sqlgraph_statement_seconds" dt
+    ~help:"Wall-clock statement latency (seconds)";
+  Reg.set_gauge reg "sqlgraph_parallelism"
+    (float_of_int t.parallelism)
+    ~help:"Traversal domains per batch (SET parallelism)";
+  match delta with
+  | None -> ()
+  | Some (s : Executor.Interp.stats) ->
+    let open Executor.Interp in
+    Reg.inc reg "sqlgraph_graphs_built_total" s.graphs_built
+      ~help:"Graphs built (dict+encode+CSR)";
+    Reg.inc reg "sqlgraph_graphs_reused_total" s.graphs_reused
+      ~help:"Graph-index cache hits";
+    Reg.inc reg "sqlgraph_traversal_searches_total" s.trav_searches
+      ~help:"Single-source searches run";
+    Reg.inc reg "sqlgraph_traversal_settled_total" s.trav_settled
+      ~help:"Vertices settled across traversals";
+    Reg.inc reg "sqlgraph_traversal_edges_scanned_total" s.trav_edges
+      ~help:"Edges scanned across traversals";
+    Reg.inc reg "sqlgraph_traversal_waves_total" s.trav_waves
+      ~help:"MS-BFS waves run";
+    Reg.inc reg "sqlgraph_traversal_dir_switches_total" s.trav_dir_switches
+      ~help:"Direction-optimizing BFS switches";
+    Reg.inc reg "sqlgraph_workspace_pool_hits_total" s.pool_hits
+      ~help:"Workspace pool reuses";
+    Reg.inc reg "sqlgraph_workspace_pool_misses_total" s.pool_misses
+      ~help:"Workspace pool allocations";
+    Reg.inc reg "sqlgraph_vectorized_ops_total" s.vec_ops
+      ~help:"Vectorized evaluation ops";
+    Reg.inc reg "sqlgraph_row_ops_total" s.row_ops
+      ~help:"Row-at-a-time evaluation ops";
+    Reg.inc reg "sqlgraph_governor_checks_total" s.gov_checks
+      ~help:"Governor checkpoints evaluated";
+    if s.graphs_built > 0 then
+      Reg.observe reg "sqlgraph_graph_build_seconds" s.graph_build_seconds
+        ~help:"Graph construction time per statement (seconds)";
+    if s.trav_searches > 0 || s.trav_waves > 0 then
+      Reg.observe reg "sqlgraph_graph_traverse_seconds"
+        s.graph_traverse_seconds
+        ~help:"Traversal time per statement (seconds)"
+
+(* Every statement enters through here: allocate a query id for the
+   tracer, run under a "statement" span (closed on any unwind), time it,
+   absorb counters into the registry, and — the stale-stats fix — clear
+   [last_stats] on failure so [\stats] can never silently report the
+   previous statement. *)
+let observe_stmt t f =
+  ignore (Telemetry.Trace.next_query ());
+  let before = t.last_stats in
+  let t0 = Unix.gettimeofday () in
+  let r = guard (fun () -> Telemetry.Trace.span "statement" f) in
+  let dt = Unix.gettimeofday () -. t0 in
+  let failed = Result.is_error r in
+  if failed then t.last_stats <- None;
+  let delta =
+    match t.last_stats with
+    | Some s when not (before == t.last_stats) -> Some s
+    | _ -> None
+  in
+  absorb_stats t ~dt ~failed ~delta;
+  r
+
 let exec t ?(params = [||]) ?(budget = Governor.no_limits) sql =
-  guard (fun () ->
+  observe_stmt t (fun () ->
       exec_stmt t ~params ~optimize:Relalg.Rewriter.default_options
         ~gov:(Governor.start budget)
-        (Sql.Parser.parse_stmt sql))
+        (Telemetry.Trace.span "parse" (fun () -> Sql.Parser.parse_stmt sql)))
 
 let exec_exn t ?params ?budget sql =
   match exec t ?params ?budget sql with
   | Ok o -> o
   | Error e -> failwith (Error.to_string e)
 
-let exec_script t ?(budget = Governor.no_limits) sql =
+let exec_script_each t ?(budget = Governor.no_limits) ~f sql =
   (* each statement gets its own governor: the budget is per statement,
      not per script *)
-  guard (fun () ->
-      List.map
-        (fun stmt ->
-          exec_stmt t ~params:[||] ~optimize:Relalg.Rewriter.default_options
-            ~gov:(Governor.start budget) stmt)
-        (Sql.Parser.parse_script sql))
+  match
+    guard (fun () ->
+        Telemetry.Trace.span "parse" (fun () -> Sql.Parser.parse_script sql))
+  with
+  | Error e -> Error e
+  | Ok stmts ->
+    let rec go = function
+      | [] -> Ok ()
+      | stmt :: rest ->
+        let sql_text = Sql.Pretty.stmt_to_string stmt in
+        let r =
+          observe_stmt t (fun () ->
+              exec_stmt t ~params:[||]
+                ~optimize:Relalg.Rewriter.default_options
+                ~gov:(Governor.start budget) stmt)
+        in
+        let verdict = f ~sql:sql_text r in
+        (match r with
+        | Error e -> Error e
+        | Ok _ -> ( match verdict with `Stop -> Ok () | `Continue -> go rest))
+    in
+    go stmts
+
+let exec_script t ?budget sql =
+  let outs = ref [] in
+  match
+    exec_script_each t ?budget sql ~f:(fun ~sql:_ r ->
+        (match r with Ok o -> outs := o :: !outs | Error _ -> ());
+        `Continue)
+  with
+  | Ok () -> Ok (List.rev !outs)
+  | Error e -> Error e
 
 let query t ?(params = [||]) ?(optimize = Relalg.Rewriter.default_options)
     ?(budget = Governor.no_limits) sql =
-  guard (fun () ->
-      match Sql.Parser.parse_stmt sql with
+  observe_stmt t (fun () ->
+      match
+        Telemetry.Trace.span "parse" (fun () -> Sql.Parser.parse_stmt sql)
+      with
       | Sql.Ast.Select q ->
         run_select t ~params ~optimize ~gov:(Governor.start budget) q
       | _ ->

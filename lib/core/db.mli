@@ -70,6 +70,19 @@ val exec_exn :
 val exec_script :
   t -> ?budget:Governor.budget -> string -> (exec_outcome list, Error.t) result
 
+(** [exec_script_each db ?budget ~f sql] — like {!exec_script}, but
+    invoke [f] after every statement with its rendered SQL text and its
+    result, so per-statement observers (the CLI's metrics sinks and
+    slow-query log) see failures and intermediate outcomes instead of an
+    all-or-nothing list.  Execution stops at the first error (returned),
+    or when [f] answers [`Stop] (returns [Ok ()]). *)
+val exec_script_each :
+  t ->
+  ?budget:Governor.budget ->
+  f:(sql:string -> (exec_outcome, Error.t) result -> [ `Continue | `Stop ]) ->
+  string ->
+  (unit, Error.t) result
+
 (** [query db ?params ?optimize ?budget sql] — run a SELECT. [optimize]
     overrides the rewriter configuration (used by the optimizer
     ablations). *)
@@ -116,7 +129,9 @@ val drop_graph_index :
   t -> table:string -> src:string -> dst:string -> (unit, Error.t) result
 
 (** [last_stats db] — graph build/traversal counters of the most recent
-    {!query}/{!exec} (experiment A1's instrumentation). *)
+    {!query}/{!exec} (experiment A1's instrumentation).  Cleared when a
+    statement fails, so a consumer can never mistake the previous
+    statement's counters for the failed one's. *)
 val last_stats : t -> Executor.Interp.stats option
 
 (** Session traversal parallelism ([SET parallelism = n] / CLI
@@ -126,3 +141,20 @@ val last_stats : t -> Executor.Interp.stats option
 
 val parallelism : t -> int
 val set_parallelism : t -> int -> unit
+
+(** [registry db] — the session's cumulative metrics registry.  Every
+    statement run through {!exec}/{!exec_script}/{!query} adds its
+    latency to the [sqlgraph_statement_seconds] histogram and folds its
+    {!Executor.Interp.stats} counters in; render with
+    {!Telemetry.Registry.to_table} ([\metrics]),
+    {!Telemetry.Registry.to_prometheus} ([--metrics-out]) or
+    {!Metrics.registry_json} (the JSON [session] section). *)
+val registry : t -> Telemetry.Registry.t
+
+(** Slow-query threshold in milliseconds ([SET slow_query_ms = n] / CLI
+    [--slow-query-ms]); [None] = disabled.  The Db stores the setting;
+    the CLI compares statement latency against it and appends NDJSON
+    records to the slow-query log. *)
+
+val slow_query_ms : t -> int option
+val set_slow_query_ms : t -> int option -> unit

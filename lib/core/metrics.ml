@@ -27,6 +27,15 @@ let escape s =
     s;
   Buffer.contents buf
 
+(* Defence in depth: [num] maps non-finite floats to [Null] at
+   construction time, but a [Float nan] built directly must still never
+   produce an invalid document, so the emitter repeats the check (pinned
+   by the round-trip property in test/test_telemetry.ml). *)
+let float_repr f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
 let to_string j =
   let buf = Buffer.create 256 in
   let rec go indent j =
@@ -37,10 +46,7 @@ let to_string j =
     | Int i -> Buffer.add_string buf (string_of_int i)
     | Float f ->
       (* %.17g round-trips doubles; trim is not worth the dependency *)
-      Buffer.add_string buf
-        (if Float.is_integer f && Float.abs f < 1e15 then
-           Printf.sprintf "%.1f" f
-         else Printf.sprintf "%.17g" f)
+      Buffer.add_string buf (float_repr f)
     | String s ->
       Buffer.add_char buf '"';
       Buffer.add_string buf (escape s);
@@ -75,6 +81,67 @@ let to_string j =
   in
   go 0 j;
   Buffer.contents buf
+
+(* One-line rendering for NDJSON sinks (--json-metrics-append, the
+   slow-query log): same data as [to_string], no newlines. *)
+let to_compact_string j =
+  let buf = Buffer.create 256 in
+  let rec go j =
+    match j with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          go item)
+        items;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          go v)
+        fields;
+      Buffer.add_char buf '}'
+  in
+  go j;
+  Buffer.contents buf
+
+(* The [session] section of sqlgraph-metrics-v1: the Db registry's
+   cumulative counters/gauges/histograms. *)
+let registry_json reg =
+  let fields =
+    Telemetry.Registry.fold reg ~init:[] ~f:(fun acc name ~help:_ m ->
+        let v =
+          match m with
+          | Telemetry.Registry.Counter c -> Int c
+          | Telemetry.Registry.Gauge g -> num g
+          | Telemetry.Registry.Histogram p ->
+            Obj
+              [
+                ("count", Int p.Telemetry.Registry.count);
+                ("sum", num p.Telemetry.Registry.sum);
+                ("p50", num p.Telemetry.Registry.p50);
+                ("p90", num p.Telemetry.Registry.p90);
+                ("p99", num p.Telemetry.Registry.p99);
+                ("max", num p.Telemetry.Registry.max);
+              ]
+        in
+        (name, v) :: acc)
+  in
+  Obj (List.rev fields)
 
 let stats_json (s : Executor.Interp.stats) =
   Obj

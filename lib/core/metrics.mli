@@ -1,9 +1,11 @@
 (** Minimal JSON emission for observability artifacts: the CLI's
-    [--json-metrics] dump (schema ["sqlgraph-metrics-v1"]) and the bench
+    [--json-metrics] dump (schema ["sqlgraph-metrics-v1"]), NDJSON sinks
+    ([--json-metrics-append], the slow-query log) and the bench
     harness's [BENCH_*.json] files (schema ["sqlgraph-bench-v1"]).
 
-    Emission only — nothing in the system reads JSON back, so there is no
-    parser and no external dependency. *)
+    Emission only — nothing in the system reads JSON back, so there is
+    no parser and no external dependency (the test suite carries its own
+    reader to round-trip this module's output). *)
 
 type json =
   | Null
@@ -19,8 +21,18 @@ type json =
 val num : float -> json
 
 (** [to_string j] — pretty-printed (2-space indent), no trailing
-    newline. *)
+    newline.  A non-finite [Float] that bypassed {!num} still emits
+    [null], never an invalid token. *)
 val to_string : json -> string
+
+(** [to_compact_string j] — same document on a single line (NDJSON
+    record shape), no trailing newline. *)
+val to_compact_string : json -> string
+
+(** [registry_json reg] — a {!Telemetry.Registry.t} as the [session]
+    object of sqlgraph-metrics-v1: counters as ints, gauges as numbers,
+    histograms as [{count, sum, p50, p90, p99, max}]. *)
+val registry_json : Telemetry.Registry.t -> json
 
 (** [stats_json stats] — an {!Executor.Interp.stats} record as a JSON
     object: top-level build/traverse timings plus [build_phases],

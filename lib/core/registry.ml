@@ -1,0 +1,204 @@
+(* Counters, gauges and log-scale histograms.  See registry.mli. *)
+
+(* Geometric bucket upper bounds: 4 per decade over [1e-7, 1e3), then
+   +Inf.  10 decades * 4 = 40 finite bounds. *)
+let bounds =
+  Array.init 40 (fun i -> 1e-7 *. (10.0 ** (float_of_int (i + 1) /. 4.0)))
+
+let nbuckets = Array.length bounds + 1 (* last bucket = +Inf *)
+
+let bucket_of v =
+  (* Linear scan: 40 entries, called once per observation (per
+     statement, not per row). *)
+  let rec go i =
+    if i >= Array.length bounds then i else if v <= bounds.(i) then i else go (i + 1)
+  in
+  go 0
+
+type hist = {
+  counts : int array; (* length nbuckets *)
+  mutable h_sum : float;
+  mutable h_count : int;
+  mutable h_max : float;
+}
+
+type cell =
+  | Counter_c of { mutable c : int }
+  | Gauge_c of { mutable g : float }
+  | Hist_c of hist
+
+type entry = { e_name : string; e_help : string; cell : cell }
+
+type t = {
+  tbl : (string, entry) Hashtbl.t;
+  mutable order : entry list; (* reversed registration order *)
+}
+
+let create () = { tbl = Hashtbl.create 32; order = [] }
+
+let find_or_add t name help mk =
+  match Hashtbl.find_opt t.tbl name with
+  | Some e -> e
+  | None ->
+      let e = { e_name = name; e_help = help; cell = mk () } in
+      Hashtbl.replace t.tbl name e;
+      t.order <- e :: t.order;
+      e
+
+let inc t ?(help = "") name v =
+  let e = find_or_add t name help (fun () -> Counter_c { c = 0 }) in
+  match e.cell with Counter_c c -> c.c <- c.c + v | _ -> ()
+
+let set_gauge t ?(help = "") name v =
+  let e = find_or_add t name help (fun () -> Gauge_c { g = 0.0 }) in
+  match e.cell with Gauge_c g -> g.g <- v | _ -> ()
+
+let observe t ?(help = "") name v =
+  let e =
+    find_or_add t name help (fun () ->
+        Hist_c { counts = Array.make nbuckets 0; h_sum = 0.0; h_count = 0; h_max = neg_infinity })
+  in
+  match e.cell with
+  | Hist_c h ->
+      let b = bucket_of v in
+      h.counts.(b) <- h.counts.(b) + 1;
+      h.h_sum <- h.h_sum +. v;
+      h.h_count <- h.h_count + 1;
+      if v > h.h_max then h.h_max <- v
+  | _ -> ()
+
+type percentiles = {
+  count : int;
+  sum : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+let quantile h q =
+  (* Upper bound of the bucket holding the q-th ranked observation,
+     clamped to the exact max. *)
+  if h.h_count = 0 then 0.0
+  else begin
+    let rank = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int h.h_count))) in
+    let cum = ref 0 and ans = ref h.h_max in
+    (try
+       for i = 0 to nbuckets - 1 do
+         cum := !cum + h.counts.(i);
+         if !cum >= rank then begin
+           ans := if i < Array.length bounds then bounds.(i) else h.h_max;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Float.min !ans h.h_max
+  end
+
+let hist_percentiles h =
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    p50 = quantile h 0.50;
+    p90 = quantile h 0.90;
+    p99 = quantile h 0.99;
+    max = (if h.h_count = 0 then 0.0 else h.h_max);
+  }
+
+let percentiles t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some { cell = Hist_c h; _ } when h.h_count > 0 -> Some (hist_percentiles h)
+  | _ -> None
+
+type metric =
+  | Counter of int
+  | Gauge of float
+  | Histogram of percentiles
+
+let fold t ~init ~f =
+  List.fold_left
+    (fun acc e ->
+      let m =
+        match e.cell with
+        | Counter_c c -> Counter c.c
+        | Gauge_c g -> Gauge g.g
+        | Hist_c h -> Histogram (hist_percentiles h)
+      in
+      f acc e.e_name ~help:e.e_help m)
+    init (List.rev t.order)
+
+(* --- Prometheus text exposition v0.0.4 ----------------------------- *)
+
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let to_prometheus t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      let help = if e.e_help = "" then e.e_name else e.e_help in
+      Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" e.e_name help);
+      (match e.cell with
+      | Counter_c c ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" e.e_name);
+          Buffer.add_string b (Printf.sprintf "%s %d\n" e.e_name c.c)
+      | Gauge_c g ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" e.e_name);
+          Buffer.add_string b (Printf.sprintf "%s %s\n" e.e_name (prom_float g.g))
+      | Hist_c h ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" e.e_name);
+          let cum = ref 0 in
+          Array.iteri
+            (fun i n ->
+              cum := !cum + n;
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" e.e_name
+                   (prom_float bounds.(i)) !cum))
+            (Array.sub h.counts 0 (Array.length bounds));
+          cum := !cum + h.counts.(nbuckets - 1);
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" e.e_name !cum);
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum %s\n" e.e_name (prom_float h.h_sum));
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" e.e_name h.h_count)))
+    (List.rev t.order);
+  Buffer.contents b
+
+(* --- Human table ---------------------------------------------------- *)
+
+let ms f = Printf.sprintf "%.3fms" (1000.0 *. f)
+
+let to_table t =
+  let rows =
+    fold t ~init:[] ~f:(fun acc name ~help:_ m ->
+        let kind, value =
+          match m with
+          | Counter c -> ("counter", string_of_int c)
+          | Gauge g -> ("gauge", prom_float g)
+          | Histogram p ->
+              ( "histogram",
+                if p.count = 0 then "count=0"
+                else
+                  Printf.sprintf "count=%d p50=%s p90=%s p99=%s max=%s sum=%s"
+                    p.count (ms p.p50) (ms p.p90) (ms p.p99) (ms p.max)
+                    (ms p.sum) )
+        in
+        (kind, name, value) :: acc)
+    |> List.rev
+  in
+  if rows = [] then "(no metrics recorded)\n"
+  else begin
+    let w1 = List.fold_left (fun w (k, _, _) -> Stdlib.max w (String.length k)) 0 rows in
+    let w2 = List.fold_left (fun w (_, n, _) -> Stdlib.max w (String.length n)) 0 rows in
+    let b = Buffer.create 512 in
+    List.iter
+      (fun (k, n, v) ->
+        Buffer.add_string b (Printf.sprintf "%-*s  %-*s  %s\n" w1 k w2 n v))
+      rows;
+    Buffer.contents b
+  end

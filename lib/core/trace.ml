@@ -1,0 +1,340 @@
+(* Bounded ring-buffer span recorder.  See trace.mli for the contract.
+
+   Layout: one struct-of-arrays ring shared by all domains.  A writer
+   reserves a slot with a single [Atomic.fetch_and_add] on the global
+   event counter and then fills the slot's columns in place — no
+   allocation per event (timestamps live in a flat float array, so even
+   the float store does not box).  Slot writes are not synchronized
+   beyond the reservation: two domains never share a slot, and readers
+   ([events]) are documented as between-statement snapshots, so a torn
+   read of an in-flight slot is benign. *)
+
+type clock = unit -> float
+
+let the_clock : clock ref = ref Unix.gettimeofday
+let set_clock c = the_clock := c
+let now () = !the_clock ()
+
+let on = Atomic.make false
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+(* Event kinds, as ints in the ring. *)
+let k_begin = 0
+let k_end = 1
+let k_instant = 2
+
+type ring = {
+  cap : int;
+  ts : float array;  (* flat float array: unboxed stores *)
+  kind : int array;
+  track : int array;
+  span : int array;
+  parent : int array;
+  query : int array;
+  name : string array;
+  attrs : (string * string) list array;
+}
+
+let mk_ring cap =
+  {
+    cap;
+    ts = Array.make cap 0.0;
+    kind = Array.make cap 0;
+    track = Array.make cap 0;
+    span = Array.make cap 0;
+    parent = Array.make cap 0;
+    query = Array.make cap 0;
+    name = Array.make cap "";
+    attrs = Array.make cap [];
+  }
+
+let ring = ref (mk_ring 65536)
+
+(* Total events ever written (mod nothing); slot = index mod cap.  Also
+   the source of "dropped" accounting. *)
+let head = Atomic.make 0
+let base = Atomic.make 0 (* events discarded by [clear] *)
+let span_ctr = Atomic.make 0
+let query_ctr = Atomic.make 0
+let cur_query = Atomic.make 0
+
+let next_query () =
+  let q = 1 + Atomic.fetch_and_add query_ctr 1 in
+  Atomic.set cur_query q;
+  q
+
+let current_query () = Atomic.get cur_query
+
+let clear () =
+  Atomic.set base (Atomic.get head);
+  (* Reset head to base lazily: keep monotonic indices, just remember
+     where the live window starts. *)
+  ()
+
+let configure ~capacity =
+  let cap = max 16 capacity in
+  ring := mk_ring cap;
+  Atomic.set head 0;
+  Atomic.set base 0
+
+(* Per-domain stack of open span ids: a growable int array so pushes
+   after warm-up allocate nothing. *)
+type stack = { mutable buf : int array; mutable len : int }
+
+let stack_key =
+  Domain.DLS.new_key (fun () -> { buf = Array.make 32 (-1); len = 0 })
+
+let push st v =
+  if st.len = Array.length st.buf then begin
+    let bigger = Array.make (2 * st.len) (-1) in
+    Array.blit st.buf 0 bigger 0 st.len;
+    st.buf <- bigger
+  end;
+  st.buf.(st.len) <- v;
+  st.len <- st.len + 1
+
+let track_id () = (Domain.self () :> int)
+
+let record kind ~name ~sp ~parent ~attrs =
+  let r = !ring in
+  let i = Atomic.fetch_and_add head 1 in
+  let s = i mod r.cap in
+  r.ts.(s) <- now ();
+  r.kind.(s) <- kind;
+  r.track.(s) <- track_id ();
+  r.span.(s) <- sp;
+  r.parent.(s) <- parent;
+  r.query.(s) <- Atomic.get cur_query;
+  r.name.(s) <- name;
+  r.attrs.(s) <- attrs
+
+let begin_span ?parent ?(attrs = []) name =
+  if not (Atomic.get on) then -1
+  else begin
+    let st = Domain.DLS.get stack_key in
+    let parent =
+      match parent with
+      | Some p -> p
+      | None -> if st.len = 0 then -1 else st.buf.(st.len - 1)
+    in
+    let sp = 1 + Atomic.fetch_and_add span_ctr 1 in
+    push st sp;
+    record k_begin ~name ~sp ~parent ~attrs;
+    sp
+  end
+
+let end_span ?(attrs = []) sp =
+  if sp >= 0 && Atomic.get on then begin
+    let st = Domain.DLS.get stack_key in
+    (* Find [sp] on this domain's stack; close any children above it
+       first so an exceptional unwind cannot leave the track skewed. *)
+    let pos = ref (-1) in
+    for i = st.len - 1 downto 0 do
+      if !pos < 0 && st.buf.(i) = sp then pos := i
+    done;
+    if !pos < 0 then
+      (* Not opened on this domain (or stack already unwound): record
+         the end anyway so the pair completes. *)
+      record k_end ~name:"" ~sp ~parent:(-1) ~attrs
+    else begin
+      for i = st.len - 1 downto !pos + 1 do
+        record k_end ~name:"" ~sp:st.buf.(i) ~parent:(-1) ~attrs:[]
+      done;
+      st.len <- !pos;
+      record k_end ~name:"" ~sp ~parent:(-1) ~attrs
+    end
+  end
+
+let instant ?(attrs = []) name =
+  if Atomic.get on then begin
+    let st = Domain.DLS.get stack_key in
+    let parent = if st.len = 0 then -1 else st.buf.(st.len - 1) in
+    record k_instant ~name ~sp:(-1) ~parent ~attrs
+  end
+
+let span ?attrs name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let sp = begin_span ?attrs name in
+    Fun.protect ~finally:(fun () -> end_span sp) f
+  end
+
+let current_span () =
+  let st = Domain.DLS.get stack_key in
+  if st.len = 0 then -1 else st.buf.(st.len - 1)
+
+type kind = Begin | End | Instant
+
+type event = {
+  ev_kind : kind;
+  ev_ts : float;
+  ev_name : string;
+  ev_track : int;
+  ev_span : int;
+  ev_parent : int;
+  ev_query : int;
+  ev_attrs : (string * string) list;
+}
+
+let live_window () =
+  let r = !ring in
+  let h = Atomic.get head and b = Atomic.get base in
+  let first = max b (h - r.cap) in
+  (r, first, h)
+
+let events () =
+  let r, first, h = live_window () in
+  (* End events store no name in the ring (the writer doesn't know it);
+     re-join from the Begin still in the window so readers see pairs. *)
+  let names = Hashtbl.create 64 in
+  let out = ref [] in
+  for i = first to h - 1 do
+    let s = i mod r.cap in
+    let k =
+      if r.kind.(s) = k_begin then Begin
+      else if r.kind.(s) = k_end then End
+      else Instant
+    in
+    let name =
+      match k with
+      | Begin ->
+        Hashtbl.replace names r.span.(s) r.name.(s);
+        r.name.(s)
+      | End when r.name.(s) = "" ->
+        Option.value ~default:"" (Hashtbl.find_opt names r.span.(s))
+      | _ -> r.name.(s)
+    in
+    out :=
+      {
+        ev_kind = k;
+        ev_ts = r.ts.(s);
+        ev_name = name;
+        ev_track = r.track.(s);
+        ev_span = r.span.(s);
+        ev_parent = r.parent.(s);
+        ev_query = r.query.(s);
+        ev_attrs = r.attrs.(s);
+      }
+      :: !out
+  done;
+  List.rev !out
+
+let dropped () =
+  let r = !ring in
+  let h = Atomic.get head and b = Atomic.get base in
+  max 0 (h - b - r.cap)
+
+(* Completed spans of one statement: (span, parent, name, dur).  End
+   events carry no name, so join on span id. *)
+let completed_spans ~query evs =
+  let begins = Hashtbl.create 64 in
+  let spans = ref [] in
+  List.iter
+    (fun e ->
+      if e.ev_query = query then
+        match e.ev_kind with
+        | Begin -> Hashtbl.replace begins e.ev_span (e.ev_name, e.ev_parent, e.ev_ts)
+        | End -> (
+            match Hashtbl.find_opt begins e.ev_span with
+            | Some (name, parent, t0) ->
+                Hashtbl.remove begins e.ev_span;
+                spans := (e.ev_span, parent, name, e.ev_ts -. t0) :: !spans
+            | None -> ())
+        | Instant -> ())
+    evs;
+  !spans
+
+let self_ms_by_name ~query =
+  let spans = completed_spans ~query (events ()) in
+  let child_time = Hashtbl.create 64 in
+  List.iter
+    (fun (_, parent, _, dur) ->
+      if parent >= 0 then
+        let prev = Option.value ~default:0.0 (Hashtbl.find_opt child_time parent) in
+        Hashtbl.replace child_time parent (prev +. dur))
+    spans;
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun (sp, _, name, dur) ->
+      let kids = Option.value ~default:0.0 (Hashtbl.find_opt child_time sp) in
+      let self = Float.max 0.0 (dur -. kids) in
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt by_name name) in
+      Hashtbl.replace by_name name (prev +. self))
+    spans;
+  Hashtbl.fold (fun name s acc -> (name, 1000.0 *. s) :: acc) by_name []
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+
+(* --- Chrome trace-event export ------------------------------------- *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let to_catapult () =
+  let evs = events () in
+  let t0 = match evs with [] -> 0.0 | e :: _ -> e.ev_ts in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  (* End events carry no name; chrome matches B/E by nesting per tid, so
+     re-join names for readability. *)
+  let names = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      (match e.ev_kind with
+      | Begin -> Hashtbl.replace names e.ev_span e.ev_name
+      | _ -> ());
+      let name =
+        if e.ev_name <> "" then e.ev_name
+        else Option.value ~default:"span" (Hashtbl.find_opt names e.ev_span)
+      in
+      let ph =
+        match e.ev_kind with Begin -> "B" | End -> "E" | Instant -> "i"
+      in
+      if not !first then Buffer.add_char b ',';
+      first := false;
+      Buffer.add_string b "{\"name\":\"";
+      escape b name;
+      Buffer.add_string b (Printf.sprintf
+        "\",\"cat\":\"sqlgraph\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d"
+        ph ((e.ev_ts -. t0) *. 1e6) e.ev_track);
+      (match e.ev_kind with
+      | Instant -> Buffer.add_string b ",\"s\":\"t\""
+      | _ -> ());
+      Buffer.add_string b ",\"args\":{\"query\":";
+      Buffer.add_string b (string_of_int e.ev_query);
+      if e.ev_kind = Begin then begin
+        Buffer.add_string b ",\"span\":";
+        Buffer.add_string b (string_of_int e.ev_span);
+        Buffer.add_string b ",\"parent\":";
+        Buffer.add_string b (string_of_int e.ev_parent)
+      end;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string b ",\"";
+          escape b k;
+          Buffer.add_string b "\":\"";
+          escape b v;
+          Buffer.add_string b "\"")
+        e.ev_attrs;
+      Buffer.add_string b "}}")
+    evs;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+let write_catapult ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_catapult ()))

@@ -319,8 +319,18 @@ let node_label = function
   | L.Unnest _ -> "Unnest"
 
 let rec run ?outer ctx (plan : L.plan) : T.t =
-  if not ctx.tracing then run_node ?outer ctx plan
+  (* Session tracing (Telemetry.Trace) is independent of EXPLAIN
+     ANALYZE's [ctx.tracing]: either may be on; when both are off this
+     is one atomic load on top of [run_node]. *)
+  let spanning = Telemetry.Trace.enabled () in
+  if not (ctx.tracing || spanning) then run_node ?outer ctx plan
+  else if not ctx.tracing then
+    Telemetry.Trace.span (node_label plan) (fun () ->
+        run_node ?outer ctx plan)
   else begin
+    let sp =
+      if spanning then Telemetry.Trace.begin_span (node_label plan) else -1
+    in
     let depth = ctx.trace_depth in
     let saved_notes = ctx.trace_notes in
     ctx.trace_depth <- depth + 1;
@@ -328,7 +338,9 @@ let rec run ?outer ctx (plan : L.plan) : T.t =
     let t0 = now () in
     let result =
       Fun.protect
-        ~finally:(fun () -> ctx.trace_depth <- depth)
+        ~finally:(fun () ->
+          ctx.trace_depth <- depth;
+          Telemetry.Trace.end_span sp)
         (fun () -> run_node ?outer ctx plan)
     in
     let detail = List.rev ctx.trace_notes in

@@ -5,6 +5,8 @@ exception Weight_error of string
    ANALYZE phase times cannot be compared against operator times. *)
 let now = Unix.gettimeofday
 
+module Tr = Telemetry.Trace
+
 type build_stats = {
   dict_seconds : float;
   encode_seconds : float;
@@ -31,14 +33,20 @@ let build_multi ~src ~dst =
   | s :: _, d :: _ ->
     if Storage.Column.length s <> Storage.Column.length d then
       invalid_arg "Runtime.build: src/dst column length mismatch");
+  Tr.span "graph_build" @@ fun () ->
   let t0 = now () in
-  let dict = Vertex_dict.build_groups [ src; dst ] in
+  let dict = Tr.span "dict" (fun () -> Vertex_dict.build_groups [ src; dst ]) in
   let t1 = now () in
-  let src_ids = Vertex_dict.encode_columns dict src in
-  let dst_ids = Vertex_dict.encode_columns dict dst in
+  let src_ids, dst_ids =
+    Tr.span "encode" (fun () ->
+        ( Vertex_dict.encode_columns dict src,
+          Vertex_dict.encode_columns dict dst ))
+  in
   let t2 = now () in
   let vertex_count = Vertex_dict.cardinality dict in
-  let csr = Csr.build ~vertex_count ~src:src_ids ~dst:dst_ids in
+  let csr =
+    Tr.span "csr" (fun () -> Csr.build ~vertex_count ~src:src_ids ~dst:dst_ids)
+  in
   let t3 = now () in
   {
     dict;
@@ -180,17 +188,22 @@ let group_by_source encoded alias =
 (* Run one source group (search + per-pair extraction) on a given
    workspace, writing its outcomes into disjoint slots of [out]. *)
 let run_scalar_group t ~slot_w ~heap ~check ~rev ~out ws (source, entries) =
-  (match slot_w with
-  | `None ->
-    Bfs.run ~check ?rev ws t.csr ~source
-      ~targets:(Array.of_list (List.map snd entries))
-  | `Int w ->
-    Dijkstra.run_int ~check ws t.csr ~weights:w ~source
-      ~targets:(Array.of_list (List.map snd entries))
-      ~heap
-  | `Float w ->
-    Dijkstra.run_float ~check ws t.csr ~weights:w ~source
-      ~targets:(Array.of_list (List.map snd entries)));
+  (* One span per search; closed on the cancellation unwind by
+     [Trace.span]'s protect (the enclosing batch/domain span would catch
+     a skipped end anyway, see [Trace.end_span]). *)
+  let search_name = match slot_w with `None -> "bfs" | _ -> "dijkstra" in
+  Tr.span search_name (fun () ->
+      match slot_w with
+      | `None ->
+        Bfs.run ~check ?rev ws t.csr ~source
+          ~targets:(Array.of_list (List.map snd entries))
+      | `Int w ->
+        Dijkstra.run_int ~check ws t.csr ~weights:w ~source
+          ~targets:(Array.of_list (List.map snd entries))
+          ~heap
+      | `Float w ->
+        Dijkstra.run_float ~check ws t.csr ~weights:w ~source
+          ~targets:(Array.of_list (List.map snd entries)));
   List.iter
     (fun (idx, dst) ->
       if Workspace.visited ws dst then begin
@@ -208,6 +221,13 @@ let run_scalar_group t ~slot_w ~heap ~check ~rev ~out ws (source, entries) =
    search rooted at groups.(i). Outcomes are extracted before the next
    wave reuses the batch scratch. *)
 let run_wave t ~check ~rev ~out ws groups =
+  let sp =
+    if Tr.enabled () then
+      Tr.begin_span ~attrs:[ ("lanes", string_of_int (Array.length groups)) ]
+        "wave"
+    else -1
+  in
+  Fun.protect ~finally:(fun () -> Tr.end_span sp) @@ fun () ->
   let sources = Array.map fst groups in
   let targets =
     let acc = ref [] in
@@ -242,6 +262,7 @@ let run_batched t ~check ~rev ~out ws groups =
 
 let run_pairs t ~weights ?(heap = Dijkstra.Radix) ?(domains = 1)
     ?(check = Cancel.none) ?(engine = `Auto) ~pairs () =
+  Tr.span "traversal_batch" @@ fun () ->
   (* searches/settled/edges accumulate across batches (delta-friendly);
      the peak frontier restarts per batch so callers can attribute an
      exact per-batch peak. *)
@@ -295,9 +316,23 @@ let run_pairs t ~weights ?(heap = Dijkstra.Radix) ?(domains = 1)
       group_list;
     let chunks = Array.map List.rev chunks in
     let wss = Array.map (fun _ -> acquire_ws t) chunks in
+    (* Each spawned domain records onto its own track; parent its root
+       span to the coordinator's batch span so the timeline links up. *)
+    let batch_span = Tr.current_span () in
     let spawned =
       Array.mapi
-        (fun k chunk -> Domain.spawn (fun () -> run_chunk wss.(k) chunk))
+        (fun k chunk ->
+          Domain.spawn (fun () ->
+              let sp =
+                if Tr.enabled () then
+                  Tr.begin_span ~parent:batch_span
+                    ~attrs:[ ("groups", string_of_int (List.length chunk)) ]
+                    "domain"
+                else -1
+              in
+              Fun.protect
+                ~finally:(fun () -> Tr.end_span sp)
+                (fun () -> run_chunk wss.(k) chunk)))
         chunks
     in
     (* Join every domain before re-raising so no domain outlives the

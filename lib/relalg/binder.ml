@@ -1398,7 +1398,8 @@ and bind_simple ctx (q : A.query) : L.plan =
     L.Limit { input = plan; limit; offset = Option.value offset ~default:0 }
 
 let bind_query ~catalog ~params q =
-  bind_query_in { catalog; params; env = []; outer_scope = [] } q
+  Telemetry.Trace.span "bind" (fun () ->
+      bind_query_in { catalog; params; env = []; outer_scope = [] } q)
 
 (* Bind a scalar expression against a single table's columns (UPDATE SET /
    UPDATE-DELETE WHERE clauses). *)

@@ -323,4 +323,5 @@ and rewrite_children_shallow opts plan =
     L.Join { j with left = apply_local opts j.left; right = apply_local opts j.right }
   | _ -> plan
 
-let rewrite ?(options = default_options) plan = rewrite_plan options plan
+let rewrite ?(options = default_options) plan =
+  Telemetry.Trace.span "rewrite" (fun () -> rewrite_plan options plan)

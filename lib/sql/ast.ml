@@ -159,8 +159,10 @@ type stmt =
       (** [EXPLAIN] renders the plan; [EXPLAIN ANALYZE] also runs it and
           reports per-operator output rows and wall time *)
   | Set_option of { name : string; value : int }
-      (** [SET name = n] — session options (e.g. [SET parallelism = 4]);
-          the name is stored lowercased *)
+      (** [SET name = n] — session options (e.g. [SET parallelism = 4],
+          [SET slow_query_ms = 250]); the name is stored lowercased and
+          validated by the session layer, so new options need no grammar
+          change *)
 [@@deriving show { with_path = false }]
 
 (** [empty_query] — a [SELECT] skeleton to build on. *)

@@ -67,6 +67,15 @@ let expect_int st =
     i
   | _ -> error st "expected an integer literal"
 
+(* SET accepts a signed value so range validation happens in one place
+   (the session layer), with a proper error instead of a parse error. *)
+let expect_signed_int st =
+  match peek st with
+  | Token.MINUS ->
+    advance st;
+    -expect_int st
+  | _ -> expect_int st
+
 (* ------------------------------------------------------------------ *)
 (* Expressions                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -782,7 +791,7 @@ let parse_stmt_body st =
     advance st;
     let name = expect_ident st in
     expect st Token.EQ;
-    let value = expect_int st in
+    let value = expect_signed_int st in
     Ast.Set_option { name = String.lowercase_ascii name; value }
   | Token.KEYWORD ("SELECT" | "WITH") -> Ast.Select (parse_query_body st)
   | _ -> error st "expected a statement"

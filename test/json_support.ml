@@ -1,0 +1,256 @@
+(* A minimal recursive-descent JSON reader for the test suite.
+
+   The library deliberately ships no parser (lib/core/metrics.mli): nothing
+   in the system reads JSON back.  The tests do — to round-trip
+   [Metrics.to_string] output and to lint the CLI/bench artifacts — so the
+   reader lives here.  It accepts exactly RFC 8259 JSON (plus leading BOM
+   rejection by accident of the whitespace rule) and maps numbers onto
+   {!Sqlgraph.Metrics.json} as [Int] when the literal has no fraction or
+   exponent part and fits [int], [Float] otherwise. *)
+
+open Sqlgraph
+
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int }
+
+let error st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let rec go () =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | _ -> error st (Printf.sprintf "expected %C" c)
+
+let expect_lit st lit value =
+  let n = String.length lit in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = lit then (
+    st.pos <- st.pos + n;
+    value)
+  else error st (Printf.sprintf "expected %s" lit)
+
+let hex_digit st c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> error st "bad \\u escape"
+
+let utf8_add buf code =
+  (* Encode a Unicode scalar value as UTF-8.  Surrogate pairs are combined
+     by the caller; lone surrogates are encoded as-is (WTF-8), which is
+     fine for round-trip comparison. *)
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then (
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))))
+  else if code < 0x10000 then (
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))))
+  else (
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))))
+
+let parse_u16 st =
+  let d c = hex_digit st c in
+  if st.pos + 4 > String.length st.src then error st "truncated \\u escape";
+  let v =
+    (d st.src.[st.pos] lsl 12)
+    lor (d st.src.[st.pos + 1] lsl 8)
+    lor (d st.src.[st.pos + 2] lsl 4)
+    lor d st.src.[st.pos + 3]
+  in
+  st.pos <- st.pos + 4;
+  v
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' ->
+      advance st;
+      Buffer.contents buf
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | Some '"' -> Buffer.add_char buf '"'; advance st
+      | Some '\\' -> Buffer.add_char buf '\\'; advance st
+      | Some '/' -> Buffer.add_char buf '/'; advance st
+      | Some 'b' -> Buffer.add_char buf '\b'; advance st
+      | Some 'f' -> Buffer.add_char buf '\012'; advance st
+      | Some 'n' -> Buffer.add_char buf '\n'; advance st
+      | Some 'r' -> Buffer.add_char buf '\r'; advance st
+      | Some 't' -> Buffer.add_char buf '\t'; advance st
+      | Some 'u' ->
+        advance st;
+        let hi = parse_u16 st in
+        if hi >= 0xD800 && hi <= 0xDBFF
+           && st.pos + 6 <= String.length st.src
+           && st.src.[st.pos] = '\\'
+           && st.src.[st.pos + 1] = 'u'
+        then (
+          st.pos <- st.pos + 2;
+          let lo = parse_u16 st in
+          if lo >= 0xDC00 && lo <= 0xDFFF then
+            utf8_add buf (0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00))
+          else (
+            utf8_add buf hi;
+            utf8_add buf lo))
+        else utf8_add buf hi
+      | _ -> error st "bad escape");
+      go ()
+    | Some c when Char.code c < 0x20 -> error st "raw control char in string"
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_plain = ref true in
+  (match peek st with Some '-' -> advance st | _ -> ());
+  let digits () =
+    let n0 = st.pos in
+    let rec go () =
+      match peek st with Some '0' .. '9' -> advance st; go () | _ -> ()
+    in
+    go ();
+    if st.pos = n0 then error st "expected digit"
+  in
+  digits ();
+  (match peek st with
+  | Some '.' ->
+    is_plain := false;
+    advance st;
+    digits ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+    is_plain := false;
+    advance st;
+    (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+    digits ()
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_plain then
+    match int_of_string_opt text with
+    | Some i -> Metrics.Int i
+    | None -> Metrics.Float (float_of_string text)
+  else Metrics.Float (float_of_string text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then (
+      advance st;
+      Metrics.Obj [])
+    else
+      let rec members acc =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          members ((k, v) :: acc)
+        | Some '}' ->
+          advance st;
+          Metrics.Obj (List.rev ((k, v) :: acc))
+        | _ -> error st "expected ',' or '}'"
+      in
+      members []
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then (
+      advance st;
+      Metrics.List [])
+    else
+      let rec elements acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          elements (v :: acc)
+        | Some ']' ->
+          advance st;
+          Metrics.List (List.rev (v :: acc))
+        | _ -> error st "expected ',' or ']'"
+      in
+      elements []
+  | Some '"' -> Metrics.String (parse_string st)
+  | Some 't' -> expect_lit st "true" (Metrics.Bool true)
+  | Some 'f' -> expect_lit st "false" (Metrics.Bool false)
+  | Some 'n' -> expect_lit st "null" Metrics.Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> error st (Printf.sprintf "unexpected %C" c)
+
+(** [parse s] — the single JSON document in [s]; raises {!Parse_error} on
+    malformed input or trailing garbage. *)
+let parse s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then error st "trailing garbage";
+  v
+
+let parse_result s = try Ok (parse s) with Parse_error m -> Error m
+
+(** [equal a b] — structural equality with bitwise float comparison
+    (distinguishes [0.] from [-0.]; a [Float] never equals an [Int]).
+    The round-trip tests need bitwise semantics: [Metrics.to_string]
+    promises to preserve [-0.0] and every finite payload exactly. *)
+let rec equal (a : Metrics.json) (b : Metrics.json) =
+  match (a, b) with
+  | Metrics.Null, Metrics.Null -> true
+  | Metrics.Bool x, Metrics.Bool y -> x = y
+  | Metrics.Int x, Metrics.Int y -> x = y
+  | Metrics.Float x, Metrics.Float y ->
+    Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Metrics.String x, Metrics.String y -> String.equal x y
+  | Metrics.List xs, Metrics.List ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Metrics.Obj xs, Metrics.Obj ys ->
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2)
+         xs ys
+  | _ -> false
+
+(** [member name j] — field lookup in an [Obj], [None] otherwise. *)
+let member name = function
+  | Metrics.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_string_opt = function Some (Metrics.String s) -> Some s | _ -> None
+
+let to_int_opt = function Some (Metrics.Int i) -> Some i | _ -> None

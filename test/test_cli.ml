@@ -191,6 +191,151 @@ let test_fault_env_var () =
       check tbool "fault surfaced" true (contains out "injected fault at bfs");
       check tbool "one-shot: second query answers" true (contains out "| 2"))
 
+(* --- observability sinks ------------------------------------------- *)
+
+let with_temp_out f =
+  let path = Filename.temp_file "sqlgraph_obs" ".out" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let obs_script =
+  "CREATE TABLE e (src INTEGER, dst INTEGER);\n\
+   INSERT INTO e VALUES (1, 2), (2, 3), (3, 4);\n\
+   SELECT CHEAPEST SUM(1) AS d WHERE 1 REACHES 4 OVER e EDGE (src, dst);\n"
+
+let ndjson_lines path =
+  String.split_on_char '\n' (read_file path)
+  |> List.filter (fun l -> String.trim l <> "")
+
+let parse_json what s =
+  match Testjson.Json_support.parse_result s with
+  | Ok j -> j
+  | Error m -> Alcotest.failf "%s: invalid JSON: %s (%s)" what m s
+
+let test_json_metrics_append () =
+  with_temp_file obs_script (fun script ->
+      with_temp_out (fun metrics ->
+          let code, _ =
+            run_cli
+              (Printf.sprintf "run %s --json-metrics-append %s"
+                 (Filename.quote script) (Filename.quote metrics))
+          in
+          check tbool "exit 0" true (code = 0);
+          let lines = ndjson_lines metrics in
+          check Alcotest.int "one record per statement" 3 (List.length lines);
+          List.iter
+            (fun line ->
+              let j = parse_json "metrics record" line in
+              let open Testjson.Json_support in
+              check (Alcotest.option Alcotest.string) "schema tag"
+                (Some "sqlgraph-metrics-v1")
+                (to_string_opt (member "schema" j));
+              check tbool "has sql" true (member "sql" j <> None);
+              check tbool "has ms" true (member "ms" j <> None))
+            lines))
+
+let test_metrics_meta_and_trace_dump () =
+  with_temp_out (fun trace ->
+      with_temp_file
+        (obs_script ^ "\\metrics;\n\\trace dump " ^ trace ^ ";\n\\q\n")
+        (fun input ->
+          let code, out = run_cli ~stdin:input "repl --trace-out /dev/null" in
+          check tbool "exit 0" true (code = 0);
+          check tbool "\\metrics lists statement histogram" true
+            (contains out "sqlgraph_statement_seconds");
+          check tbool "\\metrics shows quantiles" true (contains out "p50");
+          check tbool "\\metrics counts statements" true
+            (contains out "sqlgraph_statements_total");
+          let doc = parse_json "trace dump" (read_file trace) in
+          match Testjson.Json_support.member "traceEvents" doc with
+          | Some (Sqlgraph.Metrics.List evs) ->
+            check tbool "trace has events" true (List.length evs > 0)
+          | _ -> Alcotest.fail "no traceEvents in \\trace dump"))
+
+let test_trace_on_off_meta () =
+  with_temp_out (fun trace ->
+      with_temp_file
+        ("CREATE TABLE t (x INTEGER);\n\\trace on;\nSELECT 1 AS one;\n\
+          \\trace dump " ^ trace ^ ";\n\\trace off;\n\\q\n")
+        (fun input ->
+          let code, out = run_cli ~stdin:input "repl" in
+          check tbool "exit 0" true (code = 0);
+          check tbool "trace acknowledged" true (contains out "trace on");
+          let doc = parse_json "trace dump" (read_file trace) in
+          check tbool "dump parses to an object" true
+            (Testjson.Json_support.member "traceEvents" doc <> None)))
+
+let test_metrics_out_prometheus () =
+  with_temp_file obs_script (fun script ->
+      with_temp_out (fun prom ->
+          let code, _ =
+            run_cli
+              (Printf.sprintf "run %s --metrics-out %s" (Filename.quote script)
+                 (Filename.quote prom))
+          in
+          check tbool "exit 0" true (code = 0);
+          let out = read_file prom in
+          check tbool "HELP/TYPE pairs" true
+            (contains out "# TYPE sqlgraph_statements_total counter");
+          check tbool "histogram buckets" true
+            (contains out "sqlgraph_statement_seconds_bucket{le=\"+Inf\"}");
+          check tbool "histogram sum" true
+            (contains out "sqlgraph_statement_seconds_sum")))
+
+let test_slow_query_log () =
+  with_temp_file obs_script (fun script ->
+      (* Threshold 0: every statement is slow; each record is one JSON
+         object naming its top spans. *)
+      with_temp_out (fun log ->
+          let code, _ =
+            run_cli
+              (Printf.sprintf "run %s --slow-query-ms 0 --slow-query-log %s"
+                 (Filename.quote script) (Filename.quote log))
+          in
+          check tbool "exit 0" true (code = 0);
+          let lines = ndjson_lines log in
+          check Alcotest.int "every statement logged" 3 (List.length lines);
+          List.iter
+            (fun line ->
+              let j = parse_json "slow-query record" line in
+              let open Testjson.Json_support in
+              check tbool "has query text" true (member "query" j <> None);
+              check (Alcotest.option Alcotest.string) "verdict ok" (Some "ok")
+                (to_string_opt (member "verdict" j));
+              check tbool "has spans" true (member "spans" j <> None))
+            lines);
+      (* A huge threshold never fires. *)
+      with_temp_out (fun log ->
+          let code, _ =
+            run_cli
+              (Printf.sprintf
+                 "run %s --slow-query-ms 100000 --slow-query-log %s"
+                 (Filename.quote script) (Filename.quote log))
+          in
+          check tbool "exit 0" true (code = 0);
+          check Alcotest.int "log stays empty" 0
+            (List.length (ndjson_lines log))))
+
+let test_set_slow_query_ms_repl () =
+  with_temp_out (fun log ->
+      with_temp_file
+        (obs_script ^ "SET slow_query_ms = 0;\n\
+          SELECT CHEAPEST SUM(1) AS d WHERE 1 REACHES 4 OVER e EDGE (src, dst);\n\
+          \\q\n")
+        (fun input ->
+          let code, out =
+            run_cli ~stdin:input
+              (Printf.sprintf "repl --slow-query-log %s" (Filename.quote log))
+          in
+          check tbool "exit 0" true (code = 0);
+          check tbool "SET acknowledged" true (contains out "slow_query_ms = 0");
+          (* Only statements after the SET are logged. *)
+          let lines = ndjson_lines log in
+          check tbool "the query after SET landed in the log" true
+            (List.length lines >= 1);
+          List.iter (fun l -> ignore (parse_json "slow record" l)) lines))
+
 let () =
   Alcotest.run "cli"
     [
@@ -215,5 +360,19 @@ let () =
           Alcotest.test_case "\\timeout and \\limit meta-commands" `Quick
             test_repl_timeout_and_limit_meta;
           Alcotest.test_case "SQLGRAPH_FAULT env" `Quick test_fault_env_var;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "--json-metrics-append NDJSON" `Quick
+            test_json_metrics_append;
+          Alcotest.test_case "\\metrics and \\trace dump" `Quick
+            test_metrics_meta_and_trace_dump;
+          Alcotest.test_case "\\trace on/off" `Quick test_trace_on_off_meta;
+          Alcotest.test_case "--metrics-out Prometheus" `Quick
+            test_metrics_out_prometheus;
+          Alcotest.test_case "slow-query log thresholds" `Quick
+            test_slow_query_log;
+          Alcotest.test_case "SET slow_query_ms in repl" `Quick
+            test_set_slow_query_ms_repl;
         ] );
     ]
