@@ -654,6 +654,131 @@ let pairs_bench ?json ~ratio ~sources ~seed () =
     Printf.printf "wrote %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
+(* WAL overhead: single-row INSERT throughput, in-memory vs durable     *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_temp_dir f =
+  let path = Filename.temp_file "sqlgraph-bench-wal" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf path) (fun () -> f path)
+
+(* The durability acceptance bar: write-ahead logging without fsync must
+   stay within a few percent of a plain in-memory session (the log write
+   is one buffered append per statement), while the fsync'd mode shows
+   the true price of "this statement survives power loss".  Each mode
+   runs [rows] single-row INSERTs through the full statement path;
+   in-memory and no-fsync report min-of-3 (fsync'd runs once — its cost
+   is the disk's, not the scheduler's). *)
+let wal_bench ?json ~rows () =
+  print_header "WAL overhead (single-row INSERT throughput)";
+  let workload db n =
+    for i = 1 to n do
+      match
+        Sqlgraph.Db.exec db ~params:[| Storage.Value.Int i |]
+          "INSERT INTO t VALUES (?)"
+      with
+      | Ok _ -> ()
+      | Error e -> failwith (Sqlgraph.Error.to_string e)
+    done
+  in
+  let run_memory n =
+    let db = Sqlgraph.Db.create () in
+    Sqlgraph.Db.exec_exn db "CREATE TABLE t (a INTEGER)" |> ignore;
+    Gc.compact ();
+    let _, dt = time (fun () -> workload db n) in
+    dt
+  in
+  let run_durable ~fsync n =
+    with_temp_dir (fun dir ->
+        match Sqlgraph.Wal.open_dir ~fsync dir with
+        | Error e -> failwith (Sqlgraph.Error.to_string e)
+        | Ok (store, db, _) ->
+          Fun.protect
+            ~finally:(fun () -> Sqlgraph.Wal.close store)
+            (fun () ->
+              Sqlgraph.Db.exec_exn db "CREATE TABLE t (a INTEGER)" |> ignore;
+              Gc.compact ();
+              let _, dt = time (fun () -> workload db n) in
+              dt))
+  in
+  (* untimed warmup, then a paired design: each iteration times the two
+     modes back-to-back (so they see the same background load) and the
+     reported overhead comes from the median per-iteration ratio — a
+     load spike during either half of an iteration shifts that pair to
+     an extreme and the median discards it. Gc.compact before each
+     timed window keeps major collections from landing in one mode's
+     measurement but not the other's. *)
+  ignore (run_memory rows);
+  ignore (run_durable ~fsync:false rows);
+  let samples =
+    List.init 7 (fun _ ->
+        let m = run_memory rows in
+        let d = run_durable ~fsync:false rows in
+        (d /. m, m, d))
+  in
+  let sorted =
+    List.sort (fun (r1, _, _) (r2, _, _) -> compare r1 r2) samples
+  in
+  let _, t_mem, t_nofsync = List.nth sorted (List.length sorted / 2) in
+  let fsync_rows = max 50 (rows / 20) in
+  let t_fsync = run_durable ~fsync:true fsync_rows in
+  let rate n dt = float_of_int n /. dt in
+  let r_mem = rate rows t_mem in
+  let r_nofsync = rate rows t_nofsync in
+  let r_fsync = rate fsync_rows t_fsync in
+  let overhead_pct = 100. *. (r_mem -. r_nofsync) /. r_mem in
+  Printf.printf "%-28s %14s %14s\n" "mode" "stmts/sec" "seconds";
+  Printf.printf "%-28s %14.0f %14.6f\n" "in-memory" r_mem t_mem;
+  Printf.printf "%-28s %14.0f %14.6f\n" "wal --no-fsync" r_nofsync t_nofsync;
+  Printf.printf "%-28s %14.0f %14.6f   (%d rows)\n" "wal fsync-per-commit"
+    r_fsync t_fsync fsync_rows;
+  Printf.printf "no-fsync overhead vs in-memory: %.2f%%\n%!" overhead_pct;
+  match json with
+  | None -> ()
+  | Some path ->
+    Sqlgraph.Metrics.write_file ~path
+      (Sqlgraph.Metrics.Obj
+         [
+           ("schema", Sqlgraph.Metrics.String "sqlgraph-bench-v1");
+           ("suite", Sqlgraph.Metrics.String "wal");
+           ("rows", Sqlgraph.Metrics.Int rows);
+           ("fsync_rows", Sqlgraph.Metrics.Int fsync_rows);
+           ( "results",
+             Sqlgraph.Metrics.List
+               [
+                 Sqlgraph.Metrics.Obj
+                   [
+                     ("name", Sqlgraph.Metrics.String "wal/in-memory");
+                     ("stmts_per_sec", Sqlgraph.Metrics.num r_mem);
+                     ("seconds", Sqlgraph.Metrics.num t_mem);
+                   ];
+                 Sqlgraph.Metrics.Obj
+                   [
+                     ("name", Sqlgraph.Metrics.String "wal/no-fsync");
+                     ("stmts_per_sec", Sqlgraph.Metrics.num r_nofsync);
+                     ("seconds", Sqlgraph.Metrics.num t_nofsync);
+                   ];
+                 Sqlgraph.Metrics.Obj
+                   [
+                     ("name", Sqlgraph.Metrics.String "wal/fsync");
+                     ("stmts_per_sec", Sqlgraph.Metrics.num r_fsync);
+                     ("seconds", Sqlgraph.Metrics.num t_fsync);
+                   ];
+               ] );
+           ("nofsync_vs_memory_pct", Sqlgraph.Metrics.num overhead_pct);
+         ]);
+    Printf.printf "wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -922,6 +1047,25 @@ let pairs_cmd =
           pairs_bench ?json ~ratio ~sources ~seed ())
       $ ratio_arg $ sources_arg $ seed_arg $ pairs_json_arg)
 
+let wal_rows_arg =
+  let doc = "Single-row INSERT statements per mode for the WAL scenario." in
+  Arg.(value & opt int 25000 & info [ "rows" ] ~doc)
+
+let wal_json_arg =
+  let doc =
+    "Write the WAL results to this file as JSON (schema sqlgraph-bench-v1), \
+     e.g. BENCH_wal.json."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let wal_cmd =
+  cmd "wal"
+    "Write-ahead-log overhead: INSERT throughput in-memory vs --no-fsync vs \
+     fsync'd."
+    Term.(
+      const (fun rows json -> wal_bench ?json ~rows ())
+      $ wal_rows_arg $ wal_json_arg)
+
 let run_everything ratio sfs batches reps seed =
   table1 ~ratio ~sfs ~seed;
   fig1a ~ratio ~sfs ~reps ~seed;
@@ -936,6 +1080,7 @@ let run_everything ratio sfs batches reps seed =
   ablation_vectorized ~ratio ~sfs ~seed;
   baselines_bench ~ratio ~sfs ~reps ~seed;
   pairs_bench ~ratio ~sources:512 ~seed ();
+  wal_bench ~rows:25000 ();
   micro ~ratio ~seed ()
 
 let all_cmd =
@@ -963,6 +1108,6 @@ let () =
             table1_cmd; fig1a_cmd; fig1b_cmd; ablation_build_cmd;
             ablation_heap_cmd; ablation_rewrite_cmd; ablation_csr_cmd;
             ablation_index_cmd; ablation_dict_cmd; ablation_parallel_cmd;
-            ablation_vectorized_cmd; baselines_cmd; pairs_cmd; micro_cmd;
-            all_cmd;
+            ablation_vectorized_cmd; baselines_cmd; pairs_cmd; wal_cmd;
+            micro_cmd; all_cmd;
           ]))

@@ -11,6 +11,13 @@
      --max-rows N      per-statement result-row budget
      --domains N       traversal parallelism (SET parallelism = N)
 
+   Durability:
+     --data-dir DIR    open DIR as a crash-safe data directory: recover
+                       (checkpoint + WAL replay) on start, write-ahead
+                       log every committed DML statement
+     --no-fsync        keep logging but skip fsync (throughput mode;
+                       crash safety then depends on the OS page cache)
+
    Observability:
      --json-metrics F         dump the last statement's execution counters
                               to F as JSON (schema sqlgraph-metrics-v1)
@@ -38,6 +45,9 @@
                              all typed VARCHAR; CAST as needed)
      \save DIR;              persist every table as CSV + manifest
      \load DIR;              replace the session with a saved database
+                             (refused under --data-dir)
+     \checkpoint;            (--data-dir) write an atomic checkpoint and
+                             rotate the WAL
      \timeout MS;            set the per-statement timeout (0 or off: none)
      \limit ROWS;            set the per-statement row limit (0 or off: none)
      \timing;                toggle per-statement wall-clock timing
@@ -92,6 +102,16 @@ let trace_out : string option ref = ref None
 (* Slow-query log destination; the threshold lives on the Db session
    (SET slow_query_ms / --slow-query-ms). *)
 let slow_query_log : string ref = ref "sqlgraph-slow.ndjson"
+
+(* --data-dir: the open WAL store, if this session is durable. *)
+let data_store : Sqlgraph.Wal.t option ref = ref None
+
+let close_store () =
+  match !data_store with
+  | None -> ()
+  | Some store ->
+    Sqlgraph.Wal.close store;
+    data_store := None
 
 let current_budget () =
   Sqlgraph.Governor.budget ?timeout_ms:!timeout_ms ?max_rows:!max_rows ()
@@ -278,12 +298,27 @@ let list_tables db =
   | [] -> print_endline "no tables"
   | names -> List.iter (describe db) names
 
+(* Bulk loads (\i, the demo tables) bypass the statement path and thus
+   the WAL, so in a durable session they are immediately captured by a
+   checkpoint — otherwise a crash would silently drop them. *)
+let checkpoint_if_durable db ~why =
+  match !data_store with
+  | None -> ()
+  | Some store -> (
+    match Sqlgraph.Wal.checkpoint store db with
+    | Ok () ->
+      Printf.printf "checkpoint: generation %d (%s)\n"
+        (Sqlgraph.Wal.gen store) why
+    | Error e -> Printf.printf "error: %s\n" (Sqlgraph.Error.to_string e))
+
 let import_csv db path table =
   (* header-driven: every column VARCHAR; refine with CAST in queries.
      Routed through Db.protect (inside import_untyped) so a bad file
      reports an error like a failing statement instead of crashing. *)
   match Sqlgraph.Csv.import_untyped db ~path ~table with
-  | Ok n -> Printf.printf "loaded %d rows into %s\n" n table
+  | Ok n ->
+    Printf.printf "loaded %d rows into %s\n" n table;
+    checkpoint_if_durable db ~why:"import"
   | Error e -> Printf.printf "error: %s\n" (Sqlgraph.Error.to_string e)
 
 let explain db sql =
@@ -360,6 +395,12 @@ let repl db =
              match Sqlgraph.Persist.save !db ~dir with
              | Ok () -> Printf.printf "saved to %s\n" dir
              | Error e -> Printf.printf "error: %s\n" (Sqlgraph.Error.to_string e))
+           | [ "\\load"; _ ] when !data_store <> None ->
+             (* swapping the session out from under the WAL would let
+                acknowledged statements vanish; recovery owns the state *)
+             print_endline
+               "error: \\load is not available under --data-dir (the data \
+                directory owns the session state)"
            | [ "\\load"; dir ] -> (
              match Sqlgraph.Persist.load ~dir with
              | Ok fresh ->
@@ -368,6 +409,19 @@ let repl db =
                db := fresh;
                Printf.printf "loaded %s\n" dir
              | Error e -> Printf.printf "error: %s\n" (Sqlgraph.Error.to_string e))
+           | [ "\\checkpoint" ] -> (
+             match !data_store with
+             | None ->
+               print_endline
+                 "error: \\checkpoint needs a durable session (start with \
+                  --data-dir DIR)"
+             | Some store -> (
+               match Sqlgraph.Wal.checkpoint store !db with
+               | Ok () ->
+                 Printf.printf "checkpoint: generation %d\n"
+                   (Sqlgraph.Wal.gen store)
+               | Error e ->
+                 Printf.printf "error: %s\n" (Sqlgraph.Error.to_string e)))
            | [ "\\timeout"; ms ] -> set_timeout ms
            | [ "\\limit"; rows ] -> set_max_rows rows
            | [ "\\stats" ] -> print_stats !db
@@ -398,6 +452,7 @@ let repl db =
       end
   in
   prompt ();
+  close_store ();
   dump_trace ()
 
 let run_file db path =
@@ -419,9 +474,12 @@ let run_file db path =
           t0 := Unix.gettimeofday ();
           `Continue)
     with
-    | Ok () -> dump_trace ()
+    | Ok () ->
+      close_store ();
+      dump_trace ()
     | Error e ->
       Printf.eprintf "error: %s\n" (Sqlgraph.Error.to_string e);
+      close_store ();
       dump_trace ();
       exit 1)
 
@@ -450,9 +508,39 @@ let apply_limits t r j (ja, mo, tr, sq, sl) =
      too, so slow records carry their top-spans breakdown. *)
   if tr <> None || sq <> None then Telemetry.Trace.set_enabled true
 
-(* A session database honouring --domains and --slow-query-ms. *)
-let make_db d sq =
-  let db = Sqlgraph.Db.create () in
+(* A session database honouring --domains, --slow-query-ms and
+   --data-dir.  A durable session recovers on open: checkpoint load plus
+   WAL replay, reporting a torn tail (bytes truncated) when the previous
+   process died mid-record. *)
+let make_db ?(data_dir = None) ?(no_fsync = false) d sq =
+  let db =
+    match data_dir with
+    | None -> Sqlgraph.Db.create ()
+    | Some dir -> (
+      match Sqlgraph.Wal.open_dir ~fsync:(not no_fsync) dir with
+      | Error e ->
+        Printf.eprintf "error: cannot open data directory %s: %s\n" dir
+          (Sqlgraph.Error.to_string e);
+        exit 1
+      | Ok (store, db, r) ->
+        data_store := Some store;
+        if r.Sqlgraph.Wal.rec_truncated_bytes > 0 then
+          Printf.eprintf
+            "warning: %s: torn or corrupt WAL tail — %d bytes truncated, \
+             recovered to the last intact record\n\
+             %!"
+            dir r.Sqlgraph.Wal.rec_truncated_bytes;
+        if
+          r.Sqlgraph.Wal.rec_replayed > 0
+          || r.Sqlgraph.Wal.rec_skipped > 0
+          || r.Sqlgraph.Wal.rec_gen > 0
+        then
+          Printf.eprintf
+            "recovered %s: generation %d, %d statements replayed, %d skipped\n%!"
+            dir r.Sqlgraph.Wal.rec_gen r.Sqlgraph.Wal.rec_replayed
+            r.Sqlgraph.Wal.rec_skipped;
+        db)
+  in
   (match d with Some n -> Sqlgraph.Db.set_parallelism db n | None -> ());
   Sqlgraph.Db.set_slow_query_ms db sq;
   db
@@ -534,6 +622,27 @@ let slow_query_log_arg =
     & info [ "slow-query-log" ] ~docv:"FILE"
         ~doc:"Slow-query log destination (default sqlgraph-slow.ndjson).")
 
+let data_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "data-dir" ] ~docv:"DIR"
+        ~doc:
+          "Open DIR as a crash-safe data directory (created if missing): \
+           recover checkpoint + write-ahead log on start, then log every \
+           committed DML statement before acknowledging it. Use \
+           $(b,\\\\checkpoint) to compact the log.")
+
+let no_fsync_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fsync" ]
+        ~doc:
+          "With $(b,--data-dir): keep write-ahead logging but skip every \
+           fsync. Much faster; crash safety then depends on the OS page \
+           cache surviving the crash (fine for benchmarks, not for data \
+           you love).")
+
 (* The observability flags travel as one tuple so each subcommand's term
    stays readable. *)
 let obs_args =
@@ -542,16 +651,21 @@ let obs_args =
     $ json_metrics_append_arg $ metrics_out_arg $ trace_out_arg
     $ slow_query_ms_arg $ slow_query_log_arg)
 
-let repl_main t r d j obs =
+(* Durability flags, same pattern. *)
+let dur_args =
+  Term.(
+    const (fun dd nf -> (dd, nf)) $ data_dir_arg $ no_fsync_arg)
+
+let repl_main t r d j obs (dd, nf) =
   apply_limits t r j obs;
   let _, _, _, sq, _ = obs in
-  repl (make_db d sq)
+  repl (make_db ~data_dir:dd ~no_fsync:nf d sq)
 
 let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL shell.")
     Term.(
       const repl_main $ timeout_arg $ max_rows_arg $ domains_arg
-      $ json_metrics_arg $ obs_args)
+      $ json_metrics_arg $ obs_args $ dur_args)
 
 let run_cmd =
   let file =
@@ -559,25 +673,28 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script file.")
     Term.(
-      const (fun t r d j obs f ->
+      const (fun t r d j obs (dd, nf) f ->
           apply_limits t r j obs;
           let _, _, _, sq, _ = obs in
-          run_file (make_db d sq) f)
+          run_file (make_db ~data_dir:dd ~no_fsync:nf d sq) f)
       $ timeout_arg $ max_rows_arg $ domains_arg $ json_metrics_arg
-      $ obs_args $ file)
+      $ obs_args $ dur_args $ file)
 
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo"
        ~doc:"Open a shell with a synthetic social network preloaded.")
     Term.(
-      const (fun t r d j obs ->
+      const (fun t r d j obs (dd, nf) ->
           apply_limits t r j obs;
           let _, _, _, sq, _ = obs in
-          let db = make_db d sq in
+          let db = make_db ~data_dir:dd ~no_fsync:nf d sq in
           load_demo db;
+          (* capture the bulk-loaded demo tables before the first DML *)
+          checkpoint_if_durable db ~why:"demo load";
           repl db)
-      $ timeout_arg $ max_rows_arg $ domains_arg $ json_metrics_arg $ obs_args)
+      $ timeout_arg $ max_rows_arg $ domains_arg $ json_metrics_arg
+      $ obs_args $ dur_args)
 
 let () =
   Sqlgraph.Fault.arm_from_env ();
@@ -588,6 +705,6 @@ let () =
   let default =
     Term.(
       const repl_main $ timeout_arg $ max_rows_arg $ domains_arg
-      $ json_metrics_arg $ obs_args)
+      $ json_metrics_arg $ obs_args $ dur_args)
   in
   exit (Cmd.eval (Cmd.group ~default info [ repl_cmd; run_cmd; demo_cmd ]))

@@ -207,4 +207,99 @@ if [ -s "$slowlog" ]; then
   exit 1
 fi
 
-echo "OK: build, tests, fault-injection, EXPLAIN ANALYZE, batched traversal, bench and telemetry smokes all passed"
+echo "== durability: kill -9 mid-stream, then recover"
+ddir=$(mktemp -d /tmp/sqlgraph_check_dd_XXXXXX)
+ack=$(mktemp /tmp/sqlgraph_check_XXXXXX.ack)
+trap 'rm -f "$script" "$out" "$ea_script" "$metrics" "$ms_script" "$obs_script" "$prom" "$slowlog" "$ack" BENCH_smoke.json BENCH_pairs_smoke.json TRACE_smoke.json BENCH_wal_smoke.json; rm -rf "$ddir"' EXIT
+cli=_build/default/bin/sqlgraph_cli.exe
+dune build bin/sqlgraph_cli.exe
+# Stream INSERTs into a durable repl and kill -9 the process mid-stream.
+# Every acknowledged statement (an "INSERT 1" echo) must survive recovery;
+# at most the in-flight statement may additionally appear.
+{
+  echo "CREATE TABLE t (a INTEGER);"
+  i=0
+  while [ "$i" -lt 5000 ]; do
+    echo "INSERT INTO t VALUES ($i);"
+    i=$((i + 1))
+  done
+} | "$cli" repl --data-dir "$ddir" > "$ack" 2>&1 &
+cli_pid=$!
+sleep 0.4
+kill -9 "$cli_pid" 2>/dev/null || true
+wait "$cli_pid" 2>/dev/null || true
+acked=$(grep -c "INSERT 1" "$ack" || true)
+[ "$acked" -ge 1 ] || {
+  echo "FAIL: kill -9 landed before any INSERT was acknowledged; got:"
+  tail -5 "$ack"
+  exit 1
+}
+echo "SELECT COUNT(*) FROM t;" | "$cli" repl --data-dir "$ddir" > "$out" 2>&1
+recovered=$(sed -n 's/^| \([0-9][0-9]*\) *|$/\1/p' "$out" | head -1)
+[ -n "$recovered" ] || {
+  echo "FAIL: recovery run produced no count:"
+  cat "$out"
+  exit 1
+}
+[ "$recovered" -ge "$acked" ] && [ "$recovered" -le $((acked + 2)) ] || {
+  echo "FAIL: acknowledged $acked inserts but recovered $recovered rows"
+  exit 1
+}
+echo "   acknowledged $acked inserts, recovered $recovered rows"
+
+echo "== durability: torn WAL tail is truncated and reported"
+rm -rf "$ddir"; mkdir "$ddir"
+cat > "$script" <<'EOF'
+CREATE TABLE t (a INTEGER);
+INSERT INTO t VALUES (1);
+INSERT INTO t VALUES (2);
+EOF
+"$cli" run "$script" --data-dir "$ddir" > "$out" 2>&1
+wal="$ddir/wal-000000.log"
+size=$(wc -c < "$wal")
+head -c $((size - 4)) "$wal" > "$wal.torn" && mv "$wal.torn" "$wal"
+echo "SELECT COUNT(*) FROM t;" | "$cli" repl --data-dir "$ddir" > "$out" 2>&1
+grep -q "torn or corrupt" "$out" || {
+  echo "FAIL: no torn-tail warning after truncating the WAL:"
+  cat "$out"
+  exit 1
+}
+grep -q "| 1" "$out" || {
+  echo "FAIL: torn recovery did not keep the intact prefix:"
+  cat "$out"
+  exit 1
+}
+
+echo "== bench wal --json smoke (no-fsync overhead < 15%)"
+# Perf gate on a possibly-noisy shared machine: the bench already takes
+# the median of 7 paired runs; on top of that, allow up to 3 attempts
+# before declaring a real regression.
+wal_ok=0
+for attempt in 1 2 3; do
+  dune exec bench/main.exe -- wal --rows 25000 --json BENCH_wal_smoke.json \
+      > "$out" 2>&1
+  grep -q '"schema": "sqlgraph-bench-v1"' BENCH_wal_smoke.json || {
+    echo "FAIL: bench wal --json did not emit sqlgraph-bench-v1"
+    cat "$out"
+    exit 1
+  }
+  wal_pct=$(sed -n 's/.*"nofsync_vs_memory_pct": \([0-9.eE+-]*\).*/\1/p' \
+      BENCH_wal_smoke.json | head -1)
+  [ -n "$wal_pct" ] || {
+    echo "FAIL: BENCH_wal_smoke.json has no nofsync_vs_memory_pct"
+    cat BENCH_wal_smoke.json
+    exit 1
+  }
+  if awk "BEGIN { exit !($wal_pct < 15.0) }"; then
+    wal_ok=1
+    break
+  fi
+  echo "   attempt $attempt: wal --no-fsync overhead $wal_pct% >= 15%, retrying"
+done
+[ "$wal_ok" = 1 ] || {
+  echo "FAIL: wal --no-fsync overhead $wal_pct% >= 15% on 3 attempts"
+  exit 1
+}
+echo "   wal --no-fsync overhead: $wal_pct%"
+
+echo "OK: build, tests, fault-injection, EXPLAIN ANALYZE, batched traversal, bench, telemetry and durability smokes all passed"

@@ -5,6 +5,21 @@ let log_src = Logs.Src.create "sqlgraph.db" ~doc:"sqlgraph query lifecycle"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* Hooks installed by the Wal layer when the session runs durable.  The
+   Db calls them around DML so write-ahead logging stays a pure layering
+   concern: in autocommit [dur_log] runs *before* the statement applies
+   (log-before-apply) and [dur_abort] erases the record if the apply then
+   fails; inside an open transaction applied statements are buffered with
+   [dur_buffer] and only reach the log at COMMIT via [dur_commit] (group
+   commit), while [dur_rollback] discards the buffer. *)
+type durability = {
+  dur_log : sql:string -> params:Storage.Value.t array -> unit;
+  dur_abort : unit -> unit;
+  dur_buffer : sql:string -> params:Storage.Value.t array -> unit;
+  dur_commit : unit -> unit;
+  dur_rollback : unit -> unit;
+}
+
 type t = {
   catalog : Storage.Catalog.t;
   indices : Executor.Graph_index.t;
@@ -20,6 +35,8 @@ type t = {
   mutable slow_query_ms : int option;
       (* SET slow_query_ms / CLI --slow-query-ms; None = off.  The Db
          only stores the threshold — the CLI owns the log file. *)
+  mutable durability : durability option;
+      (* WAL hooks; None = plain in-memory session *)
 }
 
 let create () =
@@ -31,9 +48,12 @@ let create () =
     parallelism = 1;
     registry = Telemetry.Registry.create ();
     slow_query_ms = None;
+    durability = None;
   }
 
 let catalog t = t.catalog
+let set_durability t d = t.durability <- d
+let in_transaction t = t.snapshot <> None
 let load_table t ~name table = Storage.Catalog.replace t.catalog name table
 let parallelism t = t.parallelism
 let set_parallelism t n = t.parallelism <- max 1 n
@@ -83,6 +103,9 @@ let guard f =
          })
   | exception Error.Csv_error m -> Error (Error.Io_error m)
   | exception Sys_error m -> Error (Error.Io_error m)
+  | exception Unix.Unix_error (e, fn, arg) ->
+    Error
+      (Error.Io_error (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e)))
   | exception Invalid_argument m ->
     Error (Error.Runtime_error ("internal: " ^ m))
   | exception Not_found -> Error (Error.Internal_error "Not_found escaped")
@@ -271,7 +294,7 @@ let exec_rollback t =
     t.snapshot <- None;
     Rolled_back
 
-let exec_stmt t ~params ~optimize ~gov stmt =
+let exec_stmt_mem t ~params ~optimize ~gov stmt =
   match stmt with
   | Sql.Ast.Select q -> Selected (run_select t ~params ~optimize ~gov q)
   | Sql.Ast.Begin_txn -> exec_begin t
@@ -443,6 +466,64 @@ let exec_stmt t ~params ~optimize ~gov stmt =
         Storage.Catalog.touch t.catalog table;
         Inserted (Storage.Table.nrows src)))
 
+let mutates_catalog = function
+  | Sql.Ast.Insert _ | Sql.Ast.Update _ | Sql.Ast.Delete _
+  | Sql.Ast.Create_table _ | Sql.Ast.Create_table_as _ | Sql.Ast.Drop_table _
+    ->
+    true
+  | Sql.Ast.Select _ | Sql.Ast.Explain _ | Sql.Ast.Set_option _
+  | Sql.Ast.Begin_txn | Sql.Ast.Commit_txn | Sql.Ast.Rollback_txn ->
+    false
+
+(* The durable statement wrapper.  [sql] is the statement's own text
+   (the raw input for [exec], the pretty-printed form for scripts) — it
+   is what the WAL records and what recovery replays.  The invariant
+   maintained here is prefix consistency: at every instant the log
+   contains exactly the acknowledged, committed statements, in order.
+
+   - autocommit DML: log (append + fsync) *before* applying; if the
+     apply then fails, [dur_abort] truncates the record back out.
+   - DML inside BEGIN..COMMIT: apply first, buffer the text; COMMIT
+     flushes the whole buffer plus a commit marker under one fsync
+     (group commit).  A replayer discards trailing statements with no
+     marker, so a crash mid-COMMIT loses the whole transaction — which
+     was never acknowledged as committed.
+   - COMMIT whose log flush fails: roll the in-memory state back to the
+     BEGIN snapshot and surface the error; memory and log again agree.
+   - ROLLBACK: discard the buffer. *)
+let exec_stmt t ~sql ~params ~optimize ~gov stmt =
+  match t.durability with
+  | None -> exec_stmt_mem t ~params ~optimize ~gov stmt
+  | Some d ->
+    if mutates_catalog stmt then
+      if t.snapshot <> None then begin
+        let out = exec_stmt_mem t ~params ~optimize ~gov stmt in
+        d.dur_buffer ~sql ~params;
+        out
+      end
+      else begin
+        d.dur_log ~sql ~params;
+        match exec_stmt_mem t ~params ~optimize ~gov stmt with
+        | out -> out
+        | exception e ->
+          (try d.dur_abort () with _ -> ());
+          raise e
+      end
+    else begin
+      match stmt with
+      | Sql.Ast.Commit_txn when t.snapshot <> None ->
+        (try d.dur_commit ()
+         with e ->
+           ignore (exec_rollback t);
+           raise e);
+        exec_commit t
+      | Sql.Ast.Rollback_txn when t.snapshot <> None ->
+        let out = exec_stmt_mem t ~params ~optimize ~gov stmt in
+        d.dur_rollback ();
+        out
+      | _ -> exec_stmt_mem t ~params ~optimize ~gov stmt
+    end
+
 (* Fold one statement's execution into the session registry.  [delta] is
    the stats record [run_select] installed for this statement, if any —
    DML/DDL never produce one, and a failed statement's partial counters
@@ -519,7 +600,7 @@ let observe_stmt t f =
 
 let exec t ?(params = [||]) ?(budget = Governor.no_limits) sql =
   observe_stmt t (fun () ->
-      exec_stmt t ~params ~optimize:Relalg.Rewriter.default_options
+      exec_stmt t ~sql ~params ~optimize:Relalg.Rewriter.default_options
         ~gov:(Governor.start budget)
         (Telemetry.Trace.span "parse" (fun () -> Sql.Parser.parse_stmt sql)))
 
@@ -543,7 +624,7 @@ let exec_script_each t ?(budget = Governor.no_limits) ~f sql =
         let sql_text = Sql.Pretty.stmt_to_string stmt in
         let r =
           observe_stmt t (fun () ->
-              exec_stmt t ~params:[||]
+              exec_stmt t ~sql:sql_text ~params:[||]
                 ~optimize:Relalg.Rewriter.default_options
                 ~gov:(Governor.start budget) stmt)
         in

@@ -158,3 +158,29 @@ val registry : t -> Telemetry.Registry.t
 
 val slow_query_ms : t -> int option
 val set_slow_query_ms : t -> int option -> unit
+
+(** Durability hooks (installed by {!Wal.attach}; [None] = plain
+    in-memory session).  The Db drives them around catalog-mutating
+    statements so write-ahead logging stays outside the executor:
+
+    - autocommit DML: [dur_log] runs before the statement applies
+      (log-before-apply); [dur_abort] erases the record if the apply
+      fails.
+    - DML inside BEGIN..COMMIT: applied statements are buffered with
+      [dur_buffer]; [dur_commit] flushes the buffer plus a commit marker
+      under one fsync at COMMIT (group commit) — if that flush fails the
+      Db rolls back to the BEGIN snapshot before surfacing the error —
+      and [dur_rollback] discards the buffer at ROLLBACK. *)
+type durability = {
+  dur_log : sql:string -> params:Storage.Value.t array -> unit;
+  dur_abort : unit -> unit;
+  dur_buffer : sql:string -> params:Storage.Value.t array -> unit;
+  dur_commit : unit -> unit;
+  dur_rollback : unit -> unit;
+}
+
+val set_durability : t -> durability option -> unit
+
+(** [in_transaction db] — a BEGIN snapshot is open (checkpointing is
+    refused mid-transaction). *)
+val in_transaction : t -> bool

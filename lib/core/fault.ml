@@ -1,59 +1,86 @@
 type spec =
   | After_checks of int
   | At_site of string
+  | At_site_after of { site : string; after : int }
 
 exception Injected of { site : string; checks : int }
 
 (* Process-global, deliberately: the harness exists to break *any* query
    flowing through *any* Db of this process deterministically, whether
-   armed from a test or from SQLGRAPH_FAULT before exec. One-shot: the
-   spec disarms itself just before raising, so the unwind path (rollback,
-   error rendering, the next statement) runs fault-free. *)
-let armed : spec option ref = ref None
-let count = ref 0
+   armed from a test or from SQLGRAPH_FAULT before exec. Each armed spec
+   is one-shot: it disarms itself just before raising, so the unwind path
+   (rollback, error rendering, the next statement) runs fault-free —
+   unless *another* spec in the armed list covers a site the unwind
+   visits, which is exactly how the durability fuzzer reaches the
+   truncate-on-abort and poisoning paths. *)
+type armed_spec = { spec : spec; mutable hits : int }
 
-let set spec =
-  armed := spec;
-  count := 0
+let armed : armed_spec list ref = ref []
+let set_specs specs = armed := List.map (fun spec -> { spec; hits = 0 }) specs
+let set = function None -> set_specs [] | Some s -> set_specs [ s ]
+let clear () = set_specs []
+let current () = match !armed with [] -> None | a :: _ -> Some a.spec
+let specs () = List.map (fun a -> a.spec) !armed
 
-let clear () = set None
-let current () = !armed
-
+(* One segment: "after=N", "site=S" or "site=S,after=N" (either key
+   order). Malformed segments parse to None, as before. *)
 let parse s =
   match String.trim s with
   | "" | "off" | "none" -> None
   | s -> (
-    match String.index_opt s '=' with
-    | Some i -> (
-      let key = String.sub s 0 i in
-      let v = String.sub s (i + 1) (String.length s - i - 1) in
-      match key with
-      | "after" -> int_of_string_opt v |> Option.map (fun n -> After_checks n)
-      | "site" -> if v = "" then None else Some (At_site v)
+    let kvs =
+      List.filter_map
+        (fun part ->
+          let part = String.trim part in
+          match String.index_opt part '=' with
+          | Some i ->
+            Some
+              ( String.sub part 0 i,
+                String.sub part (i + 1) (String.length part - i - 1) )
+          | None -> None)
+        (String.split_on_char ',' s)
+    in
+    if List.length kvs <> List.length (String.split_on_char ',' s) then None
+    else
+      let site = List.assoc_opt "site" kvs in
+      let after = Option.map int_of_string_opt (List.assoc_opt "after" kvs) in
+      match (site, after) with
+      | Some "", _ -> None
+      | Some site, None when List.length kvs = 1 -> Some (At_site site)
+      | Some site, Some (Some n) when List.length kvs = 2 ->
+        Some (At_site_after { site; after = n })
+      | None, Some (Some n) when List.length kvs = 1 -> Some (After_checks n)
       | _ -> None)
-    | None -> None)
+
+let parse_specs s =
+  String.split_on_char ';' s |> List.filter_map parse
 
 let env_var = "SQLGRAPH_FAULT"
 
 let arm_from_env () =
   match Sys.getenv_opt env_var with
   | None -> ()
-  | Some s -> (
-    match parse s with Some spec -> set (Some spec) | None -> ())
+  | Some s -> ( match parse_specs s with [] -> () | specs -> set_specs specs)
 
 let hit ~site =
-  match !armed with
-  | None -> ()
-  | Some (After_checks n) ->
-    incr count;
-    if !count >= n then begin
-      clear ();
-      raise (Injected { site; checks = n })
-    end
-  | Some (At_site s) ->
-    incr count;
-    if String.equal s site then begin
-      let c = !count in
-      clear ();
-      raise (Injected { site; checks = c })
-    end
+  let fire a =
+    armed := List.filter (fun b -> b != a) !armed;
+    raise (Injected { site; checks = a.hits })
+  in
+  List.iter
+    (fun a ->
+      match a.spec with
+      | After_checks n ->
+        a.hits <- a.hits + 1;
+        if a.hits >= n then fire a
+      | At_site s ->
+        (* counts every checkpoint (any site), as the original single-spec
+           harness did, so [checks] reports how far the query got *)
+        a.hits <- a.hits + 1;
+        if String.equal s site then fire a
+      | At_site_after { site = s; after } ->
+        if String.equal s site then begin
+          a.hits <- a.hits + 1;
+          if a.hits >= after then fire a
+        end)
+    !armed

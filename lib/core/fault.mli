@@ -1,36 +1,63 @@
-(** Deterministic fault injection for the governor's checkpoints.
+(** Deterministic fault injection for the governor's checkpoints and the
+    durability subsystem's I/O sites.
 
     Every cooperative checkpoint the {!Governor} fires first consults this
     module, so arming a fault exercises the exact unwind path a real
     budget exhaustion would take — mid-BFS, mid-Dijkstra, mid-statement,
-    inside an open transaction — without depending on timing. Tests arm
-    it with {!set}; end-to-end runs arm it with the [SQLGRAPH_FAULT]
-    environment variable (read by the CLI via {!arm_from_env}).
+    inside an open transaction — without depending on timing. The {!Wal}
+    and {!Persist} layers additionally consult it at every append, fsync,
+    rename and truncate, so the crash-recovery fuzzer can kill a durable
+    session at any I/O boundary. Tests arm it with {!set}/{!set_specs};
+    end-to-end runs arm it with the [SQLGRAPH_FAULT] environment variable
+    (read by the CLI via {!arm_from_env}).
 
-    Faults are one-shot: the spec disarms itself immediately before
-    raising, so recovery code (rollback, error rendering, the next
-    statement) runs fault-free. *)
+    Any number of specs may be armed at once (semicolon-separated in the
+    environment variable). Each spec is one-shot: it disarms itself
+    immediately before raising, so recovery code (rollback, error
+    rendering, the next statement) runs fault-free — unless another armed
+    spec covers a site the recovery path itself visits, which is how the
+    fuzzer reaches second-order failure paths (truncate-on-abort,
+    store poisoning). *)
 
 type spec =
   | After_checks of int  (** raise at the Nth checkpoint, any site *)
   | At_site of string
-      (** raise at the first checkpoint of the named site:
-          "interp", "bfs", "dijkstra", "all_paths", "rec_cte", ... *)
+      (** raise at the first checkpoint of the named site: "interp",
+          "bfs", "dijkstra", "all_paths", "rec_cte", "wal_append",
+          "wal_fsync", "wal_truncate", "wal_torn", "checkpoint", ... *)
+  | At_site_after of { site : string; after : int }
+      (** raise at the [after]-th checkpoint of the named site — only
+          hits of that site count ([site=S,after=N] in the env var) *)
 
 exception Injected of { site : string; checks : int }
 (** Mapped by [Db.guard] into [Error.Resource_error] with kind
     [Error.Fault]. *)
 
-(** [set (Some spec)] arms (resetting the check counter); [set None]
-    disarms. Process-global state. *)
+(** [set (Some spec)] arms a single spec (resetting its hit counter);
+    [set None] disarms everything. Process-global state. *)
 val set : spec option -> unit
 
-val clear : unit -> unit
-val current : unit -> spec option
+(** [set_specs specs] arms a whole list at once, each with a fresh
+    counter; [set_specs []] disarms everything. *)
+val set_specs : spec list -> unit
 
-(** [parse s] — ["after=N"] or ["site=S"]; [""], ["off"], ["none"] and
-    anything malformed parse to [None]. *)
+val clear : unit -> unit
+
+val current : unit -> spec option
+(** The first still-armed spec, [None] when disarmed. *)
+
+val specs : unit -> spec list
+(** Every still-armed spec, in arming order. *)
+
+(** [parse s] — one segment: ["after=N"], ["site=S"] or
+    ["site=S,after=N"]; [""], ["off"], ["none"] and anything malformed
+    parse to [None]. *)
 val parse : string -> spec option
+
+(** [parse_specs s] — a semicolon-separated list of segments
+    (["site=wal_fsync,after=3;site=rename"]); malformed segments are
+    dropped. *)
+val parse_specs : string -> spec list
 
 val env_var : string
 (** ["SQLGRAPH_FAULT"]. *)
@@ -41,5 +68,6 @@ val env_var : string
 val arm_from_env : unit -> unit
 
 (** [hit ~site] — the checkpoint hook: raises {!Injected} (after
-    disarming) when the armed spec matches, else counts and returns. *)
+    disarming the matching spec) when an armed spec matches, else counts
+    and returns. *)
 val hit : site:string -> unit

@@ -7,39 +7,133 @@ let guard f =
   | exception Csv.Csv_error m -> Error (Error.Runtime_error m)
   | exception Relalg.Scalar.Runtime_error m -> Error (Error.Runtime_error m)
   | exception Invalid_argument m -> Error (Error.Runtime_error m)
+  | exception Unix.Unix_error (e, fn, arg) ->
+    Error
+      (Error.Runtime_error
+         (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e)))
+  | exception Fault.Injected { site; checks } ->
+    Error
+      (Error.Resource_error
+         {
+           kind = Error.Fault;
+           spent = float_of_int checks;
+           limit = float_of_int checks;
+           site;
+         })
 
+(* fsync a file or directory by path (directory fsync persists the
+   entry rename itself, not just the bytes). *)
+let fsync_path path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () -> Unix.fsync fd)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let write_file_synced path text =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let n = String.length text in
+      let written = ref 0 in
+      while !written < n do
+        written :=
+          !written + Unix.write_substring fd text !written (n - !written)
+      done;
+      Unix.fsync fd)
+
+(* Render every table into (filename, contents) pairs, re-raising the
+   paper's §3.3 rule for path-typed columns before any byte is written. *)
+let render db =
+  let catalog = Db.catalog db in
+  let manifest = Buffer.create 256 in
+  Buffer.add_string manifest "table,column,type\n";
+  let files =
+    List.map
+      (fun name ->
+        let table = Option.get (Storage.Catalog.find catalog name) in
+        let schema = Storage.Table.schema table in
+        List.iter
+          (fun (f : Storage.Schema.field) ->
+            if Storage.Dtype.equal f.Storage.Schema.ty Storage.Dtype.TPath
+            then
+              raise
+                (Relalg.Scalar.Runtime_error
+                   (Printf.sprintf
+                      "table %s column %s: paths cannot be permanently \
+                       stored (flatten with UNNEST first)"
+                      name f.Storage.Schema.name));
+            Buffer.add_string manifest
+              (Printf.sprintf "%s,%s,%s\n" name f.Storage.Schema.name
+                 (Storage.Dtype.name f.Storage.Schema.ty)))
+          (Storage.Schema.fields schema);
+        (name ^ ".csv", Resultset.to_csv (Resultset.of_table table)))
+      (Storage.Catalog.names catalog)
+  in
+  files @ [ (manifest_file, Buffer.contents manifest) ]
+
+(* Atomic save: render everything, write into a temp sibling directory
+   (fsyncing each file), then rename into place. A crash — or an armed
+   fault at the persist_write/persist_rename sites — leaves either the
+   previous save or the new one, never a half-written mix. An existing
+   non-empty target that carries no manifest is refused outright: it is
+   not a sqlgraph save, and overwriting it would scribble CSVs over
+   arbitrary user data. *)
 let save db ~dir =
   guard (fun () ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      let catalog = Db.catalog db in
-      let manifest = Buffer.create 256 in
-      Buffer.add_string manifest "table,column,type\n";
-      List.iter
-        (fun name ->
-          let table = Option.get (Storage.Catalog.find catalog name) in
-          let schema = Storage.Table.schema table in
-          List.iter
-            (fun (f : Storage.Schema.field) ->
-              if Storage.Dtype.equal f.Storage.Schema.ty Storage.Dtype.TPath
-              then
-                raise
-                  (Relalg.Scalar.Runtime_error
-                     (Printf.sprintf
-                        "table %s column %s: paths cannot be permanently \
-                         stored (flatten with UNNEST first)"
-                        name f.Storage.Schema.name));
-              Buffer.add_string manifest
-                (Printf.sprintf "%s,%s,%s\n" name f.Storage.Schema.name
-                   (Storage.Dtype.name f.Storage.Schema.ty)))
-            (Storage.Schema.fields schema);
-          let rs = Resultset.of_table table in
-          Out_channel.with_open_text
-            (Filename.concat dir (name ^ ".csv"))
-            (fun oc -> Out_channel.output_string oc (Resultset.to_csv rs)))
-        (Storage.Catalog.names catalog);
-      Out_channel.with_open_text
-        (Filename.concat dir manifest_file)
-        (fun oc -> Out_channel.output_string oc (Buffer.contents manifest)))
+      if Sys.file_exists dir then begin
+        if not (Sys.is_directory dir) then
+          raise (Sys_error (dir ^ ": exists and is not a directory"));
+        if
+          Array.length (Sys.readdir dir) > 0
+          && not (Sys.file_exists (Filename.concat dir manifest_file))
+        then
+          raise
+            (Sys_error
+               (Printf.sprintf
+                  "refusing to overwrite %s: directory is not empty and has \
+                   no %s (not a sqlgraph save)"
+                  dir manifest_file))
+      end;
+      let files = render db in
+      let tmp = Printf.sprintf "%s.tmp.%d" dir (Unix.getpid ()) in
+      rm_rf tmp;
+      Sys.mkdir tmp 0o755;
+      (try
+         Fault.hit ~site:"persist_write";
+         List.iter
+           (fun (name, text) ->
+             write_file_synced (Filename.concat tmp name) text)
+           files;
+         fsync_path tmp;
+         Fault.hit ~site:"persist_rename";
+         if Sys.file_exists dir then begin
+           let old = Printf.sprintf "%s.old.%d" dir (Unix.getpid ()) in
+           rm_rf old;
+           Sys.rename dir old;
+           (try Sys.rename tmp dir
+            with e ->
+              (* best effort: put the previous save back *)
+              (try Sys.rename old dir with _ -> ());
+              raise e);
+           rm_rf old
+         end
+         else Sys.rename tmp dir
+       with e ->
+         (try rm_rf tmp with _ -> ());
+         raise e);
+      (* persist the directory entry itself *)
+      try fsync_path (Filename.dirname dir) with _ -> ())
 
 let load ~dir =
   guard (fun () ->

@@ -7,8 +7,14 @@
     for nested tables: "it cannot be permanently stored into a physical
     table" (§3.3) — flatten with [UNNEST] first. *)
 
-(** [save db ~dir] — write every catalog table. Creates [dir] if needed;
-    overwrites files of the same names. *)
+(** [save db ~dir] — write every catalog table, atomically: the files are
+    rendered into a temp sibling directory ([<dir>.tmp.<pid>]), each
+    fsynced, and the whole directory renamed into place, so a crash (or
+    an armed fault at the [persist_write]/[persist_rename] sites) leaves
+    either the previous save or the new one, never a half-written mix.
+
+    Refuses to overwrite an existing non-empty directory that has no
+    [_manifest.csv] — such a directory is not a sqlgraph save. *)
 val save : Db.t -> dir:string -> (unit, Error.t) result
 
 (** [load ~dir] — a fresh database containing every table of a saved

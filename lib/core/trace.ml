@@ -283,6 +283,25 @@ let escape b s =
 
 let to_catapult () =
   let evs = events () in
+  (* The ring evicts oldest-first, so after a wrap the buffer can open
+     with End events whose Begin was overwritten. Chrome (and our own
+     json_lint) reject an E with no open span on its track — drop those
+     orphans so a wrapped dump is still well-formed. *)
+  let evs =
+    let depth = Hashtbl.create 8 in
+    List.filter
+      (fun e ->
+        let d = Option.value ~default:0 (Hashtbl.find_opt depth e.ev_track) in
+        match e.ev_kind with
+        | Begin ->
+          Hashtbl.replace depth e.ev_track (d + 1);
+          true
+        | End ->
+          if d > 0 then Hashtbl.replace depth e.ev_track (d - 1);
+          d > 0
+        | Instant -> true)
+      evs
+  in
   let t0 = match evs with [] -> 0.0 | e :: _ -> e.ev_ts in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"traceEvents\":[";

@@ -1,0 +1,75 @@
+(** Crash-safe durability: a per-database write-ahead log plus atomic
+    checkpoints over the {!Persist} CSV format (DESIGN.md §11).
+
+    A data directory holds a generation-numbered pair — [checkpoint-%06d/]
+    (a {!Persist} save) and [wal-%06d.log] (every committed DML statement
+    since that checkpoint) — plus a [CURRENT] pointer naming the live
+    generation. Opening the directory loads the checkpoint, replays the
+    log (truncating at the first torn or checksum-failing record) and
+    installs {!Db.durability} hooks so further committed DML is logged
+    before it is acknowledged.
+
+    Log format: an 8-byte magic header ["SQLGWAL1"], then length-prefixed
+    records ([u32 LE payload length | u32 LE crc32 | payload]); the
+    payload is a kind byte ('A' autocommit, 'S' in-transaction statement,
+    'C' commit marker), a parameter vector, and the statement's SQL text.
+    Recovery discards a trailing run of 'S' records with no 'C' marker —
+    a transaction whose COMMIT was never acknowledged.
+
+    Invariant (the fuzzer's oracle): after a crash at any I/O boundary,
+    reopening yields the state produced by a prefix of the acknowledged
+    statements, possibly extended by the single statement in flight at
+    the crash. No acknowledged statement is ever lost, and no statement
+    applies partially.
+
+    Fault sites (see {!Fault}): [wal_append], [wal_fsync], [wal_torn]
+    (leaves half a record and poisons the store), [wal_truncate],
+    [checkpoint], [wal_rotate], [current_rename], plus {!Persist}'s
+    [persist_write]/[persist_rename]. *)
+
+type t
+(** An open store: the live log's fd, generation, and append offset. *)
+
+type recovery = {
+  rec_gen : int;  (** generation loaded *)
+  rec_replayed : int;  (** log records applied *)
+  rec_skipped : int;
+      (** replayed statements that errored (they failed when first
+          executed too) or were discarded as an uncommitted transaction *)
+  rec_truncated_bytes : int;
+      (** corrupt tail bytes removed — nonzero means the log was torn *)
+}
+
+(** [open_dir ?fsync dir] — open (creating if missing) a data directory:
+    load the current checkpoint, replay the log, truncate any corrupt
+    tail, and return the store, the recovered database (durability hooks
+    already installed) and a recovery summary. [~fsync:false] skips every
+    fsync — throughput mode for benchmarks; crash safety then depends on
+    the OS page cache. Refuses a non-empty directory that is not a
+    sqlgraph data directory. *)
+val open_dir : ?fsync:bool -> string -> (t * Db.t * recovery, Error.t) result
+
+(** [checkpoint t db] — write the full state as generation g+1 (an atomic
+    {!Persist.save}), start a fresh log, then atomically move the
+    [CURRENT] pointer and delete generation g. Refused inside an open
+    transaction. On failure the session stays on generation g with its
+    log intact — nothing is lost. *)
+val checkpoint : t -> Db.t -> (unit, Error.t) result
+
+(** [close t] — fsync (when enabled) and close the live log. *)
+val close : t -> unit
+
+(** [crash_for_testing t] — drop the fd without fsync or repair,
+    simulating [kill -9]: written bytes survive exactly as a killed
+    process would leave them. *)
+val crash_for_testing : t -> unit
+
+val dir : t -> string
+val gen : t -> int
+
+val wal_path : t -> string
+(** Path of the live log file (tests tear its tail off). *)
+
+val crc32 : string -> int
+(** IEEE CRC32 of a string (checksum of every record's payload);
+    [crc32 "123456789" = 0xCBF43926]. *)

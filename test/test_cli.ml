@@ -336,6 +336,105 @@ let test_set_slow_query_ms_repl () =
             (List.length lines >= 1);
           List.iter (fun l -> ignore (parse_json "slow record" l)) lines))
 
+(* ------------------------------------------------------------------ *)
+(* Durability: --data-dir, \checkpoint, recovery messages *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "sqlgraph_cli_dur" "" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let test_data_dir_recovers () =
+  with_temp_dir (fun dir ->
+      let ddir = Filename.quote dir in
+      with_temp_file
+        "CREATE TABLE t (a INTEGER);\n\
+         INSERT INTO t VALUES (1), (2);\n\
+         INSERT INTO t VALUES (3);\n"
+        (fun script ->
+          let code, _ =
+            run_cli (Printf.sprintf "run %s --data-dir %s" (Filename.quote script) ddir)
+          in
+          check tbool "first run exit 0" true (code = 0));
+      with_temp_file "SELECT COUNT(*) FROM t;\n" (fun script ->
+          let code, out =
+            run_cli
+              (Printf.sprintf "run %s --data-dir %s" (Filename.quote script) ddir)
+          in
+          check tbool "reopen exit 0" true (code = 0);
+          check tbool "recovery message" true (contains out "recovered");
+          check tbool "statements replayed" true
+            (contains out "3 statements replayed");
+          check tbool "rows survived" true (contains out "| 3")))
+
+let test_data_dir_checkpoint_meta () =
+  with_temp_dir (fun dir ->
+      let ddir = Filename.quote dir in
+      with_temp_file
+        "CREATE TABLE t (a INTEGER);\nINSERT INTO t VALUES (1);\n\\checkpoint;\n"
+        (fun input ->
+          let code, out =
+            run_cli ~stdin:input (Printf.sprintf "repl --data-dir %s" ddir)
+          in
+          check tbool "exit 0" true (code = 0);
+          check tbool "checkpoint reported" true
+            (contains out "checkpoint: generation 1"));
+      check tbool "checkpoint dir on disk" true
+        (Sys.file_exists (Filename.concat dir "checkpoint-000001"));
+      check tbool "old wal rotated away" false
+        (Sys.file_exists (Filename.concat dir "wal-000000.log"));
+      (* after a checkpoint the fresh log replays nothing *)
+      with_temp_file "SELECT COUNT(*) FROM t;\n" (fun script ->
+          let _, out =
+            run_cli
+              (Printf.sprintf "run %s --data-dir %s" (Filename.quote script) ddir)
+          in
+          check tbool "loads from checkpoint" true (contains out "| 1")))
+
+let test_data_dir_torn_tail_warning () =
+  with_temp_dir (fun dir ->
+      let ddir = Filename.quote dir in
+      with_temp_file
+        "CREATE TABLE t (a INTEGER);\n\
+         INSERT INTO t VALUES (1);\n\
+         INSERT INTO t VALUES (2);\n"
+        (fun script ->
+          ignore
+            (run_cli
+               (Printf.sprintf "run %s --data-dir %s" (Filename.quote script) ddir)));
+      (* tear a few bytes off the live log *)
+      let wal = Filename.concat dir "wal-000000.log" in
+      let size = (Unix.stat wal).Unix.st_size in
+      let fd = Unix.openfile wal [ Unix.O_WRONLY ] 0 in
+      Unix.ftruncate fd (size - 4);
+      Unix.close fd;
+      with_temp_file "SELECT COUNT(*) FROM t;\n" (fun script ->
+          let code, out =
+            run_cli
+              (Printf.sprintf "run %s --data-dir %s" (Filename.quote script) ddir)
+          in
+          check tbool "still opens" true (code = 0);
+          check tbool "torn warning" true (contains out "torn or corrupt");
+          check tbool "prefix recovered" true (contains out "| 1")))
+
+let test_data_dir_refuses_load_meta () =
+  with_temp_dir (fun dir ->
+      let ddir = Filename.quote dir in
+      with_temp_file "\\load /nonexistent;\nSELECT 1;\n" (fun input ->
+          let _, out =
+            run_cli ~stdin:input (Printf.sprintf "repl --data-dir %s" ddir)
+          in
+          check tbool "load refused under --data-dir" true
+            (contains out "not available under --data-dir")))
+
 let () =
   Alcotest.run "cli"
     [
@@ -360,6 +459,16 @@ let () =
           Alcotest.test_case "\\timeout and \\limit meta-commands" `Quick
             test_repl_timeout_and_limit_meta;
           Alcotest.test_case "SQLGRAPH_FAULT env" `Quick test_fault_env_var;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "--data-dir recovers" `Quick test_data_dir_recovers;
+          Alcotest.test_case "\\checkpoint meta-command" `Quick
+            test_data_dir_checkpoint_meta;
+          Alcotest.test_case "torn tail warning" `Quick
+            test_data_dir_torn_tail_warning;
+          Alcotest.test_case "\\load refused under --data-dir" `Quick
+            test_data_dir_refuses_load_meta;
         ] );
       ( "observability",
         [
