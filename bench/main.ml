@@ -779,6 +779,178 @@ let wal_bench ?json ~rows () =
     Printf.printf "wrote %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
+(* Server: group commit vs single-session fsync                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The multi-session server's acceptance bar: durable commit throughput
+   with many concurrent sessions must beat a single session by the
+   group-commit factor — one shared fsync acknowledges a whole batch of
+   COMMITs instead of one fsync each.  Both measurements run the same
+   code path (in-process server over socketpairs, fsync'd WAL, every
+   INSERT acknowledged only after its covering fsync lands); only the
+   client count differs, so the ratio isolates the batching win. *)
+let server_bench ?json ~commits ~clients () =
+  print_header "Multi-session server (durable commit throughput)";
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let module Server = Sqlgraph_server.Server in
+  let module Client = Sqlgraph_server.Client in
+  let run_at c total =
+    with_temp_dir (fun dir ->
+        match Sqlgraph.Wal.open_dir ~fsync:true dir with
+        | Error e -> failwith (Sqlgraph.Error.to_string e)
+        | Ok (store, db, _) ->
+          Sqlgraph.Db.exec_exn db "CREATE TABLE t (client INTEGER, v INTEGER)"
+          |> ignore;
+          let config =
+            {
+              Sqlgraph_server.Scheduler.default_config with
+              max_sessions = max c 32;
+              write_high_water = max c 32;
+            }
+          in
+          let srv = Server.create ~config ~db ~store:(Some store) () in
+          Fun.protect
+            ~finally:(fun () ->
+              Server.shutdown srv;
+              try Sqlgraph.Wal.close store with _ -> ())
+            (fun () ->
+              let clients =
+                Array.init c (fun _ ->
+                    let a, b =
+                      Unix.socketpair ~cloexec:true Unix.PF_UNIX
+                        Unix.SOCK_STREAM 0
+                    in
+                    Server.attach srv a;
+                    (Client.of_fd b, b))
+              in
+              let insert i k =
+                Printf.sprintf "INSERT INTO t VALUES (%d, %d)" i k
+              in
+              (* warmup: greet every session and prime the write path *)
+              Array.iteri
+                (fun i (cl, _) -> ignore (Client.request cl (insert i 0)))
+                clients;
+              let per = total / c in
+              (* group mode: each client keeps a small window of
+                 statements in flight so the measurement is the server's
+                 durable commit throughput, not the client's socket
+                 round-trip latency.  The baseline is the classic
+                 single-session discipline — one commit in flight,
+                 fsync'd and acknowledged before the next is issued. *)
+              let window = if c = 1 then 1 else 16 in
+              (* the clients share the process (and the OCaml runtime
+                 lock) with the server, so the timed loop keeps them as
+                 thin as possible: requests are precomputed, responses
+                 are acknowledged by counting newlines, and an ERR
+                 anywhere in the stream fails the run *)
+              let run_client i fd =
+                let reqs =
+                  Array.init per (fun k -> insert i (k + 1) ^ "\n")
+                in
+                let offsets = Array.make (per + 1) 0 in
+                for k = 0 to per - 1 do
+                  offsets.(k + 1) <- offsets.(k) + String.length reqs.(k)
+                done;
+                let payload = String.concat "" (Array.to_list reqs) in
+                let chunk = Bytes.create 65536 in
+                let sent = ref 0 and acked = ref 0 in
+                let tail = ref "" in
+                while !acked < per do
+                  let burst = min window (per - !sent) in
+                  if burst > 0 && !sent - !acked < window then begin
+                    let off = offsets.(!sent) in
+                    let len = offsets.(!sent + burst) - off in
+                    let rec push o l =
+                      if l > 0 then begin
+                        let n = Unix.write_substring fd payload o l in
+                        push (o + n) (l - n)
+                      end
+                    in
+                    push off len;
+                    sent := !sent + burst
+                  end;
+                  let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+                  if n = 0 then failwith "server closed mid-run";
+                  let fresh = Bytes.sub_string chunk 0 n in
+                  (* the carry only guards ERR detection across read
+                     boundaries; newlines are counted in [fresh] alone *)
+                  (match Astring.String.find_sub ~sub:"ERR" (!tail ^ fresh) with
+                  | Some _ ->
+                    failwith ("commit not acknowledged: " ^ fresh)
+                  | None -> ());
+                  String.iter (fun ch -> if ch = '\n' then incr acked) fresh;
+                  tail :=
+                    String.sub fresh
+                      (max 0 (n - 2))
+                      (min 2 n)
+                done
+              in
+              Gc.compact ();
+              let t0 = Unix.gettimeofday () in
+              let threads =
+                Array.mapi
+                  (fun i (_, fd) -> Thread.create (fun () -> run_client i fd) ())
+                  clients
+              in
+              Array.iter Thread.join threads;
+              let dt = Unix.gettimeofday () -. t0 in
+              Array.iter (fun (cl, _) -> Client.close cl) clients;
+              let mean_group =
+                match
+                  Telemetry.Registry.percentiles
+                    (Sqlgraph_server.Scheduler.metrics (Server.scheduler srv))
+                    "sqlgraph_server_group_commit_size"
+                with
+                | Some p when p.Telemetry.Registry.count > 0 ->
+                  p.Telemetry.Registry.sum /. float_of_int p.Telemetry.Registry.count
+                | _ -> 1.
+              in
+              (float_of_int (c * per) /. dt, dt, c * per, mean_group)))
+  in
+  let r_single, t_single, n_single, _ = run_at 1 commits in
+  let nclients = clients in
+  let r_group, t_group, n_group, mean_group = run_at nclients commits in
+  let ratio = r_group /. r_single in
+  Printf.printf "%-28s %14s %14s\n" "mode" "commits/sec" "seconds";
+  Printf.printf "%-28s %14.0f %14.6f   (%d commits)\n" "1 session, fsync each"
+    r_single t_single n_single;
+  Printf.printf "%-28s %14.0f %14.6f   (%d commits)\n"
+    (Printf.sprintf "%d sessions, group commit" nclients)
+    r_group t_group n_group;
+  Printf.printf "group-commit speedup: %.2fx (mean batch %.1f commits/fsync)\n%!"
+    ratio mean_group;
+  match json with
+  | None -> ()
+  | Some path ->
+    Sqlgraph.Metrics.write_file ~path
+      (Sqlgraph.Metrics.Obj
+         [
+           ("schema", Sqlgraph.Metrics.String "sqlgraph-bench-v1");
+           ("suite", Sqlgraph.Metrics.String "server");
+           ("commits", Sqlgraph.Metrics.Int commits);
+           ("clients", Sqlgraph.Metrics.Int nclients);
+           ( "results",
+             Sqlgraph.Metrics.List
+               [
+                 Sqlgraph.Metrics.Obj
+                   [
+                     ("name", Sqlgraph.Metrics.String "server/single-fsync");
+                     ("commits_per_sec", Sqlgraph.Metrics.num r_single);
+                     ("seconds", Sqlgraph.Metrics.num t_single);
+                   ];
+                 Sqlgraph.Metrics.Obj
+                   [
+                     ("name", Sqlgraph.Metrics.String "server/group-commit");
+                     ("commits_per_sec", Sqlgraph.Metrics.num r_group);
+                     ("seconds", Sqlgraph.Metrics.num t_group);
+                   ];
+               ] );
+           ("mean_group_size", Sqlgraph.Metrics.num mean_group);
+           ("group_vs_single_x", Sqlgraph.Metrics.num ratio);
+         ]);
+    Printf.printf "wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1066,6 +1238,29 @@ let wal_cmd =
       const (fun rows json -> wal_bench ?json ~rows ())
       $ wal_rows_arg $ wal_json_arg)
 
+let server_commits_arg =
+  let doc = "Total durable single-row INSERTs per concurrency level." in
+  Arg.(value & opt int 800 & info [ "commits" ] ~doc)
+
+let server_json_arg =
+  let doc =
+    "Write the server results to this file as JSON (schema \
+     sqlgraph-bench-v1), e.g. BENCH_server.json."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let server_clients_arg =
+  let doc = "Concurrent sessions for the group-commit measurement." in
+  Arg.(value & opt int 16 & info [ "clients" ] ~doc)
+
+let server_cmd =
+  cmd "server"
+    "Multi-session server: group-commit durable throughput vs a single \
+     fsync'd session."
+    Term.(
+      const (fun commits clients json -> server_bench ?json ~commits ~clients ())
+      $ server_commits_arg $ server_clients_arg $ server_json_arg)
+
 let run_everything ratio sfs batches reps seed =
   table1 ~ratio ~sfs ~seed;
   fig1a ~ratio ~sfs ~reps ~seed;
@@ -1081,6 +1276,7 @@ let run_everything ratio sfs batches reps seed =
   baselines_bench ~ratio ~sfs ~reps ~seed;
   pairs_bench ~ratio ~sources:512 ~seed ();
   wal_bench ~rows:25000 ();
+  server_bench ~commits:800 ~clients:16 ();
   micro ~ratio ~seed ()
 
 let all_cmd =
@@ -1109,5 +1305,5 @@ let () =
             ablation_heap_cmd; ablation_rewrite_cmd; ablation_csr_cmd;
             ablation_index_cmd; ablation_dict_cmd; ablation_parallel_cmd;
             ablation_vectorized_cmd; baselines_cmd; pairs_cmd; wal_cmd;
-            micro_cmd; all_cmd;
+            server_cmd; micro_cmd; all_cmd;
           ]))

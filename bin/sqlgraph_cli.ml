@@ -4,6 +4,10 @@
      repl              interactive SQL shell (statements end with ';')
      run FILE          execute a ';'-separated SQL script
      demo              load a small synthetic social network and open a repl
+     serve             multi-session server over a Unix socket and/or TCP
+                       (snapshot-isolated reads, group-committed writes,
+                       admission control; SIGTERM/SIGINT drain gracefully)
+     client            line-protocol client for a running serve instance
 
    Resource limits (all optional; a statement that exhausts one fails
    with "resource error: ..." and the session keeps running):
@@ -17,6 +21,14 @@
                        log every committed DML statement
      --no-fsync        keep logging but skip fsync (throughput mode;
                        crash safety then depends on the OS page cache)
+     --readonly        open --data-dir for inspection only: recover, then
+                       refuse every DML/DDL statement and never write the
+                       WAL — safe to point at a directory another process
+                       is serving from
+
+   Interrupts: in the repl, Ctrl-C cancels the statement in flight via
+   the governor's cooperative checkpoints (the statement fails with a
+   resource error, the session survives); Ctrl-C at the prompt exits.
 
    Observability:
      --json-metrics F         dump the last statement's execution counters
@@ -115,6 +127,23 @@ let close_store () =
 
 let current_budget () =
   Sqlgraph.Governor.budget ?timeout_ms:!timeout_ms ?max_rows:!max_rows ()
+
+(* Ctrl-C: cancel the in-flight statement's governor — the statement
+   unwinds at its next cooperative checkpoint with a resource error and
+   the session survives.  With no statement running (at the prompt, or
+   after a first Ctrl-C already cancelled one) SIGINT exits.  The
+   handler only flips the token; Governor.cancel is documented safe
+   from a signal handler. *)
+let current_gov : Sqlgraph.Governor.t option ref = ref None
+
+let install_repl_sigint () =
+  if Sys.os_type = "Unix" then
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle
+         (fun _ ->
+           match !current_gov with
+           | Some g -> Sqlgraph.Governor.cancel g
+           | None -> exit 130))
 
 let metrics_doc db =
   Sqlgraph.Metrics.Obj
@@ -274,7 +303,10 @@ let print_stats db =
 
 let execute db sql =
   let t0 = Unix.gettimeofday () in
-  let result = Sqlgraph.Db.exec db ~budget:(current_budget ()) sql in
+  let gov = Sqlgraph.Governor.start (current_budget ()) in
+  current_gov := Some gov;
+  let result = Sqlgraph.Db.exec db ~governor:gov sql in
+  current_gov := None;
   let dt = Unix.gettimeofday () -. t0 in
   (match result with
   | Ok outcome -> print_outcome outcome
@@ -356,8 +388,18 @@ let set_max_rows raw =
 
 (* Read statements terminated by ';' (possibly spanning lines). [db] is a
    ref so \load can swap in a freshly loaded database. *)
+(* A Ctrl-C mid-read interrupts the blocking read; after the handler
+   runs the line read must resume, not kill the repl. *)
+let rec input_line_retry ic =
+  match In_channel.input_line ic with
+  | l -> l
+  | exception Sys_error msg
+    when Astring.String.is_infix ~affix:"Interrupted" msg ->
+    input_line_retry ic
+
 let repl db =
   let db = ref db in
+  install_repl_sigint ();
   print_endline
     "sqlgraph shell - SQL with REACHES / CHEAPEST SUM / UNNEST.";
   print_endline "End statements with ';'.  \\e SQL; explains.  \\q quits.";
@@ -365,7 +407,7 @@ let repl db =
   let rec prompt () =
     print_string (if Buffer.length buf = 0 then "sql> " else "...> ");
     flush stdout;
-    match In_channel.input_line stdin with
+    match input_line_retry stdin with
     | None -> print_newline ()
     | Some line ->
       let trimmed = String.trim line in
@@ -512,12 +554,16 @@ let apply_limits t r j (ja, mo, tr, sq, sl) =
    --data-dir.  A durable session recovers on open: checkpoint load plus
    WAL replay, reporting a torn tail (bytes truncated) when the previous
    process died mid-record. *)
-let make_db ?(data_dir = None) ?(no_fsync = false) d sq =
+let make_db ?(data_dir = None) ?(no_fsync = false) ?(readonly = false) d sq =
+  if readonly && data_dir = None then begin
+    Printf.eprintf "error: --readonly needs --data-dir DIR\n";
+    exit 2
+  end;
   let db =
     match data_dir with
     | None -> Sqlgraph.Db.create ()
     | Some dir -> (
-      match Sqlgraph.Wal.open_dir ~fsync:(not no_fsync) dir with
+      match Sqlgraph.Wal.open_dir ~fsync:(not no_fsync) ~readonly dir with
       | Error e ->
         Printf.eprintf "error: cannot open data directory %s: %s\n" dir
           (Sqlgraph.Error.to_string e);
@@ -651,15 +697,26 @@ let obs_args =
     $ json_metrics_append_arg $ metrics_out_arg $ trace_out_arg
     $ slow_query_ms_arg $ slow_query_log_arg)
 
+let readonly_arg =
+  Arg.(
+    value & flag
+    & info [ "readonly" ]
+        ~doc:
+          "With $(b,--data-dir): open the directory for inspection only — \
+           recover (checkpoint + WAL replay), then refuse every DML/DDL \
+           statement and never write the WAL or CURRENT pointer. Safe to \
+           point at a directory another process is actively serving from.")
+
 (* Durability flags, same pattern. *)
 let dur_args =
   Term.(
-    const (fun dd nf -> (dd, nf)) $ data_dir_arg $ no_fsync_arg)
+    const (fun dd nf ro -> (dd, nf, ro))
+    $ data_dir_arg $ no_fsync_arg $ readonly_arg)
 
-let repl_main t r d j obs (dd, nf) =
+let repl_main t r d j obs (dd, nf, ro) =
   apply_limits t r j obs;
   let _, _, _, sq, _ = obs in
-  repl (make_db ~data_dir:dd ~no_fsync:nf d sq)
+  repl (make_db ~data_dir:dd ~no_fsync:nf ~readonly:ro d sq)
 
 let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL shell.")
@@ -673,10 +730,10 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script file.")
     Term.(
-      const (fun t r d j obs (dd, nf) f ->
+      const (fun t r d j obs (dd, nf, ro) f ->
           apply_limits t r j obs;
           let _, _, _, sq, _ = obs in
-          run_file (make_db ~data_dir:dd ~no_fsync:nf d sq) f)
+          run_file (make_db ~data_dir:dd ~no_fsync:nf ~readonly:ro d sq) f)
       $ timeout_arg $ max_rows_arg $ domains_arg $ json_metrics_arg
       $ obs_args $ dur_args $ file)
 
@@ -685,16 +742,182 @@ let demo_cmd =
     (Cmd.info "demo"
        ~doc:"Open a shell with a synthetic social network preloaded.")
     Term.(
-      const (fun t r d j obs (dd, nf) ->
+      const (fun t r d j obs (dd, nf, ro) ->
           apply_limits t r j obs;
           let _, _, _, sq, _ = obs in
-          let db = make_db ~data_dir:dd ~no_fsync:nf d sq in
+          let db = make_db ~data_dir:dd ~no_fsync:nf ~readonly:ro d sq in
           load_demo db;
           (* capture the bulk-loaded demo tables before the first DML *)
           checkpoint_if_durable db ~why:"demo load";
           repl db)
       $ timeout_arg $ max_rows_arg $ domains_arg $ json_metrics_arg
       $ obs_args $ dur_args)
+
+(* --- serve: the multi-session server ------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Serve a Unix-domain socket at PATH.")
+
+let host_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "host" ] ~docv:"ADDR"
+        ~doc:"Bind address for $(b,--port) (default loopback).")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"N" ~doc:"Serve TCP on port N (0 = ephemeral).")
+
+let max_sessions_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "max-sessions" ] ~docv:"N"
+        ~doc:"Session cap; further connections are refused with ERR busy.")
+
+let idle_timeout_arg =
+  Arg.(
+    value & opt int 30_000
+    & info [ "idle-timeout-ms" ] ~docv:"MS"
+        ~doc:"Close sessions idle longer than MS milliseconds.")
+
+let serve_main t r d obs (dd, nf, ro) socket host port max_sessions idle_ms =
+  apply_limits t r None obs;
+  let _, _, _, sq, _ = obs in
+  if socket = None && port = None then begin
+    Printf.eprintf "error: serve needs --socket PATH and/or --port N\n";
+    exit 2
+  end;
+  let db = make_db ~data_dir:dd ~no_fsync:nf ~readonly:ro d sq in
+  (* a read-only server never writes, so it gets no store: group commit
+     and the shutdown checkpoint would be refused by the WAL anyway *)
+  let store = if ro then None else !data_store in
+  let config =
+    {
+      Sqlgraph_server.Scheduler.default_config with
+      max_sessions;
+      idle_timeout_ms = idle_ms;
+      budget = current_budget ();
+    }
+  in
+  let srv = Sqlgraph_server.Server.create ~config ~db ~store () in
+  (match socket with
+  | Some path ->
+    Sqlgraph_server.Server.listen_unix srv path;
+    Printf.printf "listening on unix:%s\n%!" path
+  | None -> ());
+  (match port with
+  | Some p -> (
+    Sqlgraph_server.Server.listen_tcp srv host p;
+    match Sqlgraph_server.Server.bound_port srv with
+    | Some bp ->
+      Printf.printf "listening on %s:%d\n%!"
+        (if host = "" then "127.0.0.1" else host)
+        bp
+    | None -> ())
+  | None -> ());
+  (* SIGTERM / first SIGINT: graceful drain (flag checked by the main
+     loop).  A second signal force-exits a wedged drain. *)
+  let stop_signals = ref 0 in
+  let on_signal _ =
+    incr stop_signals;
+    if !stop_signals > 1 then exit 130
+  in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  while !stop_signals = 0 do
+    Unix.sleepf 0.1
+  done;
+  print_endline "shutting down: draining sessions...";
+  Sqlgraph_server.Server.shutdown srv;
+  write_prometheus db;
+  close_store ();
+  dump_trace ();
+  print_endline "bye"
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the database to many concurrent sessions (snapshot-isolated \
+          reads, group-committed writes, admission control).")
+    Term.(
+      const serve_main $ timeout_arg $ max_rows_arg $ domains_arg $ obs_args
+      $ dur_args $ socket_arg $ host_arg $ port_arg $ max_sessions_arg
+      $ idle_timeout_arg)
+
+(* --- client: line-protocol client for serve ------------------------ *)
+
+let client_main socket host port exec_sql =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  let conn () =
+    match (socket, port) with
+    | Some path, _ -> Sqlgraph_server.Client.connect_unix path
+    | None, Some p ->
+      Sqlgraph_server.Client.connect_tcp (if host = "" then "127.0.0.1" else host) p
+    | None, None ->
+      Printf.eprintf "error: client needs --socket PATH or --port N\n";
+      exit 2
+  in
+  match conn () with
+  | exception e ->
+    Printf.eprintf "error: cannot connect: %s\n" (Printexc.to_string e);
+    exit 2
+  | c ->
+    let failed = ref false in
+    let round sql =
+      match Sqlgraph_server.Client.request c sql with
+      | lines ->
+        List.iter print_endline lines;
+        let terminal = Sqlgraph_server.Client.terminal lines in
+        if not (Sqlgraph_server.Client.is_ok lines) then failed := true;
+        (* BYE means the server is done with us *)
+        String.length terminal >= 3 && String.sub terminal 0 3 = "BYE"
+      | exception Sqlgraph_server.Client.Closed msg ->
+        Printf.eprintf "error: %s\n" msg;
+        Sqlgraph_server.Client.close c;
+        exit 2
+    in
+    print_endline (Sqlgraph_server.Client.hello c);
+    (match exec_sql with
+    | Some script ->
+      let stmts =
+        String.split_on_char ';' script
+        |> List.map String.trim
+        |> List.filter (( <> ) "")
+      in
+      ignore (List.exists round stmts)
+    | None ->
+      (* pipe mode: one statement per stdin line *)
+      let rec go () =
+        match In_channel.input_line stdin with
+        | None -> ()
+        | Some line when String.trim line = "" -> go ()
+        | Some line -> if round line then () else go ()
+      in
+      go ());
+    Sqlgraph_server.Client.close c;
+    exit (if !failed then 1 else 0)
+
+let client_cmd =
+  let exec_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "e"; "execute" ] ~docv:"SQL"
+          ~doc:
+            "Execute a ';'-separated statement list and exit (otherwise \
+             statements are read from stdin, one per line). Exit status: 0 \
+             all OK, 1 a statement failed, 2 connection error.")
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc:"Connect to a running $(b,sqlgraph serve).")
+    Term.(const client_main $ socket_arg $ host_arg $ port_arg $ exec_arg)
 
 let () =
   Sqlgraph.Fault.arm_from_env ();
@@ -707,4 +930,7 @@ let () =
       const repl_main $ timeout_arg $ max_rows_arg $ domains_arg
       $ json_metrics_arg $ obs_args $ dur_args)
   in
-  exit (Cmd.eval (Cmd.group ~default info [ repl_cmd; run_cmd; demo_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ repl_cmd; run_cmd; demo_cmd; serve_cmd; client_cmd ]))

@@ -302,4 +302,118 @@ done
 }
 echo "   wal --no-fsync overhead: $wal_pct%"
 
-echo "OK: build, tests, fault-injection, EXPLAIN ANALYZE, batched traversal, bench, telemetry and durability smokes all passed"
+echo "== server: 8 concurrent clients, kill -9 mid-burst, recover, SIGTERM drain"
+sdir=$(mktemp -d /tmp/sqlgraph_check_sd_XXXXXX)
+ackdir=$(mktemp -d /tmp/sqlgraph_check_ack_XXXXXX)
+sock="$sdir/server.sock"
+srv_log=$(mktemp /tmp/sqlgraph_check_XXXXXX.srvlog)
+trap 'rm -f "$script" "$out" "$ea_script" "$metrics" "$ms_script" "$obs_script" "$prom" "$slowlog" "$ack" "$srv_log" BENCH_smoke.json BENCH_pairs_smoke.json TRACE_smoke.json BENCH_wal_smoke.json BENCH_server_smoke.json; rm -rf "$ddir" "$sdir" "$ackdir"' EXIT
+"$cli" serve --socket "$sock" --data-dir "$sdir" > "$srv_log" 2>&1 &
+srv_pid=$!
+i=0
+while [ "$i" -lt 100 ] && [ ! -S "$sock" ]; do sleep 0.1; i=$((i + 1)); done
+[ -S "$sock" ] || {
+  echo "FAIL: server did not create $sock:"
+  cat "$srv_log"
+  exit 1
+}
+"$cli" client --socket "$sock" \
+    -e "CREATE TABLE t (c INTEGER, v INTEGER)" > /dev/null 2>&1 || {
+  echo "FAIL: client could not create table over the socket"
+  cat "$srv_log"
+  exit 1
+}
+# Eight concurrent sessions stream INSERTs; the server is kill -9'd
+# mid-burst.  Every acknowledged INSERT must survive recovery.
+for c in 1 2 3 4 5 6 7 8; do
+  {
+    i=0
+    while [ "$i" -lt 2000 ]; do
+      echo "INSERT INTO t VALUES ($c, $i)"
+      i=$((i + 1))
+    done
+  } | "$cli" client --socket "$sock" > "$ackdir/c$c" 2>&1 &
+done
+sleep 0.6
+kill -9 "$srv_pid" 2>/dev/null || true
+wait "$srv_pid" 2>/dev/null || true
+wait  # the clients exit once the connection drops
+acked=$(cat "$ackdir"/c* | grep -c "^OK INSERT" || true)
+[ "$acked" -ge 8 ] || {
+  echo "FAIL: kill -9 landed before the burst started ($acked acks); server log:"
+  cat "$srv_log"
+  exit 1
+}
+# Restart on the same data dir: recovery replays the WAL.  kill -9 left
+# a stale socket file behind; drop it so the readiness probe below only
+# fires once the new server has bound.
+rm -f "$sock"
+"$cli" serve --socket "$sock" --data-dir "$sdir" > "$srv_log" 2>&1 &
+srv_pid=$!
+i=0
+while [ "$i" -lt 100 ] && [ ! -S "$sock" ]; do sleep 0.1; i=$((i + 1)); done
+[ -S "$sock" ] || {
+  echo "FAIL: restarted server did not create $sock:"
+  cat "$srv_log"
+  exit 1
+}
+"$cli" client --socket "$sock" -e "SELECT COUNT(*) FROM t" > "$out" 2>&1 || {
+  echo "FAIL: post-recovery client query failed:"
+  cat "$out"; cat "$srv_log"
+  exit 1
+}
+recovered=$(sed -n 's/^ROW \([0-9][0-9]*\)$/\1/p' "$out" | head -1)
+[ -n "$recovered" ] || {
+  echo "FAIL: post-recovery COUNT produced no number:"
+  cat "$out"
+  exit 1
+}
+# Acked commits must all survive; unacked in-flight ones may or may not
+# (one per session at most).
+[ "$recovered" -ge "$acked" ] && [ "$recovered" -le $((acked + 8)) ] || {
+  echo "FAIL: clients saw $acked INSERT acks but recovery has $recovered rows"
+  exit 1
+}
+echo "   $acked acknowledged inserts across 8 sessions, recovered $recovered rows"
+# SIGTERM must drain and exit cleanly.
+kill -TERM "$srv_pid"
+srv_rc=0
+wait "$srv_pid" || srv_rc=$?
+[ "$srv_rc" = 0 ] && grep -q "bye" "$srv_log" || {
+  echo "FAIL: SIGTERM shutdown was not clean (rc=$srv_rc):"
+  cat "$srv_log"
+  exit 1
+}
+
+echo "== bench server --json smoke (group commit >= 5x single-session fsync)"
+# Durable-throughput gate; fsync timing is noisy on shared machines, so
+# allow up to 3 attempts before declaring a regression.
+srv_ok=0
+for attempt in 1 2 3; do
+  dune exec bench/main.exe -- server --commits 800 \
+      --json BENCH_server_smoke.json > "$out" 2>&1
+  grep -q '"schema": "sqlgraph-bench-v1"' BENCH_server_smoke.json || {
+    echo "FAIL: bench server --json did not emit sqlgraph-bench-v1"
+    cat "$out"
+    exit 1
+  }
+  srv_x=$(sed -n 's/.*"group_vs_single_x": \([0-9.eE+-]*\).*/\1/p' \
+      BENCH_server_smoke.json | head -1)
+  [ -n "$srv_x" ] || {
+    echo "FAIL: BENCH_server_smoke.json has no group_vs_single_x"
+    cat BENCH_server_smoke.json
+    exit 1
+  }
+  if awk "BEGIN { exit !($srv_x >= 5.0) }"; then
+    srv_ok=1
+    break
+  fi
+  echo "   attempt $attempt: group-commit speedup ${srv_x}x < 5x, retrying"
+done
+[ "$srv_ok" = 1 ] || {
+  echo "FAIL: group-commit speedup ${srv_x}x < 5x on 3 attempts"
+  exit 1
+}
+echo "   group-commit speedup: ${srv_x}x"
+
+echo "OK: build, tests, fault-injection, EXPLAIN ANALYZE, batched traversal, bench, telemetry, durability and server smokes all passed"

@@ -37,6 +37,9 @@ type t = {
          only stores the threshold — the CLI owns the log file. *)
   mutable durability : durability option;
       (* WAL hooks; None = plain in-memory session *)
+  mutable readonly : bool;
+      (* inspection mode (--readonly): every catalog-mutating statement
+         is refused before it applies *)
 }
 
 let create () =
@@ -49,6 +52,7 @@ let create () =
     registry = Telemetry.Registry.create ();
     slow_query_ms = None;
     durability = None;
+    readonly = false;
   }
 
 let catalog t = t.catalog
@@ -60,6 +64,8 @@ let set_parallelism t n = t.parallelism <- max 1 n
 let registry t = t.registry
 let slow_query_ms t = t.slow_query_ms
 let set_slow_query_ms t v = t.slow_query_ms <- Option.map (max 0) v
+let readonly t = t.readonly
+let set_readonly t b = t.readonly <- b
 
 type exec_outcome =
   | Created
@@ -492,6 +498,13 @@ let mutates_catalog = function
      BEGIN snapshot and surface the error; memory and log again agree.
    - ROLLBACK: discard the buffer. *)
 let exec_stmt t ~sql ~params ~optimize ~gov stmt =
+  (* read-only sessions refuse mutation *before* anything applies — a
+     hook-based refusal would be too late inside a transaction, where
+     [dur_buffer] only runs after the statement has mutated the catalog *)
+  if t.readonly && mutates_catalog stmt then
+    raise
+      (Relalg.Scalar.Runtime_error
+         "read-only session: DML/DDL refused (opened with --readonly)");
   match t.durability with
   | None -> exec_stmt_mem t ~params ~optimize ~gov stmt
   | Some d ->
@@ -598,10 +611,13 @@ let observe_stmt t f =
   absorb_stats t ~dt ~failed ~delta;
   r
 
-let exec t ?(params = [||]) ?(budget = Governor.no_limits) sql =
+let exec t ?(params = [||]) ?(budget = Governor.no_limits) ?governor sql =
+  (* [?governor] lets a caller hold the governor while the statement
+     runs — the CLI's SIGINT handler cancels it cooperatively, the
+     server cancels it on shutdown — instead of the per-call default. *)
+  let gov = match governor with Some g -> g | None -> Governor.start budget in
   observe_stmt t (fun () ->
-      exec_stmt t ~sql ~params ~optimize:Relalg.Rewriter.default_options
-        ~gov:(Governor.start budget)
+      exec_stmt t ~sql ~params ~optimize:Relalg.Rewriter.default_options ~gov
         (Telemetry.Trace.span "parse" (fun () -> Sql.Parser.parse_stmt sql)))
 
 let exec_exn t ?params ?budget sql =

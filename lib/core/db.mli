@@ -45,15 +45,19 @@ type exec_outcome =
   | Committed  (** COMMIT: snapshot discarded *)
   | Rolled_back  (** ROLLBACK: tables restored, graph caches cleared *)
 
-(** [exec db ?params ?budget sql] — run any single statement under a
-    fresh {!Governor} built from [budget] (default {!Governor.no_limits}).
-    Budget exhaustion, cancellation and injected faults surface as
-    [Error.Resource_error]; the session — and any open transaction
-    snapshot — survives. *)
+(** [exec db ?params ?budget ?governor sql] — run any single statement
+    under a fresh {!Governor} built from [budget] (default
+    {!Governor.no_limits}).  Budget exhaustion, cancellation and
+    injected faults surface as [Error.Resource_error]; the session — and
+    any open transaction snapshot — survives.  Pass [?governor] to keep
+    a handle on the statement's governor while it runs (the CLI's SIGINT
+    handler and the server's shutdown path call {!Governor.cancel} on it
+    from another thread); it overrides [budget]. *)
 val exec :
   t ->
   ?params:Storage.Value.t array ->
   ?budget:Governor.budget ->
+  ?governor:Governor.t ->
   string ->
   (exec_outcome, Error.t) result
 
@@ -158,6 +162,15 @@ val registry : t -> Telemetry.Registry.t
 
 val slow_query_ms : t -> int option
 val set_slow_query_ms : t -> int option -> unit
+
+(** Read-only (inspection) mode: when set, every catalog-mutating
+    statement (INSERT/UPDATE/DELETE/CREATE/DROP) is refused with a
+    runtime error {e before} it applies — even inside an open
+    transaction.  Set by {!Wal.open_dir} [~readonly:true] and by the
+    CLI's [--readonly] flag. *)
+
+val readonly : t -> bool
+val set_readonly : t -> bool -> unit
 
 (** Durability hooks (installed by {!Wal.attach}; [None] = plain
     in-memory session).  The Db drives them around catalog-mutating

@@ -24,7 +24,11 @@ type spec =
   | At_site of string
       (** raise at the first checkpoint of the named site: "interp",
           "bfs", "dijkstra", "all_paths", "rec_cte", "wal_append",
-          "wal_fsync", "wal_truncate", "wal_torn", "checkpoint", ... *)
+          "wal_fsync", "wal_truncate", "wal_torn", "checkpoint", and the
+          server's sites "accept" (connection dropped at admission),
+          "session_read" (connection dies mid-read), "group_fsync" (the
+          shared group-commit fsync fails) and "shutdown_drain" (crash
+          between drain and the final checkpoint), ... *)
   | At_site_after of { site : string; after : int }
       (** raise at the [after]-th checkpoint of the named site — only
           hits of that site count ([site=S,after=N] in the env var) *)

@@ -94,15 +94,55 @@ let push st v =
   st.buf.(st.len) <- v;
   st.len <- st.len + 1
 
-let track_id () = (Domain.self () :> int)
+(* Multi-threaded sessions (the server runs one systhread per client,
+   all in one domain) register a per-thread track: their own timeline id
+   and their own span stack, so interleaved statements from different
+   sessions cannot corrupt each other's nesting.  Keyed by [Thread.id];
+   the registration table is only consulted when non-empty, so
+   single-threaded sessions pay one atomic load on top of the DLS
+   lookup. *)
+type ctx = { ctx_track : int; ctx_stack : stack }
 
-let record kind ~name ~sp ~parent ~attrs =
+let thread_ctxs : (int, ctx) Hashtbl.t = Hashtbl.create 8
+let thread_ctxs_mu = Mutex.create ()
+let have_thread_ctxs = Atomic.make false
+
+let register_thread_track track =
+  let key = Thread.id (Thread.self ()) in
+  Mutex.lock thread_ctxs_mu;
+  Hashtbl.replace thread_ctxs key
+    { ctx_track = track; ctx_stack = { buf = Array.make 32 (-1); len = 0 } };
+  Atomic.set have_thread_ctxs true;
+  Mutex.unlock thread_ctxs_mu
+
+let unregister_thread_track () =
+  let key = Thread.id (Thread.self ()) in
+  Mutex.lock thread_ctxs_mu;
+  Hashtbl.remove thread_ctxs key;
+  if Hashtbl.length thread_ctxs = 0 then Atomic.set have_thread_ctxs false;
+  Mutex.unlock thread_ctxs_mu
+
+let current_ctx () =
+  if Atomic.get have_thread_ctxs then begin
+    let key = Thread.id (Thread.self ()) in
+    Mutex.lock thread_ctxs_mu;
+    let c = Hashtbl.find_opt thread_ctxs key in
+    Mutex.unlock thread_ctxs_mu;
+    match c with
+    | Some c -> c
+    | None ->
+      { ctx_track = (Domain.self () :> int); ctx_stack = Domain.DLS.get stack_key }
+  end
+  else
+    { ctx_track = (Domain.self () :> int); ctx_stack = Domain.DLS.get stack_key }
+
+let record kind ~track ~name ~sp ~parent ~attrs =
   let r = !ring in
   let i = Atomic.fetch_and_add head 1 in
   let s = i mod r.cap in
   r.ts.(s) <- now ();
   r.kind.(s) <- kind;
-  r.track.(s) <- track_id ();
+  r.track.(s) <- track;
   r.span.(s) <- sp;
   r.parent.(s) <- parent;
   r.query.(s) <- Atomic.get cur_query;
@@ -112,7 +152,8 @@ let record kind ~name ~sp ~parent ~attrs =
 let begin_span ?parent ?(attrs = []) name =
   if not (Atomic.get on) then -1
   else begin
-    let st = Domain.DLS.get stack_key in
+    let c = current_ctx () in
+    let st = c.ctx_stack in
     let parent =
       match parent with
       | Some p -> p
@@ -120,37 +161,40 @@ let begin_span ?parent ?(attrs = []) name =
     in
     let sp = 1 + Atomic.fetch_and_add span_ctr 1 in
     push st sp;
-    record k_begin ~name ~sp ~parent ~attrs;
+    record k_begin ~track:c.ctx_track ~name ~sp ~parent ~attrs;
     sp
   end
 
 let end_span ?(attrs = []) sp =
   if sp >= 0 && Atomic.get on then begin
-    let st = Domain.DLS.get stack_key in
-    (* Find [sp] on this domain's stack; close any children above it
+    let c = current_ctx () in
+    let st = c.ctx_stack in
+    let track = c.ctx_track in
+    (* Find [sp] on this track's stack; close any children above it
        first so an exceptional unwind cannot leave the track skewed. *)
     let pos = ref (-1) in
     for i = st.len - 1 downto 0 do
       if !pos < 0 && st.buf.(i) = sp then pos := i
     done;
     if !pos < 0 then
-      (* Not opened on this domain (or stack already unwound): record
+      (* Not opened on this track (or stack already unwound): record
          the end anyway so the pair completes. *)
-      record k_end ~name:"" ~sp ~parent:(-1) ~attrs
+      record k_end ~track ~name:"" ~sp ~parent:(-1) ~attrs
     else begin
       for i = st.len - 1 downto !pos + 1 do
-        record k_end ~name:"" ~sp:st.buf.(i) ~parent:(-1) ~attrs:[]
+        record k_end ~track ~name:"" ~sp:st.buf.(i) ~parent:(-1) ~attrs:[]
       done;
       st.len <- !pos;
-      record k_end ~name:"" ~sp ~parent:(-1) ~attrs
+      record k_end ~track ~name:"" ~sp ~parent:(-1) ~attrs
     end
   end
 
 let instant ?(attrs = []) name =
   if Atomic.get on then begin
-    let st = Domain.DLS.get stack_key in
+    let c = current_ctx () in
+    let st = c.ctx_stack in
     let parent = if st.len = 0 then -1 else st.buf.(st.len - 1) in
-    record k_instant ~name ~sp:(-1) ~parent ~attrs
+    record k_instant ~track:c.ctx_track ~name ~sp:(-1) ~parent ~attrs
   end
 
 let span ?attrs name f =
@@ -161,7 +205,7 @@ let span ?attrs name f =
   end
 
 let current_span () =
-  let st = Domain.DLS.get stack_key in
+  let st = (current_ctx ()).ctx_stack in
   if st.len = 0 then -1 else st.buf.(st.len - 1)
 
 type kind = Begin | End | Instant

@@ -84,6 +84,24 @@ val current_span : unit -> int
 (** Innermost open span id on the calling domain, [-1] if none.
     Capture this before [Domain.spawn] to parent the child's root. *)
 
+(** {1 Per-thread tracks}
+
+    Span nesting defaults to one stack per {e domain}, but the server
+    runs one {e systhread} per client session, all inside one domain —
+    their interleaved statements would corrupt a shared stack.  A
+    session thread therefore registers its own track: a private timeline
+    id plus a private span stack, keyed by [Thread.id].  Unregistered
+    threads keep the domain-local behaviour; the registration table is
+    only consulted while at least one thread is registered. *)
+
+val register_thread_track : int -> unit
+(** [register_thread_track id] — give the calling thread its own span
+    stack and stamp its events with track [id] (the server uses the
+    session id, so exported traces show one timeline per session). *)
+
+val unregister_thread_track : unit -> unit
+(** Drop the calling thread's registration (idempotent). *)
+
 (** {1 Inspection and export} *)
 
 type kind = Begin | End | Instant

@@ -341,6 +341,14 @@ type t = {
   mutable poisoned : string option;
   mutable registry : Reg.t option;
   mutable closed : bool;
+  mutable deferred : bool;
+      (* group-commit mode (the server): per-statement [do_sync] is
+         suppressed — a group-commit leader later calls [flush_now] +
+         [fsync_now] once for a whole batch and acknowledgements wait
+         for that shared fsync *)
+  readonly : bool;
+      (* inspection mode: recovery ran in-memory only — no CURRENT
+         rewrite, no tail truncation, no appends ever *)
   stats : counters;
   synced : counters;
 }
@@ -356,6 +364,7 @@ type recovery = {
 
 let dir t = t.dir
 let gen t = t.gen
+let readonly t = t.readonly
 let current_file dir = Filename.concat dir "CURRENT"
 let wal_file dir g = Filename.concat dir (Printf.sprintf "wal-%06d.log" g)
 let ckpt_dir dir g = Filename.concat dir (Printf.sprintf "checkpoint-%06d" g)
@@ -390,6 +399,8 @@ let sync_registry t =
 
 let check_usable t =
   if t.closed then raise (Sys_error "wal: store is closed");
+  if t.readonly then
+    raise (Sys_error "wal: store is open read-only (inspection mode)");
   match t.poisoned with
   | Some why ->
     raise
@@ -400,11 +411,21 @@ let check_usable t =
             why))
   | None -> ()
 
+(* A signal landing mid-write makes [Unix.write] raise [EINTR] (nothing
+   written) or return short (partially written); both used to abort the
+   append and leave a torn frame for recovery-time truncation to clean
+   up.  Treat EINTR as a zero-byte write and stay in the short-write
+   loop — the SIGINT cancellation handler makes interrupts routine. *)
+let write_retry op =
+  match op () with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+
 let write_all fd s =
   let n = String.length s in
   let w = ref 0 in
   while !w < n do
-    w := !w + Unix.write_substring fd s !w (n - !w)
+    w := !w + write_retry (fun () -> Unix.write_substring fd s !w (n - !w))
   done
 
 (* Write the buffered tail out.  On a partial write the unwritten suffix
@@ -417,7 +438,7 @@ let flush t =
     let w = ref 0 in
     (try
        while !w < n do
-         w := !w + Unix.write t.fd a.a_data !w (n - !w)
+         w := !w + write_retry (fun () -> Unix.write t.fd a.a_data !w (n - !w))
        done
      with e ->
        t.offset <- t.offset + !w;
@@ -490,11 +511,34 @@ let append_payload t ~kind ~sql ~params =
   t.stats.c_bytes <- t.stats.c_bytes + plen + frame_overhead
 
 let do_sync t =
-  if t.do_fsync then begin
+  if t.do_fsync && not t.deferred then begin
     Fault.hit ~site:"wal_fsync";
     Trace.span "wal_fsync" (fun () ->
         flush t;
         Unix.fsync t.fd);
+    t.stats.c_fsyncs <- t.stats.c_fsyncs + 1;
+    sync_registry t
+  end
+
+(* Group-commit support (lib/server).  In deferred mode the per-statement
+   fsync above is a no-op; instead a group-commit leader (holding the
+   server's writer lock) calls [flush_now] to push every session's
+   buffered appends to the fd, releases the lock, and calls [fsync_now]
+   once for the whole batch — one fsync acknowledges many commits.
+   [fsync_now] deliberately holds no lock: the flush target was captured
+   under the lock, and O_APPEND writes landing after it are simply
+   carried by the next group's fsync. *)
+let set_deferred_sync t b = t.deferred <- b
+
+let flush_now t =
+  check_usable t;
+  flush t
+
+let fsync_now t =
+  check_usable t;
+  Fault.hit ~site:"group_fsync";
+  if t.do_fsync then begin
+    Trace.span "group_fsync" (fun () -> Unix.fsync t.fd);
     t.stats.c_fsyncs <- t.stats.c_fsyncs + 1;
     sync_registry t
   end
@@ -684,10 +728,12 @@ let replay db records =
     records;
   (!replayed, !skipped)
 
-let open_dir ?(fsync = true) dir =
+let open_dir ?(fsync = true) ?(readonly = false) dir =
   Db.protect (fun () ->
       Trace.span "wal_replay" (fun () ->
-          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          if not (Sys.file_exists dir) then
+            if readonly then raise (Sys_error (dir ^ ": no such data directory"))
+            else Sys.mkdir dir 0o755;
           if not (Sys.is_directory dir) then
             raise (Sys_error (dir ^ ": not a directory"));
           let gen =
@@ -700,7 +746,7 @@ let open_dir ?(fsync = true) dir =
               (* crashed during first-time initialisation, before CURRENT
                  was written: generation 0 is fully described by its log *)
               0
-            else if Array.length (Sys.readdir dir) = 0 then begin
+            else if (not readonly) && Array.length (Sys.readdir dir) = 0 then begin
               (* fresh directory: initialise generation 0 *)
               let fd = create_wal_file ~do_fsync:fsync dir 0 in
               (try Unix.close fd with _ -> ());
@@ -710,11 +756,18 @@ let open_dir ?(fsync = true) dir =
               raise
                 (Sys_error
                    (dir
-                  ^ ": not a sqlgraph data directory (non-empty, no CURRENT \
-                     pointer)"))
+                  ^ ": not a sqlgraph data directory ("
+                  ^ (if readonly then "empty or " else "non-empty, ")
+                  ^ "no CURRENT pointer)"))
           in
-          write_file_atomic (current_file dir) (string_of_int gen);
-          gc_stale dir ~keep:gen;
+          (* A read-only open recovers purely in memory: the directory is
+             never written (no pointer rewrite, no stale-generation GC,
+             no tail truncation), so a live writer process is undisturbed
+             and the inspection session can never mask a torn tail. *)
+          if not readonly then begin
+            write_file_atomic (current_file dir) (string_of_int gen);
+            gc_stale dir ~keep:gen
+          end;
           (* base state: latest checkpoint, or empty at generation 0 *)
           let db =
             if gen = 0 then Db.create ()
@@ -727,6 +780,7 @@ let open_dir ?(fsync = true) dir =
           (* scan + replay the live log, truncating the corrupt tail *)
           let path = wal_file dir gen in
           if not (Sys.file_exists path) then begin
+            if readonly then raise (Sys_error (path ^ ": missing WAL file"));
             let fd = create_wal_file ~do_fsync:fsync dir gen in
             try Unix.close fd with _ -> ()
           end;
@@ -737,7 +791,7 @@ let open_dir ?(fsync = true) dir =
           then raise (Sys_error (path ^ ": bad WAL magic"));
           let records, valid_end = scan text in
           let truncated = String.length text - valid_end in
-          if truncated > 0 then begin
+          if truncated > 0 && not readonly then begin
             Fault.hit ~site:"wal_truncate";
             let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
             Fun.protect
@@ -747,11 +801,14 @@ let open_dir ?(fsync = true) dir =
                 if fsync then Unix.fsync fd)
           end;
           let replayed, skipped = replay db records in
-          let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0 in
+          let fd =
+            if readonly then Unix.openfile path [ Unix.O_RDONLY ] 0
+            else Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0
+          in
           let t =
             {
               dir;
-              do_fsync = fsync;
+              do_fsync = fsync && not readonly;
               gen;
               fd;
               offset = valid_end;
@@ -761,13 +818,15 @@ let open_dir ?(fsync = true) dir =
               poisoned = None;
               registry = None;
               closed = false;
+              deferred = false;
+              readonly;
               stats = mk_counters ();
               synced = mk_counters ();
             }
           in
           t.stats.c_replayed <- replayed;
           t.stats.c_truncated <- truncated;
-          attach t db;
+          if readonly then Db.set_readonly db true else attach t db;
           ( t,
             db,
             {

@@ -24,7 +24,8 @@
 
     Fault sites (see {!Fault}): [wal_append], [wal_fsync], [wal_torn]
     (leaves half a record and poisons the store), [wal_truncate],
-    [checkpoint], [wal_rotate], [current_rename], plus {!Persist}'s
+    [checkpoint], [wal_rotate], [current_rename], [group_fsync] (the
+    server's shared batch fsync), plus {!Persist}'s
     [persist_write]/[persist_rename]. *)
 
 type t
@@ -40,14 +41,21 @@ type recovery = {
       (** corrupt tail bytes removed — nonzero means the log was torn *)
 }
 
-(** [open_dir ?fsync dir] — open (creating if missing) a data directory:
-    load the current checkpoint, replay the log, truncate any corrupt
-    tail, and return the store, the recovered database (durability hooks
-    already installed) and a recovery summary. [~fsync:false] skips every
-    fsync — throughput mode for benchmarks; crash safety then depends on
-    the OS page cache. Refuses a non-empty directory that is not a
-    sqlgraph data directory. *)
-val open_dir : ?fsync:bool -> string -> (t * Db.t * recovery, Error.t) result
+(** [open_dir ?fsync ?readonly dir] — open (creating if missing) a data
+    directory: load the current checkpoint, replay the log, truncate any
+    corrupt tail, and return the store, the recovered database
+    (durability hooks already installed) and a recovery summary.
+    [~fsync:false] skips every fsync — throughput mode for benchmarks;
+    crash safety then depends on the OS page cache. Refuses a non-empty
+    directory that is not a sqlgraph data directory.
+
+    [~readonly:true] is inspection mode: recovery runs purely in memory —
+    the directory is never written (no [CURRENT] rewrite, no stale-file
+    GC, no tail truncation), the returned database refuses DML
+    ({!Db.set_readonly}), and every append path of the store raises.
+    Safe to point at a directory another process is actively serving. *)
+val open_dir :
+  ?fsync:bool -> ?readonly:bool -> string -> (t * Db.t * recovery, Error.t) result
 
 (** [checkpoint t db] — write the full state as generation g+1 (an atomic
     {!Persist.save}), start a fresh log, then atomically move the
@@ -66,6 +74,35 @@ val crash_for_testing : t -> unit
 
 val dir : t -> string
 val gen : t -> int
+
+val readonly : t -> bool
+(** The store was opened with [~readonly:true]. *)
+
+(** {1 Group commit (lib/server)}
+
+    The server multiplexes many sessions over one store.  In deferred
+    mode the per-statement fsync is suppressed; instead a group-commit
+    leader — holding the server's writer lock — calls {!flush_now},
+    captures {!logical_end} as the batch's flush target, releases the
+    lock, and calls {!fsync_now} once.  Every session whose appends lie
+    at or before the target is then durable and can be acknowledged:
+    one fsync per batch instead of one per commit. *)
+
+val set_deferred_sync : t -> bool -> unit
+(** Enable/disable deferred (group-commit) mode.  While enabled, the
+    durability hooks append and flush but never fsync. *)
+
+val logical_end : t -> int
+(** The log's logical end: durable bytes plus the unflushed buffer.
+    After {!flush_now} this equals the bytes handed to the OS. *)
+
+val flush_now : t -> unit
+(** Write the buffered tail to the fd (no fsync).  Call with the
+    server's writer lock held so no statement is mid-append. *)
+
+val fsync_now : t -> unit
+(** Fsync the log fd (fault site [group_fsync]); a no-op when the store
+    was opened [~fsync:false].  Safe to call without the writer lock. *)
 
 val wal_path : t -> string
 (** Path of the live log file (tests tear its tail off). *)

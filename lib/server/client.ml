@@ -1,0 +1,108 @@
+(* Line-protocol client: the thin blocking helper the CLI's client
+   mode, the server bench and the tests all share.  One request at a
+   time; [request] collects response lines until a terminal verb. *)
+
+type t = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  chunk : Bytes.t;
+  mutable greeting : string option;
+}
+
+exception Closed of string
+
+let of_fd fd = { fd; buf = Buffer.create 256; chunk = Bytes.create 4096; greeting = None }
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  of_fd fd
+
+let connect_tcp host port =
+  let addr =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> Unix.inet_addr_of_string host
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  of_fd fd
+
+let close t = try Unix.close t.fd with _ -> ()
+
+(* Read one line, blocking up to [timeout_ms] ([None] = forever). *)
+let read_line ?timeout_ms t =
+  let deadline =
+    Option.map (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.)) timeout_ms
+  in
+  let rec take () =
+    match String.index_opt (Buffer.contents t.buf) '\n' with
+    | Some i ->
+      let all = Buffer.contents t.buf in
+      let line = String.sub all 0 i in
+      Buffer.clear t.buf;
+      Buffer.add_substring t.buf all (i + 1) (String.length all - i - 1);
+      line
+    | None ->
+      (match deadline with
+      | Some d ->
+        let left = d -. Unix.gettimeofday () in
+        if left <= 0. then raise (Closed "client read timeout");
+        (match Unix.select [ t.fd ] [] [] left with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | [], _, _ -> raise (Closed "client read timeout")
+        | _ -> ())
+      | None -> ());
+      (match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+      | 0 -> raise (Closed "server closed the connection")
+      | n -> Buffer.add_subbytes t.buf t.chunk 0 n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      take ()
+  in
+  take ()
+
+let hello ?timeout_ms t =
+  match t.greeting with
+  | Some g -> g
+  | None ->
+    let g = read_line ?timeout_ms t in
+    t.greeting <- Some g;
+    g
+
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+
+let send_line t line =
+  let payload = line ^ "\n" in
+  try write_all t.fd payload 0 (String.length payload)
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+    raise (Closed "server closed the connection")
+
+(* One request/response round trip: send the statement, read lines until
+   a terminal OK / ERR / BYE.  Returns every line, terminal last. *)
+let request ?timeout_ms t sql =
+  ignore (hello ?timeout_ms t);
+  send_line t sql;
+  let rec collect acc =
+    let line = read_line ?timeout_ms t in
+    if Protocol.is_terminal line then List.rev (line :: acc)
+    else collect (line :: acc)
+  in
+  collect []
+
+let terminal lines =
+  match List.rev lines with last :: _ -> last | [] -> ""
+
+let is_ok lines =
+  let l = terminal lines in
+  String.length l >= 2 && String.sub l 0 2 = "OK"
+
+let snapshot lines = Protocol.snapshot_of_line (terminal lines)

@@ -1,0 +1,33 @@
+(** Blocking line-protocol client — shared by the CLI's [client]
+    subcommand, the server benchmark and the tests. *)
+
+type t
+
+exception Closed of string
+(** The connection died (EOF, reset) or a read timed out. *)
+
+val of_fd : Unix.file_descr -> t
+(** Wrap an already-connected fd (socketpair harnesses). The client
+    takes ownership. *)
+
+val connect_unix : string -> t
+val connect_tcp : string -> int -> t
+val close : t -> unit
+
+val hello : ?timeout_ms:int -> t -> string
+(** The server greeting ([HELLO sqlgraph ...]); read lazily once. *)
+
+val read_line : ?timeout_ms:int -> t -> string
+
+val request : ?timeout_ms:int -> t -> string -> string list
+(** One round trip: send [sql], collect response lines until a terminal
+    [OK]/[ERR]/[BYE] (returned last).  Reads the greeting first if it
+    has not been consumed yet. *)
+
+val send_line : t -> string -> unit
+
+val terminal : string list -> string
+(** The terminal line of a {!request} response ([""] if empty). *)
+
+val is_ok : string list -> bool
+val snapshot : string list -> int option

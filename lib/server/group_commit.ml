@@ -1,0 +1,131 @@
+(* Group commit: batch many sessions' commits into one WAL fsync.
+
+   The store runs in deferred-sync mode (Wal.set_deferred_sync), so the
+   durability hooks append — under the scheduler's writer lock — but
+   never fsync.  A session that needs its statement durable captures the
+   log's logical end as its *target* and calls [wait_durable]:
+
+   - if the target is already covered by a finished fsync, return;
+   - else if a leader is mid-fsync, wait on the condition variable —
+     the in-flight fsync (or the next one) will cover the target;
+   - else become the leader: briefly take the writer lock to flush every
+     session's buffered appends to the fd, record the flushed length as
+     the batch's reach, release the lock, and fsync with *no* lock held
+     (fault site "group_fsync") so concurrent statements keep appending
+     while the disk syncs.  Then publish the reach, wake everyone, and
+     re-check.
+
+   The flush needs the writer lock so it can never land mid-statement:
+   a statement's append + apply + abort-repair all happen under that
+   lock, which is what keeps Wal.dur_abort's truncate-on-failure sound
+   in deferred mode (truncation only ever removes bytes no leader has
+   flushed yet... because a leader cannot flush while the statement
+   holds the lock).
+
+   Failure: an fsync that raises (injected fault or real I/O error)
+   fails the *round* — every session that was already waiting gets the
+   exception (their commits are reported as errors, the safe direction:
+   the bytes may still become durable later, and an un-acknowledged
+   statement is allowed to survive recovery).  Sessions that arrive
+   after the failure retry with a fresh fsync.  Rounds are numbered by
+   [epoch]; a waiter raises only for failures from rounds that finished
+   after it arrived. *)
+
+type t = {
+  store : Sqlgraph.Wal.t;
+  writer : Mutex.t;
+  mu : Mutex.t;
+  cond : Condition.t;
+  mutable synced_upto : int; (* log bytes covered by a finished fsync *)
+  mutable leader_active : bool;
+  mutable waiting : int; (* sessions inside wait_durable (leader included) *)
+  mutable epoch : int; (* finished rounds *)
+  mutable failed : (int * exn) option; (* epoch of the failed round *)
+  mutable groups : int; (* fsync rounds completed successfully *)
+  mutable grouped_commits : int; (* sessions acknowledged across them *)
+  observe_group : int -> unit; (* histogram callback (scheduler registry) *)
+}
+
+let create ~writer ~store ~observe_group =
+  Sqlgraph.Wal.set_deferred_sync store true;
+  {
+    store;
+    writer;
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    synced_upto = Sqlgraph.Wal.logical_end store;
+    leader_active = false;
+    waiting = 0;
+    epoch = 0;
+    failed = None;
+    groups = 0;
+    grouped_commits = 0;
+    observe_group;
+  }
+
+let stats t =
+  Mutex.lock t.mu;
+  let r = (t.groups, t.grouped_commits) in
+  Mutex.unlock t.mu;
+  r
+
+let wait_durable t target =
+  Mutex.lock t.mu;
+  let entry_epoch = t.epoch in
+  t.waiting <- t.waiting + 1;
+  let finish () =
+    t.waiting <- t.waiting - 1;
+    Mutex.unlock t.mu
+  in
+  let rec loop () =
+    if t.synced_upto >= target then finish ()
+    else
+      match t.failed with
+      | Some (e, exn) when e > entry_epoch ->
+        finish ();
+        raise exn
+      | _ ->
+        if t.leader_active then begin
+          Condition.wait t.cond t.mu;
+          loop ()
+        end
+        else begin
+          t.leader_active <- true;
+          (* everyone waiting right now appended before this flush, so
+             they are exactly the commits this fsync will acknowledge *)
+          let group = t.waiting in
+          Mutex.unlock t.mu;
+          let result =
+            match
+              Mutex.lock t.writer;
+              let r =
+                try
+                  Sqlgraph.Wal.flush_now t.store;
+                  Ok (Sqlgraph.Wal.logical_end t.store)
+                with exn -> Error exn
+              in
+              Mutex.unlock t.writer;
+              r
+            with
+            | Ok upto -> (
+              try
+                Sqlgraph.Wal.fsync_now t.store;
+                Ok upto
+              with exn -> Error exn)
+            | Error _ as e -> e
+          in
+          Mutex.lock t.mu;
+          t.leader_active <- false;
+          t.epoch <- t.epoch + 1;
+          (match result with
+          | Ok upto ->
+            if upto > t.synced_upto then t.synced_upto <- upto;
+            t.groups <- t.groups + 1;
+            t.grouped_commits <- t.grouped_commits + group;
+            t.observe_group group
+          | Error exn -> t.failed <- Some (t.epoch, exn));
+          Condition.broadcast t.cond;
+          loop ()
+        end
+  in
+  loop ()

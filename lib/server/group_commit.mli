@@ -1,0 +1,28 @@
+(** Group commit: one shared WAL fsync acknowledges a whole batch of
+    concurrent sessions' commits (the ~100x durable-throughput lever —
+    see BENCH_server.json).
+
+    Creating the batcher switches the store to deferred-sync mode; from
+    then on every acknowledgement must go through {!wait_durable}. *)
+
+type t
+
+val create :
+  writer:Mutex.t ->
+  store:Sqlgraph.Wal.t ->
+  observe_group:(int -> unit) ->
+  t
+(** [writer] is the scheduler's writer lock (taken briefly by the batch
+    leader to flush); [observe_group] receives each successful batch's
+    session count (the group-size histogram). *)
+
+val wait_durable : t -> int -> unit
+(** [wait_durable t target] — block until a finished fsync covers log
+    offset [target] (capture it with {!Sqlgraph.Wal.logical_end} while
+    still holding the writer lock).  Raises the leader's exception if
+    the covering fsync round failed; the commit must then be reported
+    as an error, not acknowledged. *)
+
+val stats : t -> int * int
+(** [(fsync rounds completed, commits acknowledged across them)] —
+    rounds ≪ commits is group commit working. *)

@@ -1,0 +1,147 @@
+(* Wire format of the multi-session server (DESIGN.md §12).
+
+   Requests: one SQL statement per newline-terminated line (a trailing
+   ';' is tolerated and stripped), or the verb QUIT.  Statements cannot
+   span lines — SQL has no mandatory newlines, and one-line framing is
+   what lets a session resynchronize after garbage bytes.
+
+   Responses: one or more lines, the last of which always starts with a
+   terminal verb (OK / ERR / BYE), so a client reads until it sees one:
+
+     HELLO sqlgraph 1 sid=<n> snapshot=<v>      connection greeting
+     ROW <cell>\t<cell>...                      one result row
+     OK <verb> [n] [rows=<n>] snapshot=<v>      statement succeeded
+     ERR <category> <message>                   statement failed
+     BYE <reason>                               server is closing the session
+
+   Cells and messages are escaped (\\, \t, \n, \r) so every response is
+   exactly one line.  ERR categories mirror Error.t ("parse", "bind",
+   "runtime", "resource:<kind>", "io", "internal") plus the server's own
+   "protocol" (framing violations), "busy" (admission control /
+   load-shed; the message begins with retry_ms=<n>) and "shutdown". *)
+
+let version = 1
+
+let escape s =
+  let n = String.length s in
+  let b = Buffer.create (n + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let unescape s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '\\' when !i + 1 < n ->
+      incr i;
+      Buffer.add_char b
+        (match s.[!i] with
+        | 't' -> '\t'
+        | 'n' -> '\n'
+        | 'r' -> '\r'
+        | c -> c)
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+let hello ~sid ~snapshot =
+  Printf.sprintf "HELLO sqlgraph %d sid=%d snapshot=%d" version sid snapshot
+
+let bye reason = "BYE " ^ escape reason
+
+let row cells =
+  "ROW " ^ String.concat "\t" (List.map (fun c -> escape (Storage.Value.to_display c)) cells)
+
+let row_text line = "ROW " ^ escape line
+
+let error_category (e : Sqlgraph.Error.t) =
+  match e with
+  | Sqlgraph.Error.Parse_error _ -> "parse"
+  | Sqlgraph.Error.Bind_error _ -> "bind"
+  | Sqlgraph.Error.Runtime_error _ -> "runtime"
+  | Sqlgraph.Error.Resource_error { kind; _ } ->
+    "resource:" ^ Sqlgraph.Error.resource_kind_name kind
+  | Sqlgraph.Error.Io_error _ -> "io"
+  | Sqlgraph.Error.Internal_error _ -> "internal"
+
+let err e =
+  Printf.sprintf "ERR %s %s" (error_category e)
+    (escape (Sqlgraph.Error.to_string e))
+
+let err_protocol msg = "ERR protocol " ^ escape msg
+let err_busy ~retry_ms msg = Printf.sprintf "ERR busy retry_ms=%d %s" retry_ms (escape msg)
+
+(* Render one successful outcome as its response lines (ROW lines plus
+   the terminal OK).  [snapshot] is the session's table-version-vector
+   sequence number — the fuzzer asserts it never decreases per session. *)
+let ok_outcome ~snapshot (o : Sqlgraph.Db.exec_outcome) =
+  let fin verb = [ Printf.sprintf "OK %s snapshot=%d" verb snapshot ] in
+  match o with
+  | Sqlgraph.Db.Selected r ->
+    let rows = List.map row (Sqlgraph.Resultset.rows r) in
+    rows
+    @ [
+        Printf.sprintf "OK SELECT rows=%d snapshot=%d" (Sqlgraph.Resultset.nrows r)
+          snapshot;
+      ]
+  | Sqlgraph.Db.Explained text ->
+    let lines =
+      String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+    in
+    List.map row_text lines
+    @ [
+        Printf.sprintf "OK EXPLAIN rows=%d snapshot=%d" (List.length lines)
+          snapshot;
+      ]
+  | Sqlgraph.Db.Inserted n -> fin (Printf.sprintf "INSERT %d" n)
+  | Sqlgraph.Db.Updated n -> fin (Printf.sprintf "UPDATE %d" n)
+  | Sqlgraph.Db.Deleted n -> fin (Printf.sprintf "DELETE %d" n)
+  | Sqlgraph.Db.Created -> fin "CREATE"
+  | Sqlgraph.Db.Dropped -> fin "DROP"
+  | Sqlgraph.Db.Option_set (name, v) -> fin (Printf.sprintf "SET %s %d" name v)
+  | Sqlgraph.Db.Began -> fin "BEGIN"
+  | Sqlgraph.Db.Committed -> fin "COMMIT"
+  | Sqlgraph.Db.Rolled_back -> fin "ROLLBACK"
+
+(* A line that terminates a response (clients read until one). *)
+let is_terminal line =
+  let pre p = String.length line >= String.length p && String.sub line 0 (String.length p) = p in
+  pre "OK" && (String.length line = 2 || line.[2] = ' ')
+  || pre "ERR " || pre "BYE"
+
+(* Strip trailing whitespace and at most one trailing ';' from a request
+   line, so clients pasting repl-style statements just work. *)
+let clean_request line =
+  let line = String.trim line in
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = ';' then String.trim (String.sub line 0 (n - 1))
+  else line
+
+(* Parse "snapshot=<n>" off a terminal OK line ([None] on ERR/BYE). *)
+let snapshot_of_line line =
+  let key = "snapshot=" in
+  let kl = String.length key in
+  let n = String.length line in
+  let rec find i =
+    if i + kl > n then None
+    else if String.sub line i kl = key then begin
+      let j = ref (i + kl) in
+      while !j < n && line.[!j] >= '0' && line.[!j] <= '9' do
+        incr j
+      done;
+      int_of_string_opt (String.sub line (i + kl) (!j - i - kl))
+    end
+    else find (i + 1)
+  in
+  find 0

@@ -1,0 +1,44 @@
+(** Wire format of the multi-session server: newline-framed requests,
+    escaped single-line responses terminated by [OK] / [ERR] / [BYE].
+    See the implementation header (and DESIGN.md §12) for the grammar. *)
+
+val version : int
+
+val escape : string -> string
+(** One-line encoding: backslash-escape [\\], tab, newline, CR. *)
+
+val unescape : string -> string
+
+val hello : sid:int -> snapshot:int -> string
+val bye : string -> string
+
+val row : Storage.Value.t list -> string
+(** [ROW] line: tab-separated escaped cell displays. *)
+
+val row_text : string -> string
+(** [ROW] line carrying one escaped text column (EXPLAIN output). *)
+
+val err : Sqlgraph.Error.t -> string
+(** [ERR <category> <message>] with category derived from the error
+    constructor ("parse", "bind", "runtime", "resource:<kind>", "io",
+    "internal"). *)
+
+val err_protocol : string -> string
+(** Framing violation (oversized line, bad verb): [ERR protocol ...]. *)
+
+val err_busy : retry_ms:int -> string -> string
+(** Admission-control rejection: [ERR busy retry_ms=<n> ...] — the
+    client should back off and retry. *)
+
+val ok_outcome : snapshot:int -> Sqlgraph.Db.exec_outcome -> string list
+(** The full response for a successful statement: zero or more [ROW]
+    lines plus the terminal [OK ... snapshot=<v>] line. *)
+
+val is_terminal : string -> bool
+(** The line ends a response ([OK] / [ERR] / [BYE] prefixed). *)
+
+val clean_request : string -> string
+(** Trim whitespace and a trailing [';'] from a request line. *)
+
+val snapshot_of_line : string -> int option
+(** Parse [snapshot=<n>] out of a terminal line, if present. *)

@@ -1,0 +1,301 @@
+(* Shared state of the multi-session server.
+
+   Concurrency model (DESIGN.md §12): one domain, one systhread per
+   session.  The OCaml runtime lock serializes compute, but every
+   blocking operation — socket reads, fsync, condition waits — releases
+   it, so reader statements overlap writer I/O and each other's waits.
+
+   - Writers serialize through [writer]: a session takes the lock for
+     the whole apply of a DML/DDL statement (and from BEGIN through
+     COMMIT/ROLLBACK), so the shared Db only ever sees one mutator and
+     the WAL order equals the apply order — the serial order the
+     fuzzer's oracle checks prefix-consistency against.
+
+   - Readers never take the writer lock.  After each committed write the
+     writer *publishes* a snapshot: for every table whose catalog
+     version moved since the last publication, an immutable Table.copy
+     goes into [published] and [published_version] bumps.  A reader
+     session refreshes its private Db from that map (structurally
+     sharing unchanged tables) and runs statements against it — path
+     queries never block behind DML, and each session's observed
+     snapshot version is monotone by construction.
+
+   - Admission control: [admit] refuses sessions beyond the cap;
+     [writer_acquire] load-sheds writes when the queue behind the writer
+     lock exceeds the high-water mark (reject-with-retry-hint rather
+     than queueing unboundedly).
+
+   The metrics registry is shared by concurrent session threads, so
+   every update goes through [metric_*] under its own mutex — Registry
+   itself is documented single-writer. *)
+
+module Reg = Telemetry.Registry
+
+type config = {
+  max_sessions : int;
+  idle_timeout_ms : int; (* per-read timeout; a session idling longer is closed *)
+  max_line_bytes : int; (* request frame cap *)
+  write_high_water : int; (* load-shed when this many writers are queued *)
+  busy_retry_ms : int; (* retry hint sent with busy rejections *)
+  budget : Sqlgraph.Governor.budget; (* per-statement resource budget *)
+}
+
+let default_config =
+  {
+    max_sessions = 32;
+    idle_timeout_ms = 30_000;
+    max_line_bytes = 1 lsl 20;
+    write_high_water = 16;
+    busy_retry_ms = 50;
+    budget = Sqlgraph.Governor.no_limits;
+  }
+
+type t = {
+  config : config;
+  db : Sqlgraph.Db.t; (* the writer database (durable when [store] is set) *)
+  store : Sqlgraph.Wal.t option;
+  gc : Group_commit.t option;
+  writer : Mutex.t;
+  mu : Mutex.t; (* guards the mutable fields below *)
+  mutable writers_waiting : int;
+  mutable published_version : int;
+  published : (string, Storage.Table.t * int) Hashtbl.t;
+      (* name -> (immutable copy, catalog version it captures) *)
+  mutable sessions : int;
+  mutable next_sid : int;
+  mutable stopping : bool;
+  stop_r : Unix.file_descr; (* self-pipe read end: selectable stop signal *)
+  mutable stop_w : Unix.file_descr option;
+  metrics : Reg.t;
+  metrics_mu : Mutex.t;
+}
+
+let metric_inc t ?help name n =
+  Mutex.lock t.metrics_mu;
+  Reg.inc t.metrics ?help name n;
+  Mutex.unlock t.metrics_mu
+
+let metric_gauge t ?help name v =
+  Mutex.lock t.metrics_mu;
+  Reg.set_gauge t.metrics ?help name v;
+  Mutex.unlock t.metrics_mu
+
+let metric_observe t ?help name v =
+  Mutex.lock t.metrics_mu;
+  Reg.observe t.metrics ?help name v;
+  Mutex.unlock t.metrics_mu
+
+let metrics t = t.metrics
+
+(* Publish the current catalog as an immutable snapshot: copy only the
+   tables whose version moved.  Runs with the writer lock held (the
+   only mutator), takes [mu] just to swap entries so readers mid-refresh
+   never see a half-published vector. *)
+let publish_locked t =
+  let cat = Sqlgraph.Db.catalog t.db in
+  let names = Storage.Catalog.names cat in
+  let changed = ref [] in
+  List.iter
+    (fun name ->
+      match (Storage.Catalog.version cat name, Storage.Catalog.find cat name) with
+      | Some v, Some tbl -> (
+        match Hashtbl.find_opt t.published name with
+        | Some (_, pv) when pv = v -> ()
+        | _ -> changed := (name, Storage.Table.copy tbl, v) :: !changed)
+      | _ -> ())
+    names;
+  let dropped =
+    Hashtbl.fold
+      (fun name _ acc -> if List.mem name names then acc else name :: acc)
+      t.published []
+  in
+  if !changed <> [] || dropped <> [] then begin
+    Mutex.lock t.mu;
+    List.iter (fun (name, tbl, v) -> Hashtbl.replace t.published name (tbl, v)) !changed;
+    List.iter (Hashtbl.remove t.published) dropped;
+    t.published_version <- t.published_version + 1;
+    Mutex.unlock t.mu
+  end
+
+let create ?(config = default_config) ~db ~store () =
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  let metrics = Reg.create () in
+  let metrics_mu = Mutex.create () in
+  let writer = Mutex.create () in
+  let gc =
+    Option.map
+      (fun s ->
+        Group_commit.create ~writer ~store:s ~observe_group:(fun n ->
+            Mutex.lock metrics_mu;
+            Reg.observe metrics "sqlgraph_server_group_commit_size"
+              (float_of_int n)
+              ~help:"Commits acknowledged per shared fsync";
+            Mutex.unlock metrics_mu))
+      store
+  in
+  let t =
+    {
+      config;
+      db;
+      store;
+      gc;
+      writer;
+      mu = Mutex.create ();
+      writers_waiting = 0;
+      published_version = 0;
+      published = Hashtbl.create 16;
+      sessions = 0;
+      next_sid = 0;
+      stopping = false;
+      stop_r;
+      stop_w = Some stop_w;
+      metrics;
+      metrics_mu;
+    }
+  in
+  (* seed the snapshot with whatever recovery (or the embedder) loaded *)
+  Mutex.lock writer;
+  publish_locked t;
+  Mutex.unlock writer;
+  t
+
+let config t = t.config
+let db t = t.db
+let store t = t.store
+let stop_fd t = t.stop_r
+
+let stopping t =
+  Mutex.lock t.mu;
+  let s = t.stopping in
+  Mutex.unlock t.mu;
+  s
+
+(* Begin graceful shutdown: mark stopping and close the self-pipe's
+   write end — every select on [stop_fd] wakes (EOF) now and forever. *)
+let begin_stop t =
+  Mutex.lock t.mu;
+  t.stopping <- true;
+  (match t.stop_w with
+  | Some fd ->
+    t.stop_w <- None;
+    (try Unix.close fd with _ -> ())
+  | None -> ());
+  Mutex.unlock t.mu
+
+(* --- admission ----------------------------------------------------- *)
+
+let admit t =
+  Mutex.lock t.mu;
+  let r =
+    if t.stopping then `Stopping
+    else if t.sessions >= t.config.max_sessions then `Full
+    else begin
+      t.sessions <- t.sessions + 1;
+      t.next_sid <- t.next_sid + 1;
+      `Ok t.next_sid
+    end
+  in
+  let active = t.sessions in
+  Mutex.unlock t.mu;
+  (match r with
+  | `Ok _ ->
+    metric_inc t "sqlgraph_server_sessions_total" 1 ~help:"Sessions accepted";
+    metric_gauge t "sqlgraph_server_sessions_active" (float_of_int active)
+      ~help:"Sessions currently connected"
+  | `Full ->
+    metric_inc t "sqlgraph_server_rejected_total" 1
+      ~help:"Connections rejected at the session cap"
+  | `Stopping -> ());
+  r
+
+let leave t =
+  Mutex.lock t.mu;
+  t.sessions <- t.sessions - 1;
+  let active = t.sessions in
+  Mutex.unlock t.mu;
+  metric_gauge t "sqlgraph_server_sessions_active" (float_of_int active)
+
+let active_sessions t =
+  Mutex.lock t.mu;
+  let n = t.sessions in
+  Mutex.unlock t.mu;
+  n
+
+(* --- write path ---------------------------------------------------- *)
+
+(* Load-shed check + blocking acquire.  The queue-depth gauge tracks how
+   many sessions sit behind the writer lock; past the high-water mark a
+   new writer is refused with a retry hint instead of queueing. *)
+let writer_acquire t =
+  Mutex.lock t.mu;
+  if t.writers_waiting >= t.config.write_high_water then begin
+    Mutex.unlock t.mu;
+    metric_inc t "sqlgraph_server_load_shed_total" 1
+      ~help:"Write statements refused at the write-queue high-water mark";
+    `Busy t.config.busy_retry_ms
+  end
+  else begin
+    t.writers_waiting <- t.writers_waiting + 1;
+    let depth = t.writers_waiting in
+    Mutex.unlock t.mu;
+    metric_gauge t "sqlgraph_server_write_queue_depth" (float_of_int depth)
+      ~help:"Sessions queued on the writer lock";
+    Mutex.lock t.writer;
+    Mutex.lock t.mu;
+    t.writers_waiting <- t.writers_waiting - 1;
+    Mutex.unlock t.mu;
+    `Ok
+  end
+
+let writer_release t = Mutex.unlock t.writer
+
+let publish t = publish_locked t
+
+(* Acknowledge durability: in group-commit mode wait until the shared
+   fsync covers [target]; without a store (in-memory server) this is
+   immediate. *)
+let wait_durable t target =
+  match t.gc with None -> () | Some gc -> Group_commit.wait_durable gc target
+
+let log_target t =
+  match t.store with None -> 0 | Some s -> Sqlgraph.Wal.logical_end s
+
+(* --- read path ----------------------------------------------------- *)
+
+let snapshot_version t =
+  Mutex.lock t.mu;
+  let v = t.published_version in
+  Mutex.unlock t.mu;
+  v
+
+(* Bring a session's private Db up to the latest published snapshot:
+   load only the entries whose version differs from what the session
+   already holds ([seen]), drop vanished tables, and return the snapshot
+   version.  Published tables are immutable (fresh copies on publish),
+   so loading is structural sharing, not copying. *)
+let refresh_snapshot t ~session_db ~seen ~last_version =
+  Mutex.lock t.mu;
+  let v = t.published_version in
+  if v <> last_version then begin
+    Hashtbl.iter
+      (fun name (tbl, pv) ->
+        match Hashtbl.find_opt seen name with
+        | Some sv when sv = pv -> ()
+        | _ ->
+          Sqlgraph.Db.load_table session_db ~name tbl;
+          Hashtbl.replace seen name pv)
+      t.published;
+    let stale =
+      Hashtbl.fold
+        (fun name _ acc ->
+          if Hashtbl.mem t.published name then acc else name :: acc)
+        seen []
+    in
+    List.iter
+      (fun name ->
+        Hashtbl.remove seen name;
+        ignore (Storage.Catalog.drop (Sqlgraph.Db.catalog session_db) name))
+      stale
+  end;
+  Mutex.unlock t.mu;
+  v

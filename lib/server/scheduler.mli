@@ -1,0 +1,95 @@
+(** Shared state of the multi-session server: the writer lock, the
+    published snapshot, admission control, and the server-wide metrics
+    registry.  One [t] per server; every session thread holds a
+    reference.  See the implementation header for the concurrency
+    model. *)
+
+type config = {
+  max_sessions : int;  (** admission cap; beyond it connections get [ERR busy] *)
+  idle_timeout_ms : int;  (** close a session idle longer than this *)
+  max_line_bytes : int;  (** request frame cap; longer lines are a protocol error *)
+  write_high_water : int;  (** load-shed writes when this many are queued *)
+  busy_retry_ms : int;  (** retry hint attached to busy rejections *)
+  budget : Sqlgraph.Governor.budget;  (** per-statement resource budget *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config -> db:Sqlgraph.Db.t -> store:Sqlgraph.Wal.t option -> unit -> t
+(** When [store] is given the server runs durable with group commit
+    (the store is switched to deferred-sync mode); [None] is a plain
+    in-memory server.  The initial catalog is published as snapshot
+    version 0. *)
+
+val config : t -> config
+val db : t -> Sqlgraph.Db.t
+val store : t -> Sqlgraph.Wal.t option
+
+(** {1 Shutdown} *)
+
+val stop_fd : t -> Unix.file_descr
+(** Self-pipe read end: becomes readable (EOF) permanently once
+    {!begin_stop} runs — select on it alongside the session socket. *)
+
+val begin_stop : t -> unit
+val stopping : t -> bool
+
+(** {1 Admission} *)
+
+val admit : t -> [ `Ok of int | `Full | `Stopping ]
+(** Try to enter a session slot; [`Ok sid] carries the session id. *)
+
+val leave : t -> unit
+val active_sessions : t -> int
+
+(** {1 Write path} *)
+
+val writer_acquire : t -> [ `Ok | `Busy of int ]
+(** Block for the writer lock, unless the write queue is at the
+    high-water mark — then shed load with [`Busy retry_ms]. *)
+
+val writer_release : t -> unit
+
+val publish : t -> unit
+(** Publish the current catalog as a new immutable snapshot version.
+    Must be called with the writer lock held. *)
+
+val log_target : t -> int
+(** The WAL's logical end — capture while holding the writer lock,
+    then pass to {!wait_durable} after release.  0 without a store. *)
+
+val wait_durable : t -> int -> unit
+(** Group commit: block until a shared fsync covers [target].  Raises
+    if the covering fsync round failed (report the statement as an
+    error, do not acknowledge). *)
+
+(** {1 Read path} *)
+
+val snapshot_version : t -> int
+
+val refresh_snapshot :
+  t ->
+  session_db:Sqlgraph.Db.t ->
+  seen:(string, int) Hashtbl.t ->
+  last_version:int ->
+  int
+(** Bring a session's private [Db] up to the latest published snapshot
+    and return its version.  [seen] is the session's record of which
+    table versions it already loaded (owned by the session thread);
+    only changed tables are reloaded, and loading shares structure with
+    the published copies — it never copies rows. *)
+
+(** {1 Metrics}
+
+    The server-wide registry (sessions, queue depths, group-commit
+    sizes).  [Registry] itself is single-writer, so all updates go
+    through these mutex-guarded helpers; {!metrics} is for rendering
+    after the server has quiesced (or for best-effort live reads). *)
+
+val metrics : t -> Telemetry.Registry.t
+val metric_inc : t -> ?help:string -> string -> int -> unit
+val metric_gauge : t -> ?help:string -> string -> float -> unit
+val metric_observe : t -> ?help:string -> string -> float -> unit

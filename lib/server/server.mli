@@ -1,0 +1,38 @@
+(** The server front-end: listeners, the accept loop, graceful
+    shutdown.  Fault sites: ["accept"] (a connection dropped at
+    admission), ["shutdown_drain"] (crash between drain and the final
+    checkpoint — recovery must replay the WAL). *)
+
+type t
+
+val create :
+  ?config:Scheduler.config ->
+  db:Sqlgraph.Db.t ->
+  store:Sqlgraph.Wal.t option ->
+  unit ->
+  t
+(** Wrap a database (durable when [store] is given — group commit is
+    enabled on it) in a server.  Add listeners with {!listen_unix} /
+    {!listen_tcp}, or hand fds in directly with {!attach}. *)
+
+val scheduler : t -> Scheduler.t
+
+val listen_unix : t -> string -> unit
+(** Bind and serve a Unix-domain socket at [path] (an existing socket
+    file is replaced; unlinked again on shutdown). *)
+
+val listen_tcp : t -> string -> int -> unit
+(** Bind and serve [host:port] ([""] = loopback; port 0 = ephemeral,
+    read back with {!bound_port}). *)
+
+val bound_port : t -> int option
+
+val attach : t -> Unix.file_descr -> unit
+(** Serve an already-connected fd (socketpair harnesses: tests, bench,
+    in-process clients).  Admission control still applies — beyond the
+    session cap the fd receives [ERR busy] + [BYE] and is closed. *)
+
+val shutdown : t -> unit
+(** Graceful shutdown: stop accepting, wake and drain every session
+    (in-flight statements are cooperatively cancelled), flush + fsync
+    the WAL, checkpoint.  Idempotent. *)

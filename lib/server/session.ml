@@ -1,0 +1,480 @@
+(* One connected client: a systhread running a read-execute-respond
+   loop over a newline-framed socket.
+
+   Statement routing (the snapshot-isolation half of DESIGN.md §12):
+
+   - SELECT / EXPLAIN outside a transaction run on the session's
+     *private* Db, refreshed from the scheduler's published snapshot
+     just before execution — they never take the writer lock, so reads
+     overlap writes and each other freely.  The snapshot version they
+     ran against is reported on the OK line ([snapshot=<v>]) and is
+     monotone per session by construction (the fuzzer asserts it).
+
+   - DML/DDL and BEGIN acquire the scheduler's writer lock (or are
+     load-shed with [ERR busy]).  Autocommit writes hold it for one
+     statement: apply on the shared Db, publish the new snapshot,
+     capture the WAL's logical end, release, then block in group commit
+     until a shared fsync covers the capture — only then is OK sent.
+     BEGIN keeps the lock until COMMIT/ROLLBACK, so a transaction's
+     reads run on the shared Db (read-your-writes; nobody else can
+     advance it while we hold the lock) and its buffered writes become
+     durable — and published — at COMMIT, atomically.
+
+   - SET applies to the private Db only: parallelism and limits are
+     per-session knobs.
+
+   Failure shapes: a failed statement keeps the session alive (ERR
+   response); a failed group fsync reports ERR on a statement that did
+   apply in memory — the safe direction, since an un-acknowledged
+   commit is allowed (but not required) to survive recovery.  Framing
+   violations get [ERR protocol] and the reader resynchronizes at the
+   next newline.  Idle timeout, EOF, injected "session_read" faults and
+   server shutdown all end the session with a best-effort BYE. *)
+
+module Db = Sqlgraph.Db
+module Governor = Sqlgraph.Governor
+module Fault = Sqlgraph.Fault
+
+type t = {
+  sched : Scheduler.t;
+  sid : int;
+  fd : Unix.file_descr;
+  session_db : Db.t; (* private snapshot replica (reads) *)
+  seen : (string, int) Hashtbl.t; (* table versions loaded into session_db *)
+  mutable last_version : int; (* latest snapshot version observed (reported) *)
+  mutable loaded_version : int; (* snapshot version session_db actually holds *)
+  mutable holding_writer : bool; (* BEGIN..COMMIT keeps the writer lock *)
+  gov_mu : Mutex.t;
+  mutable current_gov : Governor.t option; (* in-flight statement's governor *)
+  mutable thread : Thread.t option;
+}
+
+(* [cancel] is called from the server's shutdown thread: cooperatively
+   abort whatever statement is running so drain cannot block on an
+   unbounded traversal. *)
+let cancel t =
+  Mutex.lock t.gov_mu;
+  (match t.current_gov with Some g -> Governor.cancel g | None -> ());
+  Mutex.unlock t.gov_mu
+
+(* --- socket I/O ---------------------------------------------------- *)
+
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+
+exception Peer_gone
+
+let send t lines =
+  let payload = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+  try write_all t.fd payload 0 (String.length payload)
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+    raise Peer_gone
+
+(* Buffered newline framing over select([fd; stop_fd]).  The reader owns
+   the idle timeout, the frame-size cap and the resync-after-oversize
+   behaviour; faults at site "session_read" model a connection dying
+   mid-read. *)
+type read_event = Line of string | Eof | Idle | Stop | Oversized | Died of exn
+
+let rec take_line buf discarding =
+  match String.index_opt (Buffer.contents buf) '\n' with
+  | Some i ->
+    let all = Buffer.contents buf in
+    let line = String.sub all 0 i in
+    Buffer.clear buf;
+    Buffer.add_substring buf all (i + 1) (String.length all - i - 1);
+    if !discarding then begin
+      (* the tail of an oversized request: swallow it and resume *)
+      discarding := false;
+      take_line buf discarding
+    end
+    else Some (if line <> "" && line.[String.length line - 1] = '\r' then
+                 String.sub line 0 (String.length line - 1)
+               else line)
+  | None ->
+    if !discarding then Buffer.clear buf;
+    None
+
+let read_event t buf chunk discarding =
+  let cfg = Scheduler.config t.sched in
+  let stop = Scheduler.stop_fd t.sched in
+  let rec go () =
+    match take_line buf discarding with
+    | Some line ->
+      (* a complete line can still breach the frame cap *)
+      if String.length line > cfg.max_line_bytes then Oversized else Line line
+    | None ->
+      if Buffer.length buf > cfg.max_line_bytes then begin
+        Buffer.clear buf;
+        discarding := true;
+        Oversized
+      end
+      else begin
+        let timeout = float_of_int cfg.idle_timeout_ms /. 1000. in
+        match Unix.select [ t.fd; stop ] [] [] timeout with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | [], _, _ -> Idle
+        | ready, _, _ when List.mem stop ready -> Stop
+        | _ -> (
+          match
+            Fault.hit ~site:"session_read";
+            Unix.read t.fd chunk 0 (Bytes.length chunk)
+          with
+          | 0 -> Eof
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception exn -> Died exn)
+      end
+  in
+  go ()
+
+(* --- statement execution ------------------------------------------- *)
+
+(* Local copy of Db's classifier: which statements need the writer lock. *)
+let is_write = function
+  | Sql.Ast.Insert _ | Sql.Ast.Update _ | Sql.Ast.Delete _
+  | Sql.Ast.Create_table _ | Sql.Ast.Create_table_as _ | Sql.Ast.Drop_table _
+    ->
+    true
+  | _ -> false
+
+let exec_with_gov t db sql =
+  let gov = Governor.start (Scheduler.config t.sched).budget in
+  Mutex.lock t.gov_mu;
+  t.current_gov <- Some gov;
+  Mutex.unlock t.gov_mu;
+  let r = Db.exec db ~governor:gov sql in
+  Mutex.lock t.gov_mu;
+  t.current_gov <- None;
+  Mutex.unlock t.gov_mu;
+  r
+
+let render t r =
+  match r with
+  | Ok o -> Protocol.ok_outcome ~snapshot:t.last_version o
+  | Error e -> [ Protocol.err e ]
+
+(* Run one statement that holds (or already held) the writer lock, then
+   publish, capture the durability target and release.  The returned
+   target is the WAL position the acknowledgement must wait for — the
+   caller batches those waits across pipelined requests, so it is NOT
+   awaited here. *)
+let exec_write_prepare t ~release sql =
+  let shared = Scheduler.db t.sched in
+  let r = exec_with_gov t shared sql in
+  (* publish even after a failed statement: the shared Db's state —
+     whatever it is — is what the next snapshot must show *)
+  Scheduler.publish t.sched;
+  let target = Scheduler.log_target t.sched in
+  t.last_version <- Scheduler.snapshot_version t.sched;
+  if release then Scheduler.writer_release t.sched;
+  match r with
+  | Error _ -> (render t r, None)
+  | Ok o -> (Protocol.ok_outcome ~snapshot:t.last_version o, Some target)
+
+(* [last_version] can run ahead of [loaded_version]: a write observes
+   the new snapshot immediately (it made it), but the private replica
+   only catches up here, on the next read. *)
+let refresh t =
+  let v =
+    Scheduler.refresh_snapshot t.sched ~session_db:t.session_db ~seen:t.seen
+      ~last_version:t.loaded_version
+  in
+  t.loaded_version <- v;
+  if v > t.last_version then t.last_version <- v
+
+(* A batch context: consecutive autocommit writes in one burst share
+   the writer lock and a single publish (the snapshot copy is O(table
+   size), so per-statement publication is the dominant cost of a write
+   burst).  [wlock] is true while the batch holds the writer lock for
+   such a run of writes; any statement that needs the published
+   snapshot — or the lock — flushes first. *)
+type batch = {
+  mutable wlock : bool;
+  mutable vrefs : int ref list; (* deferred writes awaiting their version *)
+}
+
+(* End a run of batched autocommit writes: publish once, stamp each
+   deferred write with the snapshot version that publish produced, drop
+   the lock. *)
+let batch_flush t b =
+  if b.wlock then begin
+    b.wlock <- false;
+    Scheduler.publish t.sched;
+    t.last_version <- Scheduler.snapshot_version t.sched;
+    List.iter (fun r -> r := t.last_version) b.vrefs;
+    b.vrefs <- [];
+    Scheduler.writer_release t.sched
+  end
+
+(* One request's contribution to the batch response.  [Deferred]
+   carries an un-rendered write outcome: its snapshot version (the ref,
+   filled in by {!batch_flush}) is only known once its run of writes
+   publishes, and its OK must wait for the shared durability target. *)
+type item =
+  | Immediate of string list
+  | Gated of string list (* rendered, but ack'd only after the fsync *)
+  | Deferred of Db.exec_outcome * int ref
+
+(* Execute one request inside a batch. *)
+let execute t b sql =
+  match Db.protect (fun () -> Sql.Parser.parse_stmt sql) with
+  | Error e ->
+    batch_flush t b;
+    Immediate [ Protocol.err e ]
+  | Ok stmt -> (
+    match stmt with
+    | Sql.Ast.Set_option _ ->
+      (* session-local knobs (parallelism, limits) live on the private Db *)
+      batch_flush t b;
+      Immediate (render t (exec_with_gov t t.session_db sql))
+    | Sql.Ast.Select _ | Sql.Ast.Explain _ ->
+      if t.holding_writer then
+        (* in-transaction read: read-your-writes on the shared Db (safe —
+           we hold the writer lock, nothing else can touch it) *)
+        Immediate (render t (exec_with_gov t (Scheduler.db t.sched) sql))
+      else begin
+        (* publish any batched writes first: read-your-writes *)
+        batch_flush t b;
+        refresh t;
+        Immediate (render t (exec_with_gov t t.session_db sql))
+      end
+    | Sql.Ast.Begin_txn -> (
+      if t.holding_writer then
+        (* nested BEGIN: let the shared Db produce its usual error *)
+        Immediate (render t (exec_with_gov t (Scheduler.db t.sched) sql))
+      else begin
+        batch_flush t b;
+        match Scheduler.writer_acquire t.sched with
+        | `Busy retry_ms ->
+          Immediate [ Protocol.err_busy ~retry_ms "write queue full" ]
+        | `Ok -> (
+          match exec_with_gov t (Scheduler.db t.sched) sql with
+          | Ok _ as r ->
+            t.holding_writer <- true;
+            Immediate (render t r)
+          | Error _ as r ->
+            Scheduler.writer_release t.sched;
+            Immediate (render t r))
+      end)
+    | Sql.Ast.Commit_txn | Sql.Ast.Rollback_txn ->
+      if not t.holding_writer then begin
+        (* no open transaction: the private Db raises the usual error *)
+        batch_flush t b;
+        Immediate (render t (exec_with_gov t t.session_db sql))
+      end
+      else begin
+        t.holding_writer <- false;
+        match exec_write_prepare t ~release:true sql with
+        | resp, Some _ -> Gated resp
+        | resp, None -> Immediate resp
+      end
+    | _ when is_write stmt ->
+      if t.holding_writer then
+        (* inside BEGIN: apply + buffer; durability (and publication)
+           happen at COMMIT, atomically with the rest of the txn *)
+        Immediate (render t (exec_with_gov t (Scheduler.db t.sched) sql))
+      else if b.wlock then (
+        (* already mid-run: keep the lock, defer the publish *)
+        match exec_with_gov t (Scheduler.db t.sched) sql with
+        | Ok o ->
+          let v = ref t.last_version in
+          b.vrefs <- v :: b.vrefs;
+          Deferred (o, v)
+        | Error _ as r ->
+          (* errors carry no snapshot: render now, but keep batching *)
+          Immediate (render t r))
+      else (
+        match Scheduler.writer_acquire t.sched with
+        | `Busy retry_ms ->
+          Immediate [ Protocol.err_busy ~retry_ms "write queue full" ]
+        | `Ok -> (
+          b.wlock <- true;
+          match exec_with_gov t (Scheduler.db t.sched) sql with
+          | Ok o ->
+            let v = ref t.last_version in
+            b.vrefs <- v :: b.vrefs;
+            Deferred (o, v)
+          | Error _ as r -> Immediate (render t r)))
+    | _ ->
+      batch_flush t b;
+      Immediate (render t (exec_with_gov t t.session_db sql)))
+
+(* Execute every request of [batch] in order, then acknowledge them all
+   at once: the durability waits collapse into one group-commit wait on
+   the highest WAL target, and the responses go out in a single socket
+   write.  A pipelining client thus pays one fsync-wait and one write
+   per burst; a synchronous client (one request in flight) sees exactly
+   per-statement behaviour.  If the shared wait fails, every write in
+   the batch is reported as an error — the safe direction, since an
+   unacknowledged commit may (but need not) survive recovery. *)
+let run_batch t batch =
+  let cfg = Scheduler.config t.sched in
+  let quit = ref false in
+  let b = { wlock = false; vrefs = [] } in
+  let items =
+    Fun.protect
+      ~finally:(fun () -> batch_flush t b) (* never leak the writer lock *)
+      (fun () ->
+        List.filter_map
+          (fun line ->
+            if !quit then None (* requests after QUIT are dead *)
+            else if String.length line > cfg.max_line_bytes then
+              Some
+                (Immediate
+                   [
+                     Protocol.err_protocol
+                       (Printf.sprintf "request exceeds %d bytes"
+                          cfg.max_line_bytes);
+                   ])
+            else
+              let sql = Protocol.clean_request line in
+              if sql = "" then
+                Some (Immediate [ Protocol.err_protocol "empty request" ])
+              else if String.uppercase_ascii sql = "QUIT" then begin
+                quit := true;
+                None
+              end
+              else begin
+                let t0 = Unix.gettimeofday () in
+                let item = execute t b sql in
+                Scheduler.metric_observe t.sched
+                  "sqlgraph_server_statement_seconds"
+                  (Unix.gettimeofday () -. t0)
+                  ~help:"Served statement latency";
+                Some item
+              end)
+          batch)
+  in
+  let acked =
+    List.exists (function Gated _ | Deferred _ -> true | _ -> false) items
+  in
+  let durable =
+    if not acked then Ok ()
+    else
+      (* one wait covers the whole batch: the target is captured after
+         the final flush, so it is past every write's WAL bytes *)
+      let target = Scheduler.log_target t.sched in
+      Db.protect (fun () -> Scheduler.wait_durable t.sched target)
+  in
+  let out =
+    List.concat_map
+      (fun item ->
+        match (item, durable) with
+        | Immediate resp, _ -> resp
+        | (Gated _ | Deferred _), Error e -> [ Protocol.err e ]
+        | Gated resp, Ok () -> resp
+        | Deferred (o, v), Ok () -> Protocol.ok_outcome ~snapshot:!v o)
+      items
+  in
+  if out <> [] then send t out;
+  if !quit then `Quit else `Continue
+
+(* --- session lifecycle --------------------------------------------- *)
+
+let cleanup t =
+  if t.holding_writer then begin
+    (* connection died mid-transaction: roll back so the writer Db (and
+       the WAL buffer, via dur_rollback) drop the uncommitted work *)
+    t.holding_writer <- false;
+    (try ignore (Db.exec (Scheduler.db t.sched) "ROLLBACK") with _ -> ());
+    Scheduler.publish t.sched;
+    Scheduler.writer_release t.sched
+  end;
+  (try Unix.close t.fd with _ -> ());
+  Telemetry.Trace.unregister_thread_track ();
+  Scheduler.leave t.sched
+
+let bye_close t reason =
+  (try send t [ Protocol.bye reason ] with Peer_gone -> ());
+  cleanup t
+
+let run t =
+  Telemetry.Trace.register_thread_track t.sid;
+  let cfg = Scheduler.config t.sched in
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let discarding = ref false in
+  (try
+     refresh t;
+     send t [ Protocol.hello ~sid:t.sid ~snapshot:t.last_version ];
+     let rec loop () =
+       match read_event t buf chunk discarding with
+       | Stop -> bye_close t "server shutting down"
+       | Eof -> cleanup t
+       | Idle ->
+         Scheduler.metric_inc t.sched "sqlgraph_server_idle_timeouts_total" 1
+           ~help:"Sessions closed by the idle timeout";
+         (try
+            send t
+              [
+                Protocol.err
+                  (Sqlgraph.Error.Resource_error
+                     {
+                       kind = Sqlgraph.Error.Timeout;
+                       spent = float_of_int cfg.idle_timeout_ms;
+                       limit = float_of_int cfg.idle_timeout_ms;
+                       site = "session_idle";
+                     });
+              ]
+          with Peer_gone -> ());
+         bye_close t "idle timeout"
+       | Died _ -> bye_close t "read failed"
+       | Oversized ->
+         send t
+           [
+             Protocol.err_protocol
+               (Printf.sprintf "request exceeds %d bytes" cfg.max_line_bytes);
+           ];
+         loop ()
+       | Line first ->
+         (* drain every complete request already buffered: they form one
+            batch with a single shared durability wait and one response
+            write (run_batch) *)
+         let rest = ref [] in
+         let rec drain () =
+           match take_line buf discarding with
+           | Some l ->
+             rest := l :: !rest;
+             drain ()
+           | None -> ()
+         in
+         drain ();
+         (match run_batch t (first :: List.rev !rest) with
+         | `Quit -> bye_close t "client quit"
+         | `Continue -> loop ())
+     in
+     loop ()
+   with
+  | Peer_gone -> cleanup t
+  | exn ->
+    (* defensive: no exception may leak out of a session thread *)
+    (try send t [ Protocol.bye ("internal error: " ^ Printexc.to_string exn) ]
+     with _ -> ());
+    cleanup t)
+
+let spawn sched ~sid fd =
+  let t =
+    {
+      sched;
+      sid;
+      fd;
+      session_db = Db.create ();
+      seen = Hashtbl.create 16;
+      last_version = -1;
+      loaded_version = -1;
+      holding_writer = false;
+      gov_mu = Mutex.create ();
+      current_gov = None;
+      thread = None;
+    }
+  in
+  t.thread <- Some (Thread.create run t);
+  t
+
+let join t = match t.thread with Some th -> Thread.join th | None -> ()

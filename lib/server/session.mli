@@ -1,0 +1,16 @@
+(** One connected client: a thread running the read-execute-respond
+    loop.  See the implementation header for statement routing (private
+    snapshot Db for reads, writer lock + group commit for writes). *)
+
+type t
+
+val spawn : Scheduler.t -> sid:int -> Unix.file_descr -> t
+(** Start the session thread on an admitted connection.  The session
+    owns [fd] (closes it on exit) and calls [Scheduler.leave] exactly
+    once. *)
+
+val cancel : t -> unit
+(** Cooperatively abort the statement in flight (if any) — called by the
+    server's shutdown path so drain cannot block on a long traversal. *)
+
+val join : t -> unit

@@ -195,10 +195,19 @@ let iter f t =
     f (get t i)
   done
 
+(* Blit the backing store instead of round-tripping every cell through
+   [get]/[append]: the server publishes a copy of each changed table on
+   every commit, so this is on the write hot path. *)
 let copy t =
-  let out = create ~capacity:(max 1 t.len) t.ty in
-  iter (append out) t;
-  out
+  let data =
+    match t.data with
+    | DInt a -> DInt (Array.copy a)
+    | DFloat a -> DFloat (Array.copy a)
+    | DBool b -> DBool (Bytes.copy b)
+    | DStr a -> DStr (Array.copy a)
+    | DBox a -> DBox (Array.copy a)
+  in
+  { ty = t.ty; data; len = t.len; nulls = Nullmask.copy t.nulls }
 
 let equal a b =
   Dtype.equal a.ty b.ty && a.len = b.len
