@@ -777,7 +777,10 @@ let max_sessions_arg =
   Arg.(
     value & opt int 32
     & info [ "max-sessions" ] ~docv:"N"
-        ~doc:"Session cap; further connections are refused with ERR busy.")
+        ~doc:
+          "Session cap; further connections are refused with ERR busy. \
+           Clamped to 900: session I/O uses select(2), which cannot handle \
+           file descriptors at or above FD_SETSIZE (1024).")
 
 let idle_timeout_arg =
   Arg.(

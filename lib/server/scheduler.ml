@@ -33,6 +33,9 @@ module Reg = Telemetry.Registry
 
 type config = {
   max_sessions : int;
+      (* clamped to {!max_selectable_sessions} at [create]: session
+         reads multiplex with Unix.select, which fails (or corrupts its
+         fd_set) for descriptors >= FD_SETSIZE (1024) *)
   idle_timeout_ms : int; (* per-read timeout; a session idling longer is closed *)
   max_line_bytes : int; (* request frame cap *)
   write_high_water : int; (* load-shed when this many writers are queued *)
@@ -117,7 +120,19 @@ let publish_locked t =
     Mutex.unlock t.mu
   end
 
+(* Session I/O goes through Unix.select, whose fd_set breaks for
+   descriptors >= FD_SETSIZE (1024).  Keep the session cap comfortably
+   below that so session fds — which sit above the listeners, the stop
+   pipe, the WAL fd and whatever the embedder holds open — stay
+   selectable even at full occupancy. *)
+let max_selectable_sessions = 900
+
 let create ?(config = default_config) ~db ~store () =
+  let config =
+    if config.max_sessions > max_selectable_sessions then
+      { config with max_sessions = max_selectable_sessions }
+    else config
+  in
   let stop_r, stop_w = Unix.pipe ~cloexec:true () in
   let metrics = Reg.create () in
   let metrics_mu = Mutex.create () in
@@ -243,7 +258,12 @@ let writer_acquire t =
     Mutex.lock t.writer;
     Mutex.lock t.mu;
     t.writers_waiting <- t.writers_waiting - 1;
+    let depth = t.writers_waiting in
     Mutex.unlock t.mu;
+    (* re-publish after leaving the queue, so the gauge falls back to 0
+       when the queue empties instead of sticking at its high-water mark *)
+    metric_gauge t "sqlgraph_server_write_queue_depth" (float_of_int depth)
+      ~help:"Sessions queued on the writer lock";
     `Ok
   end
 

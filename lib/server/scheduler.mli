@@ -5,7 +5,10 @@
     model. *)
 
 type config = {
-  max_sessions : int;  (** admission cap; beyond it connections get [ERR busy] *)
+  max_sessions : int;
+      (** admission cap; beyond it connections get [ERR busy].  Clamped
+          at {!create} to stay safely below [FD_SETSIZE] (1024), since
+          session I/O multiplexes with [Unix.select]. *)
   idle_timeout_ms : int;  (** close a session idle longer than this *)
   max_line_bytes : int;  (** request frame cap; longer lines are a protocol error *)
   write_high_water : int;  (** load-shed writes when this many are queued *)

@@ -137,17 +137,30 @@ let shutdown t =
   if not already then begin
     Scheduler.begin_stop t.sched;
     Mutex.lock t.mu;
-    let listeners = t.listeners and sessions = t.sessions in
+    let listeners = t.listeners in
     t.listeners <- [];
-    t.sessions <- [];
     Mutex.unlock t.mu;
     List.iter (fun (lfd, _) -> try Unix.close lfd with _ -> ()) listeners;
     List.iter (fun (_, th) -> Thread.join th) listeners;
     (match t.unix_path with
     | Some p -> ( try Unix.unlink p with _ -> ())
     | None -> ());
-    List.iter Session.cancel sessions;
-    List.iter Session.join sessions;
+    (* Drain sessions only after the accept loops are joined, and loop:
+       a connection accepted just before begin_stop may be appended to
+       [t.sessions] concurrently with the first snapshot, and it too
+       must be cancelled and joined before we checkpoint and exit. *)
+    let rec drain_sessions () =
+      Mutex.lock t.mu;
+      let sessions = t.sessions in
+      t.sessions <- [];
+      Mutex.unlock t.mu;
+      if sessions <> [] then begin
+        List.iter Session.cancel sessions;
+        List.iter Session.join sessions;
+        drain_sessions ()
+      end
+    in
+    drain_sessions ();
     (* drain done; make everything durable.  A crash injected at
        "shutdown_drain" leaves the WAL as the only source of truth —
        recovery must still produce every acknowledged commit. *)

@@ -197,11 +197,18 @@ let refresh t =
 type batch = {
   mutable wlock : bool;
   mutable vrefs : int ref list; (* deferred writes awaiting their version *)
+  mutable dur_target : int; (* highest lock-held WAL capture of this batch *)
 }
 
 (* End a run of batched autocommit writes: publish once, stamp each
-   deferred write with the snapshot version that publish produced, drop
-   the lock. *)
+   deferred write with the snapshot version that publish produced,
+   capture the durability target, drop the lock.  The capture must
+   happen *before* the release: once the lock is free another session's
+   failing statement can append WAL bytes and truncate them again
+   (dur_abort), so an unlocked read of the log end may name a position
+   the log never reaches again — and a wait on it would never return.
+   A lock-held capture can only cover our own (and earlier) appends,
+   which no later abort is allowed to truncate. *)
 let batch_flush t b =
   if b.wlock then begin
     b.wlock <- false;
@@ -209,6 +216,7 @@ let batch_flush t b =
     t.last_version <- Scheduler.snapshot_version t.sched;
     List.iter (fun r -> r := t.last_version) b.vrefs;
     b.vrefs <- [];
+    b.dur_target <- max b.dur_target (Scheduler.log_target t.sched);
     Scheduler.writer_release t.sched
   end
 
@@ -218,7 +226,8 @@ let batch_flush t b =
    publishes, and its OK must wait for the shared durability target. *)
 type item =
   | Immediate of string list
-  | Gated of string list (* rendered, but ack'd only after the fsync *)
+  | Gated of string list * int
+      (* rendered, but ack'd only after an fsync covers the target *)
   | Deferred of Db.exec_outcome * int ref
 
 (* Execute one request inside a batch. *)
@@ -270,9 +279,13 @@ let execute t b sql =
       end
       else begin
         t.holding_writer <- false;
-        match exec_write_prepare t ~release:true sql with
-        | resp, Some _ -> Gated resp
-        | resp, None -> Immediate resp
+        match (exec_write_prepare t ~release:true sql, stmt) with
+        (* ROLLBACK appends nothing (the WAL buffer is dropped), so its
+           OK needs no fsync — gating it would delay the ack behind
+           other sessions' unrelated bytes *)
+        | (resp, _), Sql.Ast.Rollback_txn -> Immediate resp
+        | (resp, Some target), _ -> Gated (resp, target)
+        | (resp, None), _ -> Immediate resp
       end
     | _ when is_write stmt ->
       if t.holding_writer then
@@ -316,7 +329,7 @@ let execute t b sql =
 let run_batch t batch =
   let cfg = Scheduler.config t.sched in
   let quit = ref false in
-  let b = { wlock = false; vrefs = [] } in
+  let b = { wlock = false; vrefs = []; dur_target = 0 } in
   let items =
     Fun.protect
       ~finally:(fun () -> batch_flush t b) (* never leak the writer lock *)
@@ -357,9 +370,18 @@ let run_batch t batch =
   let durable =
     if not acked then Ok ()
     else
-      (* one wait covers the whole batch: the target is captured after
-         the final flush, so it is past every write's WAL bytes *)
-      let target = Scheduler.log_target t.sched in
+      (* one wait covers the whole batch: every target was captured
+         under the writer lock (batch_flush for Deferred runs,
+         exec_write_prepare for Gated commits), so each names a log
+         position a later abort's truncation cannot remove — waiting on
+         their max terminates.  Re-reading the log end here, unlocked,
+         could observe another session's soon-to-be-truncated bytes and
+         wait for a position the log never reaches again. *)
+      let target =
+        List.fold_left
+          (fun acc -> function Gated (_, tgt) -> max acc tgt | _ -> acc)
+          b.dur_target items
+      in
       Db.protect (fun () -> Scheduler.wait_durable t.sched target)
   in
   let out =
@@ -368,7 +390,7 @@ let run_batch t batch =
         match (item, durable) with
         | Immediate resp, _ -> resp
         | (Gated _ | Deferred _), Error e -> [ Protocol.err e ]
-        | Gated resp, Ok () -> resp
+        | Gated (resp, _), Ok () -> resp
         | Deferred (o, v), Ok () -> Protocol.ok_outcome ~snapshot:!v o)
       items
   in
