@@ -548,7 +548,9 @@ let pairs_bench ?json ~ratio ~sources ~seed () =
   let before = Graph.Runtime.traversal_counters rt in
   let batched, t_batched = time (fun () -> run `Batched) in
   let after = Graph.Runtime.traversal_counters rt in
+  let before4 = Graph.Runtime.traversal_counters rt in
   let _, t_batched4 = time (fun () -> run ~domains:4 `Batched) in
+  let after4 = Graph.Runtime.traversal_counters rt in
   let identical =
     Array.for_all2
       (fun a b ->
@@ -597,6 +599,12 @@ let pairs_bench ?json ~ratio ~sources ~seed () =
   let switches =
     after.Graph.Workspace.dir_switches - before.Graph.Workspace.dir_switches
   in
+  (* domains=4 absorbs each domain's counters back into the shared
+     workspace at join, so the same before/after delta applies *)
+  let waves4 = after4.Graph.Workspace.waves - before4.Graph.Workspace.waves in
+  let switches4 =
+    after4.Graph.Workspace.dir_switches - before4.Graph.Workspace.dir_switches
+  in
   let n_edges = Graph.Runtime.edge_count rt in
   Printf.printf
     "graph: %d vertices, %d edges; %d pairs (byte-identical outcomes)\n"
@@ -606,7 +614,8 @@ let pairs_bench ?json ~ratio ~sources ~seed () =
   Printf.printf "%-28s %14.6f\n" "scalar per-source" t_scalar;
   Printf.printf "%-28s %14.6f   (%d waves, %d dir switches)\n" "batched ms-bfs"
     t_batched waves switches;
-  Printf.printf "%-28s %14.6f\n" "batched ms-bfs, domains=4" t_batched4;
+  Printf.printf "%-28s %14.6f   (%d waves, %d dir switches)\n"
+    "batched ms-bfs, domains=4" t_batched4 waves4 switches4;
   Printf.printf "speedup (batched vs scalar, domains=1): %.2fx\n%!"
     (t_scalar /. t_batched);
   match json with
@@ -643,6 +652,8 @@ let pairs_bench ?json ~ratio ~sources ~seed () =
                      ( "name",
                        Sqlgraph.Metrics.String "pairs/batched-msbfs-domains4" );
                      ("seconds", Sqlgraph.Metrics.num t_batched4);
+                     ("waves", Sqlgraph.Metrics.Int waves4);
+                     ("dir_switches", Sqlgraph.Metrics.Int switches4);
                    ];
                ] );
            ( "speedup_batched_vs_scalar",
@@ -1261,6 +1272,87 @@ let server_cmd =
       const (fun commits clients json -> server_bench ?json ~commits ~clients ())
       $ server_commits_arg $ server_clients_arg $ server_json_arg)
 
+(* ------------------------------------------------------------------ *)
+(* sim: the discrete-event workload simulator (stress tier) *)
+
+let sim_bench ?json ~tier ~backend ~seed ~statements ~clients () =
+  let cfg = Sim.Driver.config_of_tier ~backend ~seed tier in
+  let cfg =
+    {
+      cfg with
+      Sim.Driver.statements =
+        (match statements with Some n -> n | None -> cfg.Sim.Driver.statements);
+      clients =
+        (match clients with Some n -> n | None -> cfg.Sim.Driver.clients);
+    }
+  in
+  Printf.printf
+    "== sim: %d clients, %d statements over %d persons / %d friendships \
+     (seed %d, %s backend) ==\n%!"
+    cfg.Sim.Driver.clients cfg.Sim.Driver.statements cfg.Sim.Driver.persons
+    cfg.Sim.Driver.friendships cfg.Sim.Driver.seed
+    (match backend with
+    | Sim.Driver.Inproc -> "inproc"
+    | Sim.Driver.Server_sessions -> "server");
+  let report = Sim.Driver.run cfg in
+  Sim.Driver.print_report report;
+  Option.iter
+    (fun path ->
+      Sqlgraph.Metrics.write_file ~path (Sim.Driver.json_report cfg report);
+      Printf.printf "wrote %s\n%!" path)
+    json;
+  if report.Sim.Driver.violation_count > 0 then exit 3
+
+let sim_tier_arg =
+  let doc = "Workload tier: small (~50k statements), medium (1M), large \
+             (2M over an SF100-class graph)." in
+  let tier =
+    Arg.enum
+      [
+        ("small", Sim.Driver.Small);
+        ("medium", Sim.Driver.Medium);
+        ("large", Sim.Driver.Large);
+      ]
+  in
+  Arg.(value & opt tier Sim.Driver.Small & info [ "tier" ] ~doc)
+
+let sim_backend_arg =
+  let doc = "Backend: inproc (WAL-backed Db, supports kill-and-recover) or \
+             server (multi-session server over socketpairs)." in
+  let backend =
+    Arg.enum
+      [
+        ("inproc", Sim.Driver.Inproc); ("server", Sim.Driver.Server_sessions);
+      ]
+  in
+  Arg.(value & opt backend Sim.Driver.Inproc & info [ "backend" ] ~doc)
+
+let sim_statements_arg =
+  let doc = "Override the tier's statement count." in
+  Arg.(value & opt (some int) None & info [ "statements" ] ~doc)
+
+let sim_clients_arg =
+  let doc = "Override the tier's simulated client count." in
+  Arg.(value & opt (some int) None & info [ "clients" ] ~doc)
+
+let sim_json_arg =
+  let doc =
+    "Write the sim report to this file as JSON (schema sqlgraph-bench-v1), \
+     e.g. BENCH_sim.json."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let sim_cmd =
+  cmd "sim"
+    "Deterministic discrete-event workload simulator: seeded statement \
+     mixes, invariant checks, kill-and-recover, per-class latency \
+     percentiles."
+    Term.(
+      const (fun tier backend seed statements clients json ->
+          sim_bench ?json ~tier ~backend ~seed ~statements ~clients ())
+      $ sim_tier_arg $ sim_backend_arg $ seed_arg $ sim_statements_arg
+      $ sim_clients_arg $ sim_json_arg)
+
 let run_everything ratio sfs batches reps seed =
   table1 ~ratio ~sfs ~seed;
   fig1a ~ratio ~sfs ~reps ~seed;
@@ -1305,5 +1397,5 @@ let () =
             ablation_heap_cmd; ablation_rewrite_cmd; ablation_csr_cmd;
             ablation_index_cmd; ablation_dict_cmd; ablation_parallel_cmd;
             ablation_vectorized_cmd; baselines_cmd; pairs_cmd; wal_cmd;
-            server_cmd; micro_cmd; all_cmd;
+            server_cmd; sim_cmd; micro_cmd; all_cmd;
           ]))

@@ -922,6 +922,91 @@ let client_cmd =
     (Cmd.info "client" ~doc:"Connect to a running $(b,sqlgraph serve).")
     Term.(const client_main $ socket_arg $ host_arg $ port_arg $ exec_arg)
 
+(* ---- stress: the discrete-event workload simulator ---- *)
+
+let stress_main tier backend seed statements clients json =
+  let cfg = Sim.Driver.config_of_tier ~backend ~seed tier in
+  let cfg =
+    {
+      cfg with
+      Sim.Driver.statements =
+        Option.value ~default:cfg.Sim.Driver.statements statements;
+      clients = Option.value ~default:cfg.Sim.Driver.clients clients;
+    }
+  in
+  let report = Sim.Driver.run cfg in
+  Sim.Driver.print_report report;
+  Option.iter
+    (fun path -> Sqlgraph.Metrics.write_file ~path (Sim.Driver.json_report cfg report))
+    json;
+  exit (if report.Sim.Driver.violation_count > 0 then 1 else 0)
+
+let stress_cmd =
+  let tier_arg =
+    let tier =
+      Arg.enum
+        [
+          ("small", Sim.Driver.Small);
+          ("medium", Sim.Driver.Medium);
+          ("large", Sim.Driver.Large);
+        ]
+    in
+    Arg.(
+      value
+      & opt tier Sim.Driver.Small
+      & info [ "tier" ]
+          ~doc:
+            "Workload tier: $(b,small) (~50k statements), $(b,medium) (1M), \
+             $(b,large) (2M over an SF100-class graph).")
+  in
+  let backend_arg =
+    let backend =
+      Arg.enum
+        [ ("inproc", Sim.Driver.Inproc); ("server", Sim.Driver.Server_sessions) ]
+    in
+    Arg.(
+      value
+      & opt backend Sim.Driver.Inproc
+      & info [ "backend" ]
+          ~doc:
+            "$(b,inproc) drives a WAL-backed database (supports \
+             kill-and-recover); $(b,server) drives the multi-session server \
+             over socketpairs (reconnect churn, snapshot monotonicity).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 20170519
+      & info [ "seed" ] ~doc:"Simulation seed; same seed, same trace digest.")
+  in
+  let statements_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "statements" ] ~doc:"Override the tier's statement count.")
+  in
+  let clients_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "clients" ] ~doc:"Override the tier's simulated client count.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the report as JSON (schema sqlgraph-bench-v1).")
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:
+         "Run the deterministic workload simulator: seeded statement mixes, \
+          invariant checks, kill-and-recover, latency percentiles. Exit \
+          status: 0 clean, 1 invariant violations.")
+    Term.(
+      const stress_main $ tier_arg $ backend_arg $ seed_arg $ statements_arg
+      $ clients_arg $ json_arg)
+
 let () =
   Sqlgraph.Fault.arm_from_env ();
   let info =
@@ -936,4 +1021,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ repl_cmd; run_cmd; demo_cmd; serve_cmd; client_cmd ]))
+          [ repl_cmd; run_cmd; demo_cmd; serve_cmd; client_cmd; stress_cmd ]))

@@ -416,4 +416,47 @@ done
 }
 echo "   group-commit speedup: ${srv_x}x"
 
-echo "OK: build, tests, fault-injection, EXPLAIN ANALYZE, batched traversal, bench, telemetry, durability and server smokes all passed"
+echo "== sim smoke (small tier: ~50k statements, kill-and-recover, zero violations)"
+trap 'rm -f "$script" "$out" "$ea_script" "$metrics" "$ms_script" "$obs_script" "$prom" "$slowlog" "$ack" "$srv_log" BENCH_smoke.json BENCH_pairs_smoke.json TRACE_smoke.json BENCH_wal_smoke.json BENCH_server_smoke.json BENCH_sim_smoke.json; rm -rf "$ddir" "$sdir" "$ackdir"' EXIT
+dune exec bench/main.exe -- sim --tier small --json BENCH_sim_smoke.json \
+    > "$out" 2>&1 || {
+  echo "FAIL: bench sim --tier small exited nonzero:"
+  cat "$out"
+  exit 1
+}
+grep -q '"schema": "sqlgraph-bench-v1"' BENCH_sim_smoke.json || {
+  echo "FAIL: bench sim --json did not emit sqlgraph-bench-v1"
+  cat "$out"
+  exit 1
+}
+grep -q '"violations": 0' BENCH_sim_smoke.json || {
+  echo "FAIL: sim smoke reported invariant violations:"
+  cat BENCH_sim_smoke.json
+  exit 1
+}
+grep -q '"recoveries": 1' BENCH_sim_smoke.json || {
+  echo "FAIL: sim smoke did not run its scripted kill-and-recover:"
+  cat BENCH_sim_smoke.json
+  exit 1
+}
+# every reported class must have a nonzero p99
+if sed -n 's/.*"p99_seconds": \([0-9.eE+-]*\).*/\1/p' BENCH_sim_smoke.json \
+    | awk '{ if ($1 + 0 <= 0) bad = 1 } END { exit bad }'; then
+  :
+else
+  echo "FAIL: sim smoke has a zero p99 latency class:"
+  cat BENCH_sim_smoke.json
+  exit 1
+fi
+# determinism: the same seed must reproduce the trace digest
+digest1=$(sed -n 's/.*"digest": "\([0-9a-f]*\)".*/\1/p' BENCH_sim_smoke.json | head -1)
+dune exec bench/main.exe -- sim --tier small --json BENCH_sim_smoke.json \
+    > "$out" 2>&1
+digest2=$(sed -n 's/.*"digest": "\([0-9a-f]*\)".*/\1/p' BENCH_sim_smoke.json | head -1)
+[ -n "$digest1" ] && [ "$digest1" = "$digest2" ] || {
+  echo "FAIL: sim trace digest not reproducible ($digest1 vs $digest2)"
+  exit 1
+}
+echo "   50k statements, 0 violations, digest $digest1 reproduced"
+
+echo "OK: build, tests, fault-injection, EXPLAIN ANALYZE, batched traversal, bench, telemetry, durability, server and sim smokes all passed"

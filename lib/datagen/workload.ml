@@ -4,10 +4,39 @@ let random_pairs ~seed ~ids n =
   if Array.length ids = 0 then invalid_arg "Workload.random_pairs: no ids";
   let rng = Splitmix.create ~seed in
   let m = Array.length ids in
+  (* source ≠ destination is only satisfiable when [ids] holds at least
+     two distinct *values* — |ids| > 1 is not enough if it repeats one id *)
+  let distinct_exists =
+    m > 1 && Array.exists (fun v -> v <> ids.(0)) ids
+  in
+  (* Rejection-sample the destination: conditioning a uniform draw on
+     "≠ a" keeps it uniform over the remaining values. The retry bound
+     only triggers on arrays dominated by duplicates of [a]; the
+     fallback scans from a uniform start, so every non-[a] value keeps
+     positive probability and the stream stays a pure function of the
+     seed. *)
+  let other a =
+    let rec draw tries =
+      let b = ids.(Splitmix.int rng ~bound:m) in
+      if b <> a then b
+      else if tries < 64 then draw (tries + 1)
+      else begin
+        let start = Splitmix.int rng ~bound:m in
+        let b = ref a and k = ref 0 in
+        while !b = a && !k < m do
+          b := ids.((start + !k) mod m);
+          incr k
+        done;
+        !b
+      end
+    in
+    draw 0
+  in
   Array.init n (fun _ ->
       let a = ids.(Splitmix.int rng ~bound:m) in
-      let b = ids.(Splitmix.int rng ~bound:m) in
-      let b = if a = b && m > 1 then ids.(Splitmix.int rng ~bound:m) else b in
+      let b =
+        if distinct_exists then other a else ids.(Splitmix.int rng ~bound:m)
+      in
       (a, b))
 
 let pairs_table pairs =

@@ -3,7 +3,10 @@
     generated persons and according to a uniform distribution" (§4). *)
 
 (** [random_pairs ~seed ~ids n] — [n] ⟨source, destination⟩ person-id
-    pairs, uniform over [ids], source ≠ destination when possible. *)
+    pairs, uniform over [ids]. Source ≠ destination is guaranteed
+    whenever [ids] contains at least two distinct values (destinations
+    are rejection-sampled); with a single distinct value the pair
+    degenerates to it. Same seed ⇒ identical pairs. *)
 val random_pairs : seed:int -> ids:int array -> int -> (int * int) array
 
 (** [pairs_table pairs] — the pairs as a table (s INTEGER, d INTEGER),

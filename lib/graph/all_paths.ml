@@ -22,7 +22,7 @@ let build ?(check = Cancel.none) csr ~source =
       Csr.iter_out csr u (fun ~slot ~target ->
           if dist.(target) = dist.(u) + 1 then
             preds.(target) <-
-              (u, csr.Csr.edge_rows.(slot)) :: preds.(target))
+              (u, Ivec.get csr.Csr.edge_rows slot) :: preds.(target))
   done;
   Cancel.flush tk;
   { csr; source; dist; preds }

@@ -93,13 +93,13 @@ let run ?(check = Cancel.none) ?rev ?(alpha = default_alpha)
           let stop = rev.Csr.offsets.(v + 1) in
           while (not !found) && !k < stop do
             incr edges;
-            let u = rev.Csr.targets.(!k) in
+            let u = Ivec.get rev.Csr.targets !k in
             if Workspace.visited ws u && ws.dist_int.(u) = d then begin
               found := true;
               Workspace.mark_visited ws v;
               ws.dist_int.(v) <- d + 1;
               ws.parent_vertex.(v) <- u;
-              ws.parent_slot.(v) <- rev.Csr.edge_rows.(!k);
+              ws.parent_slot.(v) <- Ivec.get rev.Csr.edge_rows !k;
               m_unexplored := !m_unexplored - Csr.out_degree csr v;
               settle v;
               !next.(!nnext) <- v;

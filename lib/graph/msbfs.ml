@@ -138,10 +138,10 @@ let run ?(check = Cancel.none) ?rev ?(alpha = Bfs.default_alpha)
           let stop = rev.Csr.offsets.(v + 1) in
           while !poss <> 0 && !k < stop do
             incr edges;
-            let u = rev.Csr.targets.(!k) in
+            let u = Ivec.get rev.Csr.targets !k in
             let avail = cur_mask.(u) land !poss in
             if avail <> 0 then begin
-              discover v avail ~parent:u ~slot:rev.Csr.edge_rows.(!k);
+              discover v avail ~parent:u ~slot:(Ivec.get rev.Csr.edge_rows !k);
               poss := !poss land lnot avail
             end;
             incr k
@@ -203,7 +203,7 @@ let edge_rows (ws : Workspace.t) (csr : Csr.t) ~lane ~source ~dst =
     let v = ref dst in
     for i = hops - 1 downto 0 do
       let k = Workspace.find_record bs ~v:!v ~lane in
-      rows.(i) <- csr.Csr.edge_rows.(bs.Workspace.rec_slot.(k));
+      rows.(i) <- Ivec.get csr.Csr.edge_rows bs.Workspace.rec_slot.(k);
       v := bs.Workspace.rec_parent.(k)
     done;
     rows

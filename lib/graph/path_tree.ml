@@ -14,7 +14,7 @@ let edge_rows (ws : Workspace.t) (csr : Csr.t) ~source ~dst =
   let rows = Array.make hops 0 in
   let rec fill v i =
     if v <> source then begin
-      rows.(i) <- csr.Csr.edge_rows.(ws.parent_slot.(v));
+      rows.(i) <- Ivec.get csr.Csr.edge_rows ws.parent_slot.(v);
       fill ws.parent_vertex.(v) (i - 1)
     end
   in

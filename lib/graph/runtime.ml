@@ -121,26 +121,26 @@ type outcome =
    every edge that made it into the graph. *)
 let slot_weights_int t per_row =
   let rows = t.csr.Csr.edge_rows in
-  Array.init (Array.length rows) (fun slot ->
-      let w = per_row.(rows.(slot)) in
+  Array.init (Ivec.length rows) (fun slot ->
+      let w = per_row.(Ivec.get rows slot) in
       if w <= 0 then
         raise
           (Weight_error
              (Printf.sprintf
                 "edge weight must be > 0, got %d at edge-table row %d" w
-                rows.(slot)));
+                (Ivec.get rows slot)));
       w)
 
 let slot_weights_float t per_row =
   let rows = t.csr.Csr.edge_rows in
-  Array.init (Array.length rows) (fun slot ->
-      let w = per_row.(rows.(slot)) in
+  Array.init (Ivec.length rows) (fun slot ->
+      let w = per_row.(Ivec.get rows slot) in
       if not (w > 0.) then
         raise
           (Weight_error
              (Printf.sprintf
                 "edge weight must be > 0, got %g at edge-table row %d" w
-                rows.(slot)));
+                (Ivec.get rows slot)));
       w)
 
 (* Group pair indices by encoded source id so each distinct source runs a

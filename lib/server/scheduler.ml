@@ -31,6 +31,11 @@
 
 module Reg = Telemetry.Registry
 
+(* Idle-deadline time source: [Wall] keeps the production single-select
+   behaviour; [Manual] lets tests drive the timeout on a virtual clock
+   (the session reader then polls in short ticks). *)
+type clock = Wall | Manual of (unit -> float)
+
 type config = {
   max_sessions : int;
       (* clamped to {!max_selectable_sessions} at [create]: session
@@ -41,6 +46,7 @@ type config = {
   write_high_water : int; (* load-shed when this many writers are queued *)
   busy_retry_ms : int; (* retry hint sent with busy rejections *)
   budget : Sqlgraph.Governor.budget; (* per-statement resource budget *)
+  clock : clock; (* idle-deadline time source; Wall outside tests *)
 }
 
 let default_config =
@@ -51,6 +57,7 @@ let default_config =
     write_high_water = 16;
     busy_retry_ms = 50;
     budget = Sqlgraph.Governor.no_limits;
+    clock = Wall;
   }
 
 type t = {

@@ -4,6 +4,15 @@
     reference.  See the implementation header for the concurrency
     model. *)
 
+(** Time source for session idle-deadline accounting (the pattern of
+    [Telemetry.Trace.set_clock], scoped to one server).  [Wall] is
+    production behaviour: the idle timeout is a single full-length
+    [select].  [Manual f] reads virtual seconds from [f] and the session
+    reader polls in short ticks instead — a test advances the virtual
+    clock and the timeout fires deterministically, with no real-time
+    sleeps to race against. *)
+type clock = Wall | Manual of (unit -> float)
+
 type config = {
   max_sessions : int;
       (** admission cap; beyond it connections get [ERR busy].  Clamped
@@ -14,6 +23,7 @@ type config = {
   write_high_water : int;  (** load-shed writes when this many are queued *)
   busy_retry_ms : int;  (** retry hint attached to busy rejections *)
   budget : Sqlgraph.Governor.budget;  (** per-statement resource budget *)
+  clock : clock;  (** idle-deadline time source; [Wall] outside tests *)
 }
 
 val default_config : config

@@ -113,22 +113,39 @@ let read_event t buf chunk discarding =
         Oversized
       end
       else begin
+        (* Idle accounting goes through the scheduler's clock.  [Wall]
+           is the production path: one select covers the whole budget.
+           [Manual] (tests) keeps the deadline on the virtual clock and
+           degrades select to short real ticks, so a test fires the
+           timeout by advancing virtual time — no real-time sleeps. *)
         let timeout = float_of_int cfg.idle_timeout_ms /. 1000. in
-        match Unix.select [ t.fd; stop ] [] [] timeout with
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-        | [], _, _ -> Idle
-        | ready, _, _ when List.mem stop ready -> Stop
-        | _ -> (
-          match
-            Fault.hit ~site:"session_read";
-            Unix.read t.fd chunk 0 (Bytes.length chunk)
-          with
-          | 0 -> Eof
-          | n ->
-            Buffer.add_subbytes buf chunk 0 n;
-            go ()
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-          | exception exn -> Died exn)
+        let deadline, tick =
+          match cfg.clock with
+          | Scheduler.Wall -> (0., timeout)
+          | Scheduler.Manual now -> (now () +. timeout, 0.002)
+        in
+        let rec wait () =
+          match Unix.select [ t.fd; stop ] [] [] tick with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+          | [], _, _ -> (
+            match cfg.clock with
+            | Scheduler.Wall -> Idle
+            | Scheduler.Manual now ->
+              if now () >= deadline then Idle else wait ())
+          | ready, _, _ when List.mem stop ready -> Stop
+          | _ -> (
+            match
+              Fault.hit ~site:"session_read";
+              Unix.read t.fd chunk 0 (Bytes.length chunk)
+            with
+            | 0 -> Eof
+            | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              go ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+            | exception exn -> Died exn)
+        in
+        wait ()
       end
   in
   go ()

@@ -1,0 +1,18 @@
+(** Binary min-heap event queue over the simulator's virtual clock.
+
+    Events pop in nondecreasing time order; equal times pop in push
+    order (FIFO tie-break by an internal sequence number), so the pop
+    sequence is a pure function of the push sequence — the determinism
+    guarantee the workload driver's trace digest relies on. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Schedule [payload] at virtual [time]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event, [None] when empty. *)

@@ -158,6 +158,68 @@ let test_workload_pairs_table () =
   check tbool "params helper" true
     (Datagen.Workload.params_of_pair (7, 8) = [| V.Int 7; V.Int 8 |])
 
+(* qcheck properties for random_pairs: the generator must be a pure
+   function of the seed, never emit source = destination when the id set
+   has two distinct values, and cover the id set roughly uniformly. *)
+
+let gen_ids_seed =
+  QCheck.Gen.(
+    pair
+      (list_size (int_range 1 40) (int_range 0 1_000_000))
+      (int_range 0 10_000))
+
+let prop_pairs_deterministic =
+  QCheck.Test.make ~count:100 ~name:"random_pairs: same seed, same pairs"
+    (QCheck.make gen_ids_seed) (fun (ids, seed) ->
+      let ids = Array.of_list ids in
+      let a = Datagen.Workload.random_pairs ~seed ~ids 50 in
+      let b = Datagen.Workload.random_pairs ~seed ~ids 50 in
+      a = b)
+
+let prop_pairs_distinct_endpoints =
+  QCheck.Test.make ~count:200
+    ~name:"random_pairs: src <> dst whenever two distinct ids exist"
+    (QCheck.make gen_ids_seed) (fun (ids, seed) ->
+      let ids = Array.of_list ids in
+      let distinct =
+        Array.length ids > 1 && Array.exists (fun v -> v <> ids.(0)) ids
+      in
+      let pairs = Datagen.Workload.random_pairs ~seed ~ids 60 in
+      Array.for_all
+        (fun (s, d) ->
+          Array.exists (( = ) s) ids
+          && Array.exists (( = ) d) ids
+          && ((not distinct) || s <> d))
+        pairs)
+
+let test_pairs_coverage () =
+  (* uniformity sanity: over a small id set and many draws, every id
+     shows up as a source and as a destination, and no id dominates *)
+  let ids = [| 1; 2; 3; 4; 5 |] in
+  let n = 5_000 in
+  let pairs = Datagen.Workload.random_pairs ~seed:13 ~ids n in
+  let src_count = Hashtbl.create 8 and dst_count = Hashtbl.create 8 in
+  let bump h k =
+    Hashtbl.replace h k (1 + Option.value ~default:0 (Hashtbl.find_opt h k))
+  in
+  Array.iter
+    (fun (s, d) ->
+      bump src_count s;
+      bump dst_count d)
+    pairs;
+  let expect = n / Array.length ids in
+  Array.iter
+    (fun id ->
+      let s = Option.value ~default:0 (Hashtbl.find_opt src_count id) in
+      let d = Option.value ~default:0 (Hashtbl.find_opt dst_count id) in
+      (* loose 3-sigma-ish band: uniform would give ~1000 each *)
+      if s < expect / 2 || s > expect * 2 then
+        Alcotest.failf "source %d drawn %d times (expected ~%d)" id s expect;
+      if d < expect / 2 || d > expect * 2 then
+        Alcotest.failf "destination %d drawn %d times (expected ~%d)" id d
+          expect)
+    ids
+
 let test_snb_loads_into_engine () =
   (* the generated tables must be directly usable by the SQL engine *)
   let g = Datagen.Snb.generate_custom ~persons:60 ~friendships:150 ~seed:21 () in
@@ -202,5 +264,8 @@ let () =
         [
           Alcotest.test_case "random pairs" `Quick test_workload_pairs;
           Alcotest.test_case "pairs table" `Quick test_workload_pairs_table;
+          QCheck_alcotest.to_alcotest prop_pairs_deterministic;
+          QCheck_alcotest.to_alcotest prop_pairs_distinct_endpoints;
+          Alcotest.test_case "coverage sanity" `Quick test_pairs_coverage;
         ] );
     ]

@@ -106,7 +106,7 @@ let test_csr_preserves_edge_rows () =
   (* slots for vertex 1 must reference original rows 0 and 2 *)
   let rows = ref [] in
   Graph.Csr.iter_out csr 1 (fun ~slot ~target:_ ->
-      rows := csr.Graph.Csr.edge_rows.(slot) :: !rows);
+      rows := Graph.Ivec.get csr.Graph.Csr.edge_rows slot :: !rows);
   check tbool "rows" true (List.sort compare !rows = [ 0; 2 ])
 
 let test_csr_skips_invalid () =

@@ -428,7 +428,7 @@ let prop_reverse_mirrors_forward =
       let csr = build_csr edges in
       let rev = Graph.Csr.reverse csr in
       let n = 9 in
-      let nedges = Array.length csr.Graph.Csr.targets in
+      let nedges = Graph.Ivec.length csr.Graph.Csr.targets in
       let slot_src = Array.make (max nedges 1) (-1) in
       for v = 0 to n - 1 do
         for s = csr.Graph.Csr.offsets.(v) to csr.Graph.Csr.offsets.(v + 1) - 1
@@ -436,18 +436,18 @@ let prop_reverse_mirrors_forward =
           slot_src.(s) <- v
         done
       done;
-      let ok = ref (Array.length rev.Graph.Csr.targets = nedges) in
+      let ok = ref (Graph.Ivec.length rev.Graph.Csr.targets = nedges) in
       for v = 0 to n - 1 do
         let last = ref (-1) in
         for k = rev.Graph.Csr.offsets.(v) to rev.Graph.Csr.offsets.(v + 1) - 1
         do
-          let u = rev.Graph.Csr.targets.(k) in
-          let slot = rev.Graph.Csr.edge_rows.(k) in
+          let u = Graph.Ivec.get rev.Graph.Csr.targets k in
+          let slot = Graph.Ivec.get rev.Graph.Csr.edge_rows k in
           if
             not
               (slot > !last
               && slot_src.(slot) = u
-              && csr.Graph.Csr.targets.(slot) = v)
+              && Graph.Ivec.get csr.Graph.Csr.targets slot = v)
           then ok := false;
           last := slot
         done

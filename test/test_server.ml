@@ -212,10 +212,31 @@ let test_half_closed_socket () =
       Client.close c)
 
 let test_idle_timeout () =
-  let config = { small_config with idle_timeout_ms = 120 } in
+  (* The idle deadline runs on an injectable virtual clock
+     (Scheduler.Manual): instead of configuring a short real timeout and
+     sleeping through it — flaky under load — the test jumps virtual
+     time past a 5-virtual-second budget and the session must notice.
+     Each bump exceeds the whole budget, so whichever virtual instant
+     the session captured its deadline at, some bump passes it. *)
+  let vnow = ref 0. in
+  let config =
+    {
+      small_config with
+      idle_timeout_ms = 5_000;
+      clock = Scheduler.Manual (fun () -> !vnow);
+    }
+  in
   with_server ~config (fresh_db ()) (fun srv ->
-      let c = connect1 srv in
+      let c, fd = connect srv in
       ignore (Client.hello ~timeout_ms:5_000 c);
+      let rec await n =
+        if n > 400 then Alcotest.fail "idle timeout never fired";
+        vnow := !vnow +. 10.;
+        match Unix.select [ fd ] [] [] 0.025 with
+        | [], _, _ -> await (n + 1)
+        | _ -> ()
+      in
+      await 0;
       let first = Client.read_line ~timeout_ms:5_000 c in
       check tbool "ERR resource:timeout" true
         (has_prefix ~prefix:"ERR resource:timeout" first);
@@ -251,6 +272,66 @@ let test_load_shed () =
       let resp = Client.request ~timeout_ms:5_000 c "SELECT COUNT(*) FROM t" in
       check tbool "reads unaffected" true (Client.is_ok resp);
       Client.close c)
+
+(* The retry half of load shedding, with the backoff on the virtual
+   clock: a shed client honours retry_ms by advancing virtual time (no
+   real sleeping), and the retry must succeed once the writer queue
+   drains.  Sequencing is event-driven — the test waits on the write
+   queue-depth gauge, not on timed sleeps. *)
+let test_load_shed_retry () =
+  let vnow = ref 0. in
+  let config =
+    {
+      small_config with
+      write_high_water = 1;
+      busy_retry_ms = 40;
+      clock = Scheduler.Manual (fun () -> !vnow);
+    }
+  in
+  with_server ~config (fresh_db ()) (fun srv ->
+      let queue_depth () =
+        Telemetry.Registry.fold
+          (Scheduler.metrics (Server.scheduler srv))
+          ~init:0
+          ~f:(fun acc name ~help:_ m ->
+            match m with
+            | Telemetry.Registry.Gauge g
+              when name = "sqlgraph_server_write_queue_depth" ->
+              int_of_float g
+            | _ -> acc)
+      in
+      let holder = connect1 srv in
+      let resp = Client.request ~timeout_ms:5_000 holder "BEGIN" in
+      check tbool "writer lock held" true (Client.is_ok resp);
+      (* a second writer queues behind the lock (below high water)... *)
+      let queued = connect1 srv in
+      ignore (Client.hello ~timeout_ms:5_000 queued);
+      Client.send_line queued "INSERT INTO t VALUES (7)";
+      let deadline = Unix.gettimeofday () +. 10. in
+      while queue_depth () < 1 && Unix.gettimeofday () < deadline do
+        Thread.yield ()
+      done;
+      check tint "one writer queued" 1 (queue_depth ());
+      (* ...so a third is shed with a retry hint *)
+      let shed = connect1 srv in
+      let resp = Client.request ~timeout_ms:5_000 shed "INSERT INTO t VALUES (8)" in
+      let line = Client.terminal resp in
+      check tbool "third writer shed" true
+        (has_prefix ~prefix:"ERR busy retry_ms=40" line);
+      (* back off for retry_ms on the virtual clock, drain the queue *)
+      vnow := !vnow +. (float_of_int config.busy_retry_ms /. 1000.);
+      let resp = Client.request ~timeout_ms:5_000 holder "COMMIT" in
+      check tbool "holder commits" true (Client.is_ok resp);
+      let rec collect acc =
+        let l = Client.read_line ~timeout_ms:5_000 queued in
+        if Protocol.is_terminal l then List.rev (l :: acc)
+        else collect (l :: acc)
+      in
+      check tbool "queued writer completes" true (Client.is_ok (collect []));
+      (* the retry lands *)
+      let resp = Client.request ~timeout_ms:5_000 shed "INSERT INTO t VALUES (8)" in
+      check tbool "retry succeeds" true (Client.is_ok resp);
+      List.iter Client.close [ holder; queued; shed ])
 
 let test_quit_and_shutdown () =
   with_server ~config:small_config (fresh_db ()) (fun srv ->
@@ -707,6 +788,8 @@ let () =
           Alcotest.test_case "idle timeout" `Quick test_idle_timeout;
           Alcotest.test_case "session cap" `Quick test_session_cap;
           Alcotest.test_case "load shed" `Quick test_load_shed;
+          Alcotest.test_case "load shed retry (virtual clock)" `Quick
+            test_load_shed_retry;
           Alcotest.test_case "quit and shutdown" `Quick test_quit_and_shutdown;
         ] );
       ( "isolation",
