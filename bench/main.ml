@@ -541,17 +541,40 @@ let pairs_bench ?json ~ratio ~sources ~seed () =
     Graph.Runtime.run_pairs rt ~weights:Graph.Runtime.Unweighted ?domains
       ~engine ~pairs ()
   in
-  (* warm the workspaces/allocator once per engine *)
+  (* Warm every configuration once — workspace pool, batch scratch and
+     allocator — so no timed run pays first-use allocation. *)
   ignore (run `Scalar);
   ignore (run `Batched);
+  ignore (run ~domains:2 `Batched);
+  ignore (run ~domains:4 `Batched);
   let scalar, t_scalar = time (fun () -> run `Scalar) in
-  let before = Graph.Runtime.traversal_counters rt in
-  let batched, t_batched = time (fun () -> run `Batched) in
-  let after = Graph.Runtime.traversal_counters rt in
-  let before4 = Graph.Runtime.traversal_counters rt in
-  let _, t_batched4 = time (fun () -> run ~domains:4 `Batched) in
-  let after4 = Graph.Runtime.traversal_counters rt in
-  let identical =
+  (* One batched measurement per domain count: counter deltas from the
+     first run (scheduling-independent, so any run would do), time as
+     the min of three — symmetric across configurations so the scaling
+     ratios compare floors, not noise. *)
+  let measure ?domains () =
+    let cb = Graph.Runtime.traversal_counters rt in
+    let sb = Graph.Runtime.sched_counters rt in
+    let outs, t1 = time (fun () -> run ?domains `Batched) in
+    let ca = Graph.Runtime.traversal_counters rt in
+    let sa = Graph.Runtime.sched_counters rt in
+    let _, t2 = time (fun () -> ignore (run ?domains `Batched)) in
+    let _, t3 = time (fun () -> ignore (run ?domains `Batched)) in
+    ( outs,
+      Float.min t1 (Float.min t2 t3),
+      ca.Graph.Workspace.waves - cb.Graph.Workspace.waves,
+      ca.Graph.Workspace.dir_switches - cb.Graph.Workspace.dir_switches,
+      sa.Graph.Runtime.sc_steals - sb.Graph.Runtime.sc_steals,
+      sa.Graph.Runtime.sc_tasks - sb.Graph.Runtime.sc_tasks )
+  in
+  let batched, t_batched, waves, switches, steals1, tasks1 = measure () in
+  let batched2, t_batched2, waves2, switches2, steals2, tasks2 =
+    measure ~domains:2 ()
+  in
+  let batched4, t_batched4, waves4, switches4, steals4, tasks4 =
+    measure ~domains:4 ()
+  in
+  let outcomes_equal a b =
     Array.for_all2
       (fun a b ->
         match a, b with
@@ -560,10 +583,15 @@ let pairs_bench ?json ~ratio ~sources ~seed () =
             Graph.Runtime.Reached { cost = c2; edge_rows = r2 } ) ->
           V.equal c1 c2 && r1 = r2
         | _ -> false)
-      scalar batched
+      a b
+  in
+  let identical =
+    outcomes_equal scalar batched
+    && outcomes_equal scalar batched2
+    && outcomes_equal scalar batched4
   in
   if not identical then
-    failwith "pairs: batched outcomes differ from scalar outcomes";
+    failwith "pairs: engine outcomes differ (scalar vs batched/domains)";
   (* Telemetry overhead on this scenario.  The span hooks are always
      compiled in; with tracing off each reduces to one atomic load, so
      the honest in-binary bound on "tracing-off overhead" is the
@@ -595,16 +623,6 @@ let pairs_bench ?json ~ratio ~sources ~seed () =
   Printf.printf
     "tracing overhead: off=%.2f%% (repeat-run delta), on=%.2f%%\n%!"
     trace_off_overhead_pct trace_on_overhead_pct;
-  let waves = after.Graph.Workspace.waves - before.Graph.Workspace.waves in
-  let switches =
-    after.Graph.Workspace.dir_switches - before.Graph.Workspace.dir_switches
-  in
-  (* domains=4 absorbs each domain's counters back into the shared
-     workspace at join, so the same before/after delta applies *)
-  let waves4 = after4.Graph.Workspace.waves - before4.Graph.Workspace.waves in
-  let switches4 =
-    after4.Graph.Workspace.dir_switches - before4.Graph.Workspace.dir_switches
-  in
   let n_edges = Graph.Runtime.edge_count rt in
   Printf.printf
     "graph: %d vertices, %d edges; %d pairs (byte-identical outcomes)\n"
@@ -612,15 +630,35 @@ let pairs_bench ?json ~ratio ~sources ~seed () =
     n_edges sources;
   Printf.printf "%-28s %14s\n" "engine" "seconds";
   Printf.printf "%-28s %14.6f\n" "scalar per-source" t_scalar;
-  Printf.printf "%-28s %14.6f   (%d waves, %d dir switches)\n" "batched ms-bfs"
-    t_batched waves switches;
-  Printf.printf "%-28s %14.6f   (%d waves, %d dir switches)\n"
-    "batched ms-bfs, domains=4" t_batched4 waves4 switches4;
-  Printf.printf "speedup (batched vs scalar, domains=1): %.2fx\n%!"
+  let print_row name t waves switches steals tasks =
+    Printf.printf
+      "%-28s %14.6f   (%d waves, %d dir switches, %d tasks, %d steals)\n" name
+      t waves switches tasks steals
+  in
+  print_row "batched ms-bfs" t_batched waves switches steals1 tasks1;
+  print_row "batched ms-bfs, domains=2" t_batched2 waves2 switches2 steals2
+    tasks2;
+  print_row "batched ms-bfs, domains=4" t_batched4 waves4 switches4 steals4
+    tasks4;
+  Printf.printf "speedup (batched vs scalar, domains=1): %.2fx\n"
     (t_scalar /. t_batched);
+  Printf.printf "speedup (domains=4 vs domains=1): %.2fx\n%!"
+    (t_batched /. t_batched4);
   match json with
   | None -> ()
   | Some path ->
+    let entry ~name ~seconds ~domains ~waves ~switches ~steals ~tasks =
+      Sqlgraph.Metrics.Obj
+        [
+          ("name", Sqlgraph.Metrics.String name);
+          ("seconds", Sqlgraph.Metrics.num seconds);
+          ("domains", Sqlgraph.Metrics.Int domains);
+          ("waves", Sqlgraph.Metrics.Int waves);
+          ("dir_switches", Sqlgraph.Metrics.Int switches);
+          ("steals", Sqlgraph.Metrics.Int steals);
+          ("tasks", Sqlgraph.Metrics.Int tasks);
+        ]
+    in
     Sqlgraph.Metrics.write_file ~path
       (Sqlgraph.Metrics.Obj
          [
@@ -635,29 +673,27 @@ let pairs_bench ?json ~ratio ~sources ~seed () =
            ( "results",
              Sqlgraph.Metrics.List
                [
-                 Sqlgraph.Metrics.Obj
-                   [
-                     ("name", Sqlgraph.Metrics.String "pairs/scalar-per-source");
-                     ("seconds", Sqlgraph.Metrics.num t_scalar);
-                   ];
-                 Sqlgraph.Metrics.Obj
-                   [
-                     ("name", Sqlgraph.Metrics.String "pairs/batched-msbfs");
-                     ("seconds", Sqlgraph.Metrics.num t_batched);
-                     ("waves", Sqlgraph.Metrics.Int waves);
-                     ("dir_switches", Sqlgraph.Metrics.Int switches);
-                   ];
-                 Sqlgraph.Metrics.Obj
-                   [
-                     ( "name",
-                       Sqlgraph.Metrics.String "pairs/batched-msbfs-domains4" );
-                     ("seconds", Sqlgraph.Metrics.num t_batched4);
-                     ("waves", Sqlgraph.Metrics.Int waves4);
-                     ("dir_switches", Sqlgraph.Metrics.Int switches4);
-                   ];
+                 entry ~name:"pairs/scalar-per-source" ~seconds:t_scalar
+                   ~domains:1 ~waves:0 ~switches:0 ~steals:0 ~tasks:0;
+                 entry ~name:"pairs/batched-msbfs" ~seconds:t_batched
+                   ~domains:1 ~waves ~switches ~steals:steals1 ~tasks:tasks1;
+                 entry ~name:"pairs/batched-msbfs-domains2"
+                   ~seconds:t_batched2 ~domains:2 ~waves:waves2
+                   ~switches:switches2 ~steals:steals2 ~tasks:tasks2;
+                 entry ~name:"pairs/batched-msbfs-domains4"
+                   ~seconds:t_batched4 ~domains:4 ~waves:waves4
+                   ~switches:switches4 ~steals:steals4 ~tasks:tasks4;
                ] );
            ( "speedup_batched_vs_scalar",
              Sqlgraph.Metrics.num (t_scalar /. t_batched) );
+           (* Flat copies of the sweep for shell gates (check.sh parses
+              these with sed; the per-entry fields above are the full
+              record). *)
+           ("domains1_seconds", Sqlgraph.Metrics.num t_batched);
+           ("domains2_seconds", Sqlgraph.Metrics.num t_batched2);
+           ("domains4_seconds", Sqlgraph.Metrics.num t_batched4);
+           ( "speedup_domains4_vs_domains1",
+             Sqlgraph.Metrics.num (t_batched /. t_batched4) );
            ( "trace_off_overhead_pct",
              Sqlgraph.Metrics.num trace_off_overhead_pct );
            ("trace_on_overhead_pct", Sqlgraph.Metrics.num trace_on_overhead_pct);
@@ -1048,9 +1084,24 @@ let micro ?json ?trace_out ~ratio ~seed () =
        of what the benchmark loops evicted from the ring. *)
     ignore (run_single setup q13_sql (pick ()));
     ignore (Graph.Runtime.build ~src ~dst);
+    (* [oversubscribe] so two scheduler workers (and their tracks) exist
+       even when this machine exposes a single core; a dedicated chain
+       graph because the batch needs > 63 *distinct* sources to split
+       into two wave tasks, and the benchmark graph can be smaller than
+       that at smoke ratios. *)
+    let closing_rt =
+      let n = 200 in
+      Graph.Runtime.build
+        ~src:(Storage.Column.of_int_array (Array.init (n - 1) Fun.id))
+        ~dst:(Storage.Column.of_int_array (Array.init (n - 1) (fun i -> i + 1)))
+    in
+    let closing_pairs =
+      Array.init 128 (fun i -> (V.Int i, V.Int (i + 1)))
+    in
     ignore
-      (Graph.Runtime.run_pairs rt ~weights:Graph.Runtime.Unweighted
-         ~engine:`Batched ~domains:2 ~pairs:batch_pairs ());
+      (Graph.Runtime.run_pairs closing_rt ~weights:Graph.Runtime.Unweighted
+         ~engine:`Batched ~domains:2 ~oversubscribe:true ~pairs:closing_pairs
+         ());
     Telemetry.Trace.write_catapult ~path;
     Telemetry.Trace.set_enabled false;
     Printf.printf "wrote %s\n%!" path);
@@ -1275,8 +1326,8 @@ let server_cmd =
 (* ------------------------------------------------------------------ *)
 (* sim: the discrete-event workload simulator (stress tier) *)
 
-let sim_bench ?json ~tier ~backend ~seed ~statements ~clients () =
-  let cfg = Sim.Driver.config_of_tier ~backend ~seed tier in
+let sim_bench ?json ~tier ~backend ~seed ~statements ~clients ~domains () =
+  let cfg = Sim.Driver.config_of_tier ~backend ~seed ~domains tier in
   let cfg =
     {
       cfg with
@@ -1288,12 +1339,13 @@ let sim_bench ?json ~tier ~backend ~seed ~statements ~clients () =
   in
   Printf.printf
     "== sim: %d clients, %d statements over %d persons / %d friendships \
-     (seed %d, %s backend) ==\n%!"
+     (seed %d, %s backend, domains %d) ==\n%!"
     cfg.Sim.Driver.clients cfg.Sim.Driver.statements cfg.Sim.Driver.persons
     cfg.Sim.Driver.friendships cfg.Sim.Driver.seed
     (match backend with
     | Sim.Driver.Inproc -> "inproc"
-    | Sim.Driver.Server_sessions -> "server");
+    | Sim.Driver.Server_sessions -> "server")
+    cfg.Sim.Driver.domains;
   let report = Sim.Driver.run cfg in
   Sim.Driver.print_report report;
   Option.iter
@@ -1335,6 +1387,13 @@ let sim_clients_arg =
   let doc = "Override the tier's simulated client count." in
   Arg.(value & opt (some int) None & info [ "clients" ] ~doc)
 
+let sim_domains_arg =
+  let doc =
+    "Traversal parallelism: SET parallelism applied to every backend db \
+     (re-applied after kill-and-recover)."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~doc)
+
 let sim_json_arg =
   let doc =
     "Write the sim report to this file as JSON (schema sqlgraph-bench-v1), \
@@ -1348,10 +1407,10 @@ let sim_cmd =
      mixes, invariant checks, kill-and-recover, per-class latency \
      percentiles."
     Term.(
-      const (fun tier backend seed statements clients json ->
-          sim_bench ?json ~tier ~backend ~seed ~statements ~clients ())
+      const (fun tier backend seed statements clients domains json ->
+          sim_bench ?json ~tier ~backend ~seed ~statements ~clients ~domains ())
       $ sim_tier_arg $ sim_backend_arg $ seed_arg $ sim_statements_arg
-      $ sim_clients_arg $ sim_json_arg)
+      $ sim_clients_arg $ sim_domains_arg $ sim_json_arg)
 
 let run_everything ratio sfs batches reps seed =
   table1 ~ratio ~sfs ~seed;

@@ -924,8 +924,8 @@ let client_cmd =
 
 (* ---- stress: the discrete-event workload simulator ---- *)
 
-let stress_main tier backend seed statements clients json =
-  let cfg = Sim.Driver.config_of_tier ~backend ~seed tier in
+let stress_main tier backend seed statements clients domains json =
+  let cfg = Sim.Driver.config_of_tier ~backend ~seed ~domains tier in
   let cfg =
     {
       cfg with
@@ -990,6 +990,14 @@ let stress_cmd =
       & opt (some int) None
       & info [ "clients" ] ~doc:"Override the tier's simulated client count.")
   in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ]
+          ~doc:
+            "Traversal parallelism: SET parallelism applied to every backend \
+             db (re-applied after kill-and-recover).")
+  in
   let json_arg =
     Arg.(
       value
@@ -1005,7 +1013,7 @@ let stress_cmd =
           status: 0 clean, 1 invariant violations.")
     Term.(
       const stress_main $ tier_arg $ backend_arg $ seed_arg $ statements_arg
-      $ clients_arg $ json_arg)
+      $ clients_arg $ domains_arg $ json_arg)
 
 let () =
   Sqlgraph.Fault.arm_from_env ();

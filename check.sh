@@ -72,7 +72,7 @@ grep -q '"schema": "sqlgraph-metrics-v1"' "$metrics" || {
 
 echo "== batched traversal smoke (multi-source EXPLAIN ANALYZE)"
 ms_script=$(mktemp /tmp/sqlgraph_check_XXXXXX.sql)
-trap 'rm -f "$script" "$out" "$ea_script" "$metrics" "$ms_script" BENCH_smoke.json BENCH_pairs_smoke.json' EXIT
+trap 'rm -f "$script" "$out" "$ea_script" "$metrics" "$ms_script" BENCH_smoke.json BENCH_pairs_smoke.json BENCH_pairs_scaling.json' EXIT
 cat > "$ms_script" <<'EOF'
 CREATE TABLE e (src INTEGER, dst INTEGER);
 INSERT INTO e VALUES (1, 2), (2, 3), (1, 4), (4, 3), (3, 5);
@@ -117,6 +117,37 @@ grep -q '"speedup_batched_vs_scalar"' BENCH_pairs_smoke.json || {
   exit 1
 }
 
+echo "== bench pairs scaling gate (domains=4 <= 0.9x domains=1)"
+# Full-size workload (ratio 1.0, 512 sources — the committed
+# BENCH_pairs.json config): the work-stealing scheduler path must beat
+# the single-domain batched engine. Perf gate on a possibly-noisy shared
+# machine: the bench already takes the min of 3 timed runs per config;
+# on top of that, allow up to 3 attempts before declaring a regression.
+pairs_ok=0
+for attempt in 1 2 3; do
+  dune exec bench/main.exe -- pairs --json BENCH_pairs_scaling.json \
+      > "$out" 2>&1
+  d1=$(sed -n 's/.*"domains1_seconds": \([0-9.eE+-]*\).*/\1/p' \
+      BENCH_pairs_scaling.json | head -1)
+  d4=$(sed -n 's/.*"domains4_seconds": \([0-9.eE+-]*\).*/\1/p' \
+      BENCH_pairs_scaling.json | head -1)
+  [ -n "$d1" ] && [ -n "$d4" ] || {
+    echo "FAIL: BENCH_pairs_scaling.json has no domains1/domains4 seconds"
+    cat BENCH_pairs_scaling.json
+    exit 1
+  }
+  if awk "BEGIN { exit !($d4 <= 0.9 * $d1) }"; then
+    pairs_ok=1
+    break
+  fi
+  echo "   attempt $attempt: domains4 ${d4}s > 0.9 x domains1 ${d1}s, retrying"
+done
+[ "$pairs_ok" = 1 ] || {
+  echo "FAIL: domains=4 (${d4}s) did not beat 0.9 x domains=1 (${d1}s) on 3 attempts"
+  exit 1
+}
+echo "   domains1 ${d1}s, domains4 ${d4}s"
+
 echo "== tracing-off overhead (< 2% on bench pairs)"
 # trace_off_overhead_pct is the repeat-run delta between two tracing-off
 # passes: the cost of the always-compiled-in hooks when disabled.
@@ -134,7 +165,7 @@ awk "BEGIN { exit !($off_pct < 2.0) }" || {
 echo "   tracing-off overhead: $off_pct%"
 
 echo "== catapult trace validation (bench micro --trace-out)"
-trap 'rm -f "$script" "$out" "$ea_script" "$metrics" "$ms_script" BENCH_smoke.json BENCH_pairs_smoke.json TRACE_smoke.json' EXIT
+trap 'rm -f "$script" "$out" "$ea_script" "$metrics" "$ms_script" BENCH_smoke.json BENCH_pairs_smoke.json BENCH_pairs_scaling.json TRACE_smoke.json' EXIT
 # Valid JSON, >0 complete spans, per-domain tracks, and at least one
 # span each for parse, CSR build and a traversal wave.
 dune exec test/json_lint.exe -- --catapult TRACE_smoke.json \
@@ -147,7 +178,7 @@ echo "== session metrics over a 100+ statement script (--metrics-out)"
 obs_script=$(mktemp /tmp/sqlgraph_check_XXXXXX.sql)
 prom=$(mktemp /tmp/sqlgraph_check_XXXXXX.prom)
 slowlog=$(mktemp /tmp/sqlgraph_check_XXXXXX.ndjson)
-trap 'rm -f "$script" "$out" "$ea_script" "$metrics" "$ms_script" "$obs_script" "$prom" "$slowlog" BENCH_smoke.json BENCH_pairs_smoke.json TRACE_smoke.json' EXIT
+trap 'rm -f "$script" "$out" "$ea_script" "$metrics" "$ms_script" "$obs_script" "$prom" "$slowlog" BENCH_smoke.json BENCH_pairs_smoke.json BENCH_pairs_scaling.json TRACE_smoke.json' EXIT
 {
   echo "CREATE TABLE e (src INTEGER, dst INTEGER);"
   echo "INSERT INTO e VALUES (1, 2), (2, 3), (3, 4), (4, 5), (1, 5);"
@@ -210,7 +241,7 @@ fi
 echo "== durability: kill -9 mid-stream, then recover"
 ddir=$(mktemp -d /tmp/sqlgraph_check_dd_XXXXXX)
 ack=$(mktemp /tmp/sqlgraph_check_XXXXXX.ack)
-trap 'rm -f "$script" "$out" "$ea_script" "$metrics" "$ms_script" "$obs_script" "$prom" "$slowlog" "$ack" BENCH_smoke.json BENCH_pairs_smoke.json TRACE_smoke.json BENCH_wal_smoke.json; rm -rf "$ddir"' EXIT
+trap 'rm -f "$script" "$out" "$ea_script" "$metrics" "$ms_script" "$obs_script" "$prom" "$slowlog" "$ack" BENCH_smoke.json BENCH_pairs_smoke.json BENCH_pairs_scaling.json TRACE_smoke.json BENCH_wal_smoke.json; rm -rf "$ddir"' EXIT
 cli=_build/default/bin/sqlgraph_cli.exe
 dune build bin/sqlgraph_cli.exe
 # Stream INSERTs into a durable repl and kill -9 the process mid-stream.
@@ -307,7 +338,7 @@ sdir=$(mktemp -d /tmp/sqlgraph_check_sd_XXXXXX)
 ackdir=$(mktemp -d /tmp/sqlgraph_check_ack_XXXXXX)
 sock="$sdir/server.sock"
 srv_log=$(mktemp /tmp/sqlgraph_check_XXXXXX.srvlog)
-trap 'rm -f "$script" "$out" "$ea_script" "$metrics" "$ms_script" "$obs_script" "$prom" "$slowlog" "$ack" "$srv_log" BENCH_smoke.json BENCH_pairs_smoke.json TRACE_smoke.json BENCH_wal_smoke.json BENCH_server_smoke.json; rm -rf "$ddir" "$sdir" "$ackdir"' EXIT
+trap 'rm -f "$script" "$out" "$ea_script" "$metrics" "$ms_script" "$obs_script" "$prom" "$slowlog" "$ack" "$srv_log" BENCH_smoke.json BENCH_pairs_smoke.json BENCH_pairs_scaling.json TRACE_smoke.json BENCH_wal_smoke.json BENCH_server_smoke.json; rm -rf "$ddir" "$sdir" "$ackdir"' EXIT
 "$cli" serve --socket "$sock" --data-dir "$sdir" > "$srv_log" 2>&1 &
 srv_pid=$!
 i=0
@@ -417,7 +448,7 @@ done
 echo "   group-commit speedup: ${srv_x}x"
 
 echo "== sim smoke (small tier: ~50k statements, kill-and-recover, zero violations)"
-trap 'rm -f "$script" "$out" "$ea_script" "$metrics" "$ms_script" "$obs_script" "$prom" "$slowlog" "$ack" "$srv_log" BENCH_smoke.json BENCH_pairs_smoke.json TRACE_smoke.json BENCH_wal_smoke.json BENCH_server_smoke.json BENCH_sim_smoke.json; rm -rf "$ddir" "$sdir" "$ackdir"' EXIT
+trap 'rm -f "$script" "$out" "$ea_script" "$metrics" "$ms_script" "$obs_script" "$prom" "$slowlog" "$ack" "$srv_log" BENCH_smoke.json BENCH_pairs_smoke.json BENCH_pairs_scaling.json TRACE_smoke.json BENCH_wal_smoke.json BENCH_server_smoke.json BENCH_sim_smoke.json; rm -rf "$ddir" "$sdir" "$ackdir"' EXIT
 dune exec bench/main.exe -- sim --tier small --json BENCH_sim_smoke.json \
     > "$out" 2>&1 || {
   echo "FAIL: bench sim --tier small exited nonzero:"

@@ -572,6 +572,12 @@ let absorb_stats t ~dt ~failed ~delta =
       ~help:"MS-BFS waves run";
     Reg.inc reg "sqlgraph_traversal_dir_switches_total" s.trav_dir_switches
       ~help:"Direction-optimizing BFS switches";
+    Reg.inc reg "sqlgraph_sched_tasks_total" s.trav_tasks
+      ~help:"Work-stealing scheduler tasks executed";
+    Reg.inc reg "sqlgraph_sched_steals_total" s.trav_steals
+      ~help:"Work-stealing scheduler successful steals";
+    Reg.inc reg "sqlgraph_sched_splits_total" s.trav_splits
+      ~help:"Work-stealing scheduler adaptive task splits";
     Reg.inc reg "sqlgraph_workspace_pool_hits_total" s.pool_hits
       ~help:"Workspace pool reuses";
     Reg.inc reg "sqlgraph_workspace_pool_misses_total" s.pool_misses

@@ -173,6 +173,13 @@ let stats_json (s : Executor.Interp.stats) =
             ("batched_waves", Int s.Executor.Interp.trav_waves);
             ("dir_switches", Int s.Executor.Interp.trav_dir_switches);
           ] );
+      ( "scheduler",
+        Obj
+          [
+            ("tasks", Int s.Executor.Interp.trav_tasks);
+            ("steals", Int s.Executor.Interp.trav_steals);
+            ("splits", Int s.Executor.Interp.trav_splits);
+          ] );
       ( "workspace_pool",
         Obj
           [

@@ -28,6 +28,10 @@ type stats = {
   mutable trav_edges : int;
   mutable trav_waves : int;
   mutable trav_dir_switches : int;
+  (* work-stealing scheduler counters for parallel traversal batches *)
+  mutable trav_tasks : int;
+  mutable trav_steals : int;
+  mutable trav_splits : int;
   (* workspace-pool outcomes for parallel traversal batches *)
   mutable pool_hits : int;
   mutable pool_misses : int;
@@ -109,6 +113,9 @@ let create_ctx ~catalog ?(indices = Graph_index.create ()) ?(vectorize = true)
         trav_edges = 0;
         trav_waves = 0;
         trav_dir_switches = 0;
+        trav_tasks = 0;
+        trav_steals = 0;
+        trav_splits = 0;
         pool_hits = 0;
         pool_misses = 0;
         vec_ops = 0;
@@ -142,6 +149,9 @@ let reset_stats ctx =
   ctx.st.trav_edges <- 0;
   ctx.st.trav_waves <- 0;
   ctx.st.trav_dir_switches <- 0;
+  ctx.st.trav_tasks <- 0;
+  ctx.st.trav_steals <- 0;
+  ctx.st.trav_splits <- 0;
   ctx.st.pool_hits <- 0;
   ctx.st.pool_misses <- 0;
   ctx.st.vec_ops <- 0;
@@ -270,6 +280,7 @@ let finish_state (a : L.agg) st =
    peak frontier) to this execution's stats. *)
 let timed_traversal ctx rt f =
   let before = Graph.Runtime.traversal_counters rt in
+  let sched_before = Graph.Runtime.sched_counters rt in
   let t0 = now () in
   let r = f () in
   let dt = now () -. t0 in
@@ -290,6 +301,16 @@ let timed_traversal ctx rt f =
   ctx.st.trav_dir_switches <-
     ctx.st.trav_dir_switches + after.Graph.Workspace.dir_switches
     - before.Graph.Workspace.dir_switches;
+  let sched_after = Graph.Runtime.sched_counters rt in
+  ctx.st.trav_tasks <-
+    ctx.st.trav_tasks + sched_after.Graph.Runtime.sc_tasks
+    - sched_before.Graph.Runtime.sc_tasks;
+  ctx.st.trav_steals <-
+    ctx.st.trav_steals + sched_after.Graph.Runtime.sc_steals
+    - sched_before.Graph.Runtime.sc_steals;
+  ctx.st.trav_splits <-
+    ctx.st.trav_splits + sched_after.Graph.Runtime.sc_splits
+    - sched_before.Graph.Runtime.sc_splits;
   (* run_pairs resets the workspace peak per batch, so [after] is this
      batch's peak exactly *)
   ctx.st.trav_peak_frontier <-
@@ -868,11 +889,13 @@ and run_cheapests ctx rt edges (op : L.graph_op) pairs =
   if ctx.domains > 1 then note ctx "domains" (string_of_int ctx.domains);
   let traverse f =
     let before = Graph.Runtime.traversal_counters rt in
+    let sched_before = Graph.Runtime.sched_counters rt in
     let pool_before_h, pool_before_m = Graph.Runtime.pool_stats rt in
     let t0 = now () in
     let r = timed_traversal ctx rt f in
     let dt = now () -. t0 in
     let after = Graph.Runtime.traversal_counters rt in
+    let sched_after = Graph.Runtime.sched_counters rt in
     let pool_after_h, pool_after_m = Graph.Runtime.pool_stats rt in
     ctx.st.pool_hits <- ctx.st.pool_hits + pool_after_h - pool_before_h;
     ctx.st.pool_misses <- ctx.st.pool_misses + pool_after_m - pool_before_m;
@@ -890,6 +913,22 @@ and run_cheapests ctx rt edges (op : L.graph_op) pairs =
        after.Graph.Workspace.dir_switches - before.Graph.Workspace.dir_switches
      in
      if sw > 0 then note ctx "dir_switches" (string_of_int sw));
+    (* Work-stealing scheduler section: present whenever this batch ran
+       through the parallel path. *)
+    (let tasks =
+       sched_after.Graph.Runtime.sc_tasks - sched_before.Graph.Runtime.sc_tasks
+     in
+     if tasks > 0 then begin
+       note ctx "tasks" (string_of_int tasks);
+       note ctx "steals"
+         (string_of_int
+            (sched_after.Graph.Runtime.sc_steals
+            - sched_before.Graph.Runtime.sc_steals));
+       note ctx "workers"
+         (string_of_int sched_after.Graph.Runtime.sc_workers);
+       note ctx "imbalance"
+         (string_of_int sched_after.Graph.Runtime.sc_imbalance_pct ^ "%")
+     end);
     (if pool_after_h + pool_after_m > pool_before_h + pool_before_m then
        note ctx "pool_reuse"
          (Printf.sprintf "%d/%d"

@@ -37,6 +37,9 @@ type stats = {
   mutable trav_edges : int;
   mutable trav_waves : int;
   mutable trav_dir_switches : int;
+  mutable trav_tasks : int;  (** work-stealing scheduler task executions *)
+  mutable trav_steals : int;  (** successful steals between workers *)
+  mutable trav_splits : int;  (** adaptive task splits (continuations) *)
   mutable pool_hits : int;
   mutable pool_misses : int;
   mutable vec_ops : int;

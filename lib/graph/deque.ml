@@ -1,0 +1,84 @@
+(* Work-stealing deque for the parallel traversal scheduler ({!Sched}).
+
+   The shape follows Chase & Lev's circular work-stealing deque (SPAA
+   2005): the owner pushes and pops at the *bottom* (LIFO — after
+   splitting a task it immediately continues on the piece it kept),
+   thieves take from the *top* (FIFO — a steal grabs the oldest, and
+   therefore largest, remaining span of work). The published algorithm
+   is lock-free; the tasks scheduled here are whole MS-BFS waves or
+   Dijkstra source groups, i.e. hundreds of microseconds to
+   milliseconds each, so deque operations are vanishingly rare next to
+   the work they hand out. A plain mutex per deque is therefore
+   unmeasurable in the profile and far simpler to verify under the
+   OCaml 5 memory model than a CAS protocol; what matters for
+   locality and steal granularity — the owner-LIFO / thief-FIFO
+   discipline over a growable ring — is kept. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  mutable buf : 'a option array; (* length always a power of two *)
+  mutable top : int; (* index of the oldest element (thief end) *)
+  mutable bottom : int; (* index one past the newest (owner end) *)
+}
+(* [top] and [bottom] grow monotonically; element [i] lives at
+   [buf.(i land (Array.length buf - 1))]. *)
+
+let create () =
+  { lock = Mutex.create (); buf = Array.make 8 None; top = 0; bottom = 0 }
+
+(* Callers hold the lock. *)
+let grow t =
+  let len = Array.length t.buf in
+  let buf' = Array.make (2 * len) None in
+  for i = t.top to t.bottom - 1 do
+    buf'.(i land ((2 * len) - 1)) <- t.buf.(i land (len - 1))
+  done;
+  t.buf <- buf'
+
+let push t x =
+  Mutex.lock t.lock;
+  if t.bottom - t.top = Array.length t.buf then grow t;
+  t.buf.(t.bottom land (Array.length t.buf - 1)) <- Some x;
+  t.bottom <- t.bottom + 1;
+  Mutex.unlock t.lock
+
+let pop t =
+  Mutex.lock t.lock;
+  let r =
+    if t.bottom = t.top then None
+    else begin
+      t.bottom <- t.bottom - 1;
+      let i = t.bottom land (Array.length t.buf - 1) in
+      let x = t.buf.(i) in
+      t.buf.(i) <- None;
+      x
+    end
+  in
+  Mutex.unlock t.lock;
+  r
+
+let steal t =
+  Mutex.lock t.lock;
+  let r =
+    if t.bottom = t.top then None
+    else begin
+      let i = t.top land (Array.length t.buf - 1) in
+      let x = t.buf.(i) in
+      t.buf.(i) <- None;
+      t.top <- t.top + 1;
+      x
+    end
+  in
+  Mutex.unlock t.lock;
+  r
+
+let length t =
+  Mutex.lock t.lock;
+  let n = t.bottom - t.top in
+  Mutex.unlock t.lock;
+  n
+
+let of_list xs =
+  let t = create () in
+  List.iter (push t) xs;
+  t

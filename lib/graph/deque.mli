@@ -1,0 +1,30 @@
+(** Work-stealing deque (Chase–Lev shape, mutex-protected).
+
+    One deque per scheduler worker: the owner pushes and pops at the
+    bottom (LIFO, so it stays on the task range it just split), thieves
+    {!steal} from the top (FIFO, so a steal takes the oldest — largest —
+    remaining span). Tasks are whole traversal waves, so operations are
+    rare; a mutex per deque is simpler to verify than the lock-free
+    protocol and costs nothing measurable. All operations are safe from
+    any domain. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [of_list xs] — a deque holding [xs]; {!pop} returns them LIFO
+    (last element of [xs] first), {!steal} FIFO. The traversal
+    scheduler's task ranges are order-independent, so which end a task
+    leaves from never affects results. *)
+val of_list : 'a list -> 'a t
+
+(** Owner end. *)
+
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+
+(** Thief end. *)
+
+val steal : 'a t -> 'a option
+
+val length : 'a t -> int

@@ -36,3 +36,10 @@ val get : t -> int -> int
     [0, length t). *)
 
 val to_array : t -> int array
+
+val words : t -> int array option
+(** The backing array when the representation is plain (shared, not
+    copied; treat as read-only), [None] when packed. Hot traversal
+    kernels use it to specialise inner edge loops to direct
+    [Array.unsafe_get]s instead of paying the representation branch on
+    every slot. *)

@@ -41,6 +41,29 @@ val run :
   targets:(int * int) array ->
   unit
 
+(** [run_retiring] — same contract and byte-identical results as {!run}
+    (identical discovery order, so parents stay canonical), but the
+    kernel the work-stealing scheduler uses for [domains > 1] batches:
+    lanes *retire* from the active mask once all their targets are
+    delivered (frontier vertices carrying only retired lanes are
+    skipped, edges untouched), the sweep aborts mid-level the moment
+    the last pending target lands, and the CSR edge loops read slot
+    arrays directly instead of through a per-edge callback. Traversal
+    counters (settled, edges scanned) are therefore lower than {!run}'s
+    for the same wave, though still deterministic for a given wave
+    composition; {!run} stays the pinned single-domain reference the
+    oracle suite compares against. *)
+val run_retiring :
+  ?check:Cancel.checkpoint ->
+  ?rev:Csr.t ->
+  ?alpha:int ->
+  ?beta:int ->
+  Workspace.t ->
+  Csr.t ->
+  sources:int array ->
+  targets:(int * int) array ->
+  unit
+
 (** [dist ws ~lane ~source ~dst] — hop count from [lane]'s source to
     [dst] settled by the last {!run}, or [None] if unreached. [source]
     must be the vertex that seeded [lane]. *)

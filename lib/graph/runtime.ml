@@ -25,6 +25,14 @@ type t = {
   mutable pool : Workspace.t list;  (* spare workspaces for domains *)
   mutable pool_hits : int;
   mutable pool_misses : int;
+  (* Work-stealing scheduler observability (parallel batches only):
+     tasks/steals/splits accumulate across batches; workers and
+     imbalance describe the most recent parallel batch. *)
+  mutable sched_tasks : int;
+  mutable sched_steals : int;
+  mutable sched_splits : int;
+  mutable sched_workers : int;
+  mutable sched_imbalance : int;
 }
 
 let build_multi ~src ~dst =
@@ -65,6 +73,11 @@ let build_multi ~src ~dst =
     pool = [];
     pool_hits = 0;
     pool_misses = 0;
+    sched_tasks = 0;
+    sched_steals = 0;
+    sched_splits = 0;
+    sched_workers = 0;
+    sched_imbalance = 0;
   }
 
 let build ~src ~dst = build_multi ~src:[ src ] ~dst:[ dst ]
@@ -105,6 +118,23 @@ let release_ws t ws =
    runs absorb their private workspaces back into it, so a snapshot
    before/after any batch yields a per-batch delta. *)
 let traversal_counters t = Workspace.snapshot_counters t.ws
+
+type sched_counters = {
+  sc_tasks : int;
+  sc_steals : int;
+  sc_splits : int;
+  sc_workers : int;
+  sc_imbalance_pct : int;
+}
+
+let sched_counters t =
+  {
+    sc_tasks = t.sched_tasks;
+    sc_steals = t.sched_steals;
+    sc_splits = t.sched_splits;
+    sc_workers = t.sched_workers;
+    sc_imbalance_pct = t.sched_imbalance;
+  }
 
 type weights =
   | Unweighted
@@ -220,7 +250,7 @@ let run_scalar_group t ~slot_w ~heap ~check ~rev ~out ws (source, entries) =
 (* One MS-BFS wave over <= Msbfs.max_lanes source groups: lane i is the
    search rooted at groups.(i). Outcomes are extracted before the next
    wave reuses the batch scratch. *)
-let run_wave t ~check ~rev ~out ws groups =
+let run_wave t ~check ~rev ~out ~retiring ws groups =
   let sp =
     if Tr.enabled () then
       Tr.begin_span ~attrs:[ ("lanes", string_of_int (Array.length groups)) ]
@@ -237,7 +267,8 @@ let run_wave t ~check ~rev ~out ws groups =
       groups;
     Array.of_list !acc
   in
-  Msbfs.run ~check ?rev ws t.csr ~sources ~targets;
+  (if retiring then Msbfs.run_retiring ~check ?rev ws t.csr ~sources ~targets
+   else Msbfs.run ~check ?rev ws t.csr ~sources ~targets);
   Array.iteri
     (fun lane (source, entries) ->
       List.iter
@@ -256,12 +287,89 @@ let run_batched t ~check ~rev ~out ws groups =
   let i = ref 0 in
   while !i < n do
     let len = min Msbfs.max_lanes (n - !i) in
-    run_wave t ~check ~rev ~out ws (Array.sub arr !i len);
+    run_wave t ~check ~rev ~out ~retiring:false ws (Array.sub arr !i len);
     i := !i + len
   done
 
+(* The parallel path: a work-stealing scheduler (Sched) over a task
+   partition that is fixed up front, independent of the worker count and
+   of steal order. Batched groups are sorted by source id and cut into
+   ⌈G/63⌉ contiguous waves of near-equal lane counts — partition-aware:
+   the lanes of one wave root in one contiguous vertex-id range of the
+   CSR, and balanced widths avoid the runt wave a greedy 63-at-a-time
+   cut produces (a runt sweeps the same graph for a fraction of the
+   lanes). Scalar (Dijkstra) groups run one per task in the size-sorted
+   order. A task is a range over that fixed sequence: a worker executes
+   one wave/group and pushes the remainder back on its deque, which is
+   exactly the granularity thieves steal at.
+
+   Because the partition is fixed, every workspace counter depends only
+   on the batch — identical for any domains >= 2 — and the per-worker
+   workspaces are absorbed into the shared one *after* every worker has
+   joined, on the coordinator, in worker-index order: absorption is
+   deterministic and conserves every count. The governor checkpoint is
+   still shared across workers (its budget counters are monotone and
+   advisory); a raise in any kernel stops the other workers at their
+   next task boundary and resurfaces after the join. *)
+let run_sched t ~slot_w ~heap ~check ~rev ~out ~domains ~oversubscribe
+    ~batched group_list =
+  let batched_groups =
+    if batched then
+      Array.of_list
+        (List.sort (fun (s1, _) (s2, _) -> compare (s1 : int) s2) group_list)
+    else [||]
+  in
+  let scalar_groups = if batched then [||] else Array.of_list group_list in
+  let g = Array.length batched_groups in
+  let ntasks =
+    if batched then (g + Msbfs.max_lanes - 1) / Msbfs.max_lanes
+    else Array.length scalar_groups
+  in
+  let workers = Sched.plan ~oversubscribe ~domains ntasks in
+  let wss = Array.init workers (fun _ -> acquire_ws t) in
+  let exec ~worker (lo, hi) =
+    let ws = wss.(worker) in
+    (if batched then begin
+       let glo = lo * g / ntasks and ghi = (lo + 1) * g / ntasks in
+       run_wave t ~check ~rev ~out ~retiring:true ws
+         (Array.sub batched_groups glo (ghi - glo))
+     end
+     else run_scalar_group t ~slot_w ~heap ~check ~rev ~out ws
+         scalar_groups.(lo));
+    if lo + 1 < hi then Some (lo + 1, hi) else None
+  in
+  let tasks =
+    Array.init workers (fun k ->
+        let lo = k * ntasks / workers and hi = (k + 1) * ntasks / workers in
+        if lo >= hi then [] else [ (lo, hi) ])
+  in
+  (* Each worker records onto its own track; parent its root span to the
+     coordinator's batch span so the timeline links up. *)
+  let batch_span = Tr.current_span () in
+  let around k body =
+    let sp =
+      if Tr.enabled () then
+        Tr.begin_span ~parent:batch_span
+          ~attrs:[ ("worker", string_of_int k) ]
+          "domain"
+      else -1
+    in
+    Fun.protect ~finally:(fun () -> Tr.end_span sp) body
+  in
+  let stats =
+    Fun.protect
+      ~finally:(fun () -> Array.iter (release_ws t) wss)
+      (fun () -> Sched.run ~around ~workers ~tasks ~exec ())
+  in
+  t.sched_tasks <- t.sched_tasks + stats.Sched.tasks;
+  t.sched_steals <- t.sched_steals + stats.Sched.steals;
+  t.sched_splits <- t.sched_splits + stats.Sched.splits;
+  t.sched_workers <- stats.Sched.workers;
+  t.sched_imbalance <- Sched.imbalance_pct stats
+
 let run_pairs t ~weights ?(heap = Dijkstra.Radix) ?(domains = 1)
-    ?(check = Cancel.none) ?(engine = `Auto) ~pairs () =
+    ?(check = Cancel.none) ?(engine = `Auto) ?(oversubscribe = false) ~pairs
+    () =
   Tr.span "traversal_batch" @@ fun () ->
   (* searches/settled/edges accumulate across batches (delta-friendly);
      the peak frontier restarts per batch so callers can attribute an
@@ -278,9 +386,10 @@ let run_pairs t ~weights ?(heap = Dijkstra.Radix) ?(domains = 1)
   let groups = group_by_source encoded alias in
   let out = Array.make (Array.length pairs) Unreachable in
   (* Largest group first (by pending pair count, source id breaking ties)
-     so the round-robin chunk assignment below is deterministic and the
-     biggest traversals spread across domains instead of piling onto
-     whichever chunk the hash order favoured. *)
+     so the group order is independent of hash-table iteration order;
+     [run_sched] re-sorts batched groups by source id before cutting
+     waves, and weighted scalar groups become one task each, so this
+     only needs to be deterministic, not balanced. *)
   let group_list =
     Hashtbl.fold (fun s e acc -> (s, e) :: acc) groups []
     |> List.sort (fun (s1, e1) (s2, e2) ->
@@ -302,47 +411,13 @@ let run_pairs t ~weights ?(heap = Dijkstra.Radix) ?(domains = 1)
   in
   if domains <= 1 || List.length group_list <= 1 then
     run_chunk t.ws group_list
-  else begin
-    (* §6's parallelism: one domain per chunk of source groups, each with
-       a private (pooled) workspace; the CSR and weights are shared
-       read-only and outcome slots are disjoint. The checkpoint is shared
-       across domains (its counters may race benignly); a raise aborts
-       that domain and resurfaces at the join below. *)
-    let n = List.length group_list in
-    let d = min domains n in
-    let chunks = Array.make d [] in
-    List.iteri
-      (fun i g -> chunks.(i mod d) <- g :: chunks.(i mod d))
-      group_list;
-    let chunks = Array.map List.rev chunks in
-    let wss = Array.map (fun _ -> acquire_ws t) chunks in
-    (* Each spawned domain records onto its own track; parent its root
-       span to the coordinator's batch span so the timeline links up. *)
-    let batch_span = Tr.current_span () in
-    let spawned =
-      Array.mapi
-        (fun k chunk ->
-          Domain.spawn (fun () ->
-              let sp =
-                if Tr.enabled () then
-                  Tr.begin_span ~parent:batch_span
-                    ~attrs:[ ("groups", string_of_int (List.length chunk)) ]
-                    "domain"
-                else -1
-              in
-              Fun.protect
-                ~finally:(fun () -> Tr.end_span sp)
-                (fun () -> run_chunk wss.(k) chunk)))
-        chunks
-    in
-    (* Join every domain before re-raising so no domain outlives the
-       batch; the first failure wins, later ones are dropped. *)
-    let results =
-      Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) spawned
-    in
-    Array.iter (release_ws t) wss;
-    Array.iter (function Ok () -> () | Error e -> raise e) results
-  end;
+  else
+    (* §6's parallelism, scheduled by work stealing: the CSR and weights
+       are shared read-only, every worker owns a private (pooled)
+       workspace, and outcomes land in disjoint slots — see [run_sched]
+       for the task partition and the determinism argument. *)
+    run_sched t ~slot_w ~heap ~check ~rev ~out ~domains ~oversubscribe
+      ~batched group_list;
   (* Fan the canonical outcomes back out to the deduplicated pairs. *)
   Array.iteri (fun idx a -> if a >= 0 then out.(idx) <- out.(a)) alias;
   out

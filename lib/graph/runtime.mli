@@ -59,9 +59,27 @@ val pool_stats : t -> int * int
 (** [traversal_counters t] — a snapshot of the cumulative traversal
     counters (searches, settled vertices, peak frontier, edges scanned)
     accumulated by every batch run against this graph. Parallel batches
-    fold their per-domain counters in before {!run_pairs} returns, so
-    before/after snapshots delimit one batch exactly. *)
+    fold their per-worker counters in deterministically (on the
+    coordinator, in worker-index order, after every worker has joined)
+    before {!run_pairs} returns, so before/after snapshots delimit one
+    batch exactly and the totals are conserved and reproducible for any
+    worker count. *)
 val traversal_counters : t -> Workspace.counters
+
+(** Work-stealing scheduler observability (parallel batches only).
+    [sc_tasks]/[sc_steals]/[sc_splits] accumulate across batches
+    (delta-friendly, like {!traversal_counters}); [sc_workers] and
+    [sc_imbalance_pct] (100·(max−min)/max over per-worker task counts)
+    describe the most recent parallel batch. *)
+type sched_counters = {
+  sc_tasks : int;
+  sc_steals : int;
+  sc_splits : int;
+  sc_workers : int;
+  sc_imbalance_pct : int;
+}
+
+val sched_counters : t -> sched_counters
 
 (** Edge weights, indexed by *edge-table row* (the runtime re-aligns them
     to CSR slots internally). [Unweighted] is the paper's
@@ -95,21 +113,28 @@ type outcome =
     Dijkstra queue for integer weights (default [Radix], the paper's
     choice); it is ignored for BFS and float weights.
 
-    [domains] (default 1) runs the per-source traversals on that many
-    OCaml domains — the parallelism the paper's §6 suggests. The CSR is
-    shared read-only; every domain gets its own workspace (reused across
-    batches through the runtime's pool), source groups are dealt to
-    domains round-robin from a size-sorted order, and results are written
-    to disjoint slots, so output is deterministic and identical to the
-    sequential run.
+    [domains] (default 1) runs the traversals through the work-stealing
+    scheduler ({!Sched}) — the parallelism the paper's §6 suggests. The
+    CSR is shared read-only; every worker owns a deque of task ranges
+    over a fixed partition (unweighted: source groups sorted by vertex
+    id and cut into contiguous balanced MS-BFS waves, run by the
+    lane-retiring kernel; weighted: one Dijkstra group per task) and a
+    private workspace from the runtime's pool, steals from siblings
+    when its own deque drains, and results land in disjoint slots — so
+    output is byte-identical to the sequential run and workspace
+    counters are identical for any [domains >= 2]. The worker count is
+    clamped to the machine's usable cores (oversubscribing domains
+    turns minor GCs into cross-domain synchronisation);
+    [oversubscribe] (default false) lifts that clamp for tests that
+    must exercise multi-worker stealing on small machines.
 
     [engine] selects the unweighted traversal engine (see {!engine});
     the default [`Auto] batches multi-source workloads through MS-BFS.
 
     [check] (default {!Cancel.none}) is forwarded into every kernel so a
     governor can cancel or budget the batch; with [domains > 1] the same
-    closure is shared by all domains (progress counters may race benignly)
-    and a raise aborts the raising domain, resurfacing at the join.
+    closure is shared by all workers and a raise stops the others at
+    their next task boundary, resurfacing after the join.
 
     Raises {!Weight_error} on invalid weights (checked for every edge that
     participates in the graph, before any traversal). *)
@@ -120,6 +145,7 @@ val run_pairs :
   ?domains:int ->
   ?check:Cancel.checkpoint ->
   ?engine:engine ->
+  ?oversubscribe:bool ->
   pairs:(Storage.Value.t * Storage.Value.t) array ->
   unit ->
   outcome array

@@ -61,14 +61,16 @@ type config = {
   kv_keys : int;  (* key range of the DML-burst table *)
   kill_at : int option;  (* Inproc: crash+recover after this many statements *)
   data_dir : string option;  (* Inproc WAL root; None = fresh temp dir *)
+  domains : int;  (* SET parallelism applied to every backend db *)
 }
 
-let config_of_tier ?(backend = Inproc) ?(seed = 20170519) tier =
+let config_of_tier ?(backend = Inproc) ?(seed = 20170519) ?(domains = 1) tier =
   match tier with
   | Small ->
     {
       backend;
       seed;
+      domains;
       clients = 4;
       statements = 50_000;
       persons = 400;
@@ -82,6 +84,7 @@ let config_of_tier ?(backend = Inproc) ?(seed = 20170519) tier =
     {
       backend;
       seed;
+      domains;
       clients = 8;
       statements = 1_000_000;
       persons = 2_000;
@@ -98,6 +101,7 @@ let config_of_tier ?(backend = Inproc) ?(seed = 20170519) tier =
     {
       backend;
       seed;
+      domains;
       clients = 16;
       statements = 2_000_000;
       persons = 448_000;
@@ -381,6 +385,7 @@ let run cfg =
           match Wal.open_dir ~fsync:true dir with
           | Error e -> failwith ("sim open_dir: " ^ Error.to_string e)
           | Ok (store, db, _) ->
+            Db.set_parallelism db cfg.domains;
             load_base db;
             (* checkpoint the bulk-loaded base state: load_table skips
                the log, so recovery must start from this snapshot *)
@@ -392,6 +397,7 @@ let run cfg =
             In_ctx ip)
         | Server_sessions ->
           let db = Db.create () in
+          Db.set_parallelism db cfg.domains;
           load_base db;
           let config =
             {
@@ -562,6 +568,9 @@ let run cfg =
           | Error e ->
             violate "recovery failed: %s" (Error.to_string e)
           | Ok (store', db', _) ->
+            (* parallelism is session state, not durable state: re-apply
+               it to the recovered db *)
+            Db.set_parallelism db' cfg.domains;
             ip.store <- store';
             ip.db <- db';
             cleanup_ctx := (fun () -> try Wal.close store' with _ -> ());
@@ -844,6 +853,7 @@ let json_report cfg (r : report) =
           | Server_sessions -> "server") );
       ("seed", M.Int cfg.seed);
       ("clients", M.Int cfg.clients);
+      ("domains", M.Int cfg.domains);
       ("statements", M.Int r.statements);
       ("events", M.Int r.events);
       ("vertices", M.Int r.vertices);

@@ -42,9 +42,13 @@ type config = {
       (** Inproc only: [Wal.crash_for_testing] + reopen after this many
           statements, then reconcile against the oracle *)
   data_dir : string option;  (** Inproc WAL root; [None] = fresh temp dir *)
+  domains : int;
+      (** SET parallelism applied to every backend db (and re-applied after
+          crash recovery — parallelism is session state, not durable state) *)
 }
 
-val config_of_tier : ?backend:backend -> ?seed:int -> tier -> config
+val config_of_tier :
+  ?backend:backend -> ?seed:int -> ?domains:int -> tier -> config
 (** Small ≈ 50k statements (check.sh smoke), Medium = 1M (the committed
     BENCH_sim.json trajectory), Large = 2M over an SF100-class graph
     (448k persons / 40M directed edges — past

@@ -597,6 +597,77 @@ let test_runtime_parallel_weighted () =
   in
   check tbool "identical outcomes" true (seq = par)
 
+(* One giant source (walks a long chain) plus hundreds of one-hop sources:
+   enough distinct sources for a dozen MS-BFS waves, skewed enough that
+   some worker drains its own deque while others still hold work. *)
+let skewed_setup () =
+  let chain_len = 400 in
+  let tiny = 700 in
+  let hub = chain_len in
+  let edges =
+    List.init chain_len (fun i -> (i, i + 1))
+    @ List.init tiny (fun i -> (1000 + i, hub))
+  in
+  let src = C.of_int_array (Array.of_list (List.map fst edges)) in
+  let dst = C.of_int_array (Array.of_list (List.map snd edges)) in
+  let rt = Graph.Runtime.build ~src ~dst in
+  let pairs =
+    Array.append
+      [| (V.Int 0, V.Int hub) |]
+      (Array.init tiny (fun i -> (V.Int (1000 + i), V.Int hub)))
+  in
+  (rt, pairs, tiny + 1)
+
+(* A skewed source distribution must produce actual steals. Stealing is
+   timing-dependent (the OS decides when workers run), so retry a few
+   times; [oversubscribe] forces multiple workers even on one core. *)
+let test_sched_skewed_steals () =
+  let rt, pairs, _ = skewed_setup () in
+  let stole = ref false in
+  let attempts = ref 0 in
+  while (not !stole) && !attempts < 10 do
+    incr attempts;
+    let before = (Graph.Runtime.sched_counters rt).Graph.Runtime.sc_steals in
+    ignore
+      (Graph.Runtime.run_pairs rt ~weights:Graph.Runtime.Unweighted
+         ~engine:`Batched ~domains:4 ~oversubscribe:true ~pairs ());
+    let after = (Graph.Runtime.sched_counters rt).Graph.Runtime.sc_steals in
+    if after > before then stole := true
+  done;
+  check tbool "steals observed under skew" true !stole;
+  let sc = Graph.Runtime.sched_counters rt in
+  check tbool "wave tasks executed" true (sc.Graph.Runtime.sc_tasks > 0)
+
+(* Deterministic counter absorption: the wave partition is fixed by the
+   batch alone (never by worker count or steal order), so the per-worker
+   counters folded in at the join must sum to identical totals for every
+   domains >= 2 — and searches must equal the distinct-source count. *)
+let test_sched_counter_conservation () =
+  let rt, pairs, nsources = skewed_setup () in
+  let delta domains =
+    let b = Graph.Runtime.traversal_counters rt in
+    ignore
+      (Graph.Runtime.run_pairs rt ~weights:Graph.Runtime.Unweighted
+         ~engine:`Batched ~domains ~oversubscribe:true ~pairs ());
+    let a = Graph.Runtime.traversal_counters rt in
+    Graph.Workspace.
+      ( a.searches - b.searches,
+        a.settled - b.settled,
+        a.edges_scanned - b.edges_scanned,
+        a.waves - b.waves,
+        a.dir_switches - b.dir_switches )
+  in
+  let d2 = delta 2 in
+  let d4 = delta 4 in
+  let d8 = delta 8 in
+  check tbool "domains=2 = domains=4" true (d2 = d4);
+  check tbool "domains=4 = domains=8" true (d4 = d8);
+  let searches, settled, edges, waves, _ = d2 in
+  check tint "searches = distinct sources" nsources searches;
+  check tbool "settled counted" true (settled > 0);
+  check tbool "edges counted" true (edges > 0);
+  check tint "waves = ceil(sources/63)" ((nsources + 62) / 63) waves
+
 let test_runtime_reachable_api () =
   let rt = diamond_runtime () in
   let r =
@@ -794,6 +865,10 @@ let () =
           Alcotest.test_case "reachable api" `Quick test_runtime_reachable_api;
           Alcotest.test_case "parallel weighted" `Quick test_runtime_parallel_weighted;
           QCheck_alcotest.to_alcotest prop_parallel_equals_sequential;
+          Alcotest.test_case "skewed sources steal" `Quick
+            test_sched_skewed_steals;
+          Alcotest.test_case "counter conservation" `Quick
+            test_sched_counter_conservation;
           Alcotest.test_case "build stats" `Quick test_runtime_stats;
         ] );
     ]

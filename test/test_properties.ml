@@ -372,6 +372,76 @@ let prop_batched_fault_then_recover =
       in
       (aborted || not has_hop) && outcomes_identical scalar batched)
 
+(* The work-stealing scheduler (domains >= 2 route through Sched.run and
+   the retiring kernel) must reproduce a serial scalar run byte-for-byte
+   for every worker count. [oversubscribe] lifts the hardware clamp, so
+   real multi-worker stealing is exercised even on a single-core host. *)
+let prop_sched_identical_all_domains =
+  QCheck.Test.make
+    ~name:"work-stealing scheduler = serial byte-identically (domains 2/4/8)"
+    ~count:120
+    (QCheck.make gen_graph_and_pairs)
+    (fun (edges, pairs) ->
+      let rt = build_runtime edges in
+      Graph.Runtime.prepare_bidir rt;
+      let vp = value_pairs pairs in
+      let serial =
+        Graph.Runtime.run_pairs rt ~weights:Graph.Runtime.Unweighted
+          ~engine:`Scalar ~pairs:vp ()
+      in
+      List.for_all
+        (fun domains ->
+          outcomes_identical serial
+            (Graph.Runtime.run_pairs rt ~weights:Graph.Runtime.Unweighted
+               ~engine:`Batched ~domains ~oversubscribe:true ~pairs:vp ()))
+        [ 2; 4; 8 ])
+
+(* Armed faults and mid-run cancellation must unwind the scheduler cleanly
+   (all workers joined, pooled workspaces released) and leave the runtime
+   able to produce byte-identical results on the next batch. *)
+let prop_sched_fault_and_cancel =
+  QCheck.Test.make
+    ~name:"scheduler under fault and cancellation: abort, then recover"
+    ~count:60
+    (QCheck.make gen_edges)
+    (fun edges ->
+      let rt = build_runtime edges in
+      Graph.Runtime.prepare_bidir rt;
+      let vp = value_pairs (List.map (fun e -> (e.src, e.dst)) edges) in
+      let has_hop = List.exists (fun e -> e.src <> e.dst) edges in
+      let run ?check ~domains () =
+        Graph.Runtime.run_pairs rt ~weights:Graph.Runtime.Unweighted ~domains
+          ~oversubscribe:true ?check ~engine:`Batched ~pairs:vp ()
+      in
+      let scalar =
+        Graph.Runtime.run_pairs rt ~weights:Graph.Runtime.Unweighted
+          ~engine:`Scalar ~pairs:vp ()
+      in
+      (* leg 1: a one-shot fault at the "bfs" site aborts the whole batch *)
+      let check = Sqlgraph.Governor.(checkpoint (start no_limits)) in
+      Sqlgraph.Fault.set (Some (Sqlgraph.Fault.At_site "bfs"));
+      let aborted =
+        match run ~check ~domains:4 () with
+        | _ -> false
+        | exception Sqlgraph.Fault.Injected _ -> true
+      in
+      Sqlgraph.Fault.clear ();
+      (* leg 2: a 1-step budget cancels mid-run on any graph big enough to
+         report steps; tiny graphs may finish first, which must then be a
+         byte-identical answer (never a wrong one) *)
+      let tight =
+        Sqlgraph.Governor.(checkpoint (start (budget ~max_steps:1 ())))
+      in
+      let cancelled_or_finished =
+        match run ~check:tight ~domains:8 () with
+        | out -> outcomes_identical scalar out
+        | exception Sqlgraph.Governor.Resource_error _ -> true
+      in
+      (* leg 3: recovery — the very next batch is byte-identical *)
+      (aborted || not has_hop)
+      && cancelled_or_finished
+      && outcomes_identical scalar (run ~check ~domains:4 ()))
+
 (* Kernel-level: forced bottom-up traversal settles the same distances,
    canonical parents and paths as plain top-down. *)
 let build_csr edges =
@@ -518,6 +588,8 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_batched_equals_scalar;
           QCheck_alcotest.to_alcotest prop_batched_fault_then_recover;
+          QCheck_alcotest.to_alcotest prop_sched_identical_all_domains;
+          QCheck_alcotest.to_alcotest prop_sched_fault_and_cancel;
           QCheck_alcotest.to_alcotest prop_dir_opt_equals_topdown;
           QCheck_alcotest.to_alcotest prop_reverse_mirrors_forward;
         ] );

@@ -65,7 +65,7 @@ let test_eq_interleaved () =
 (* ---------------- driver ---------------- *)
 
 let tiny ?(backend = Driver.Inproc) ?(seed = 11) ?(statements = 1200) ?kill_at
-    () =
+    ?(domains = 1) () =
   {
     Driver.backend;
     seed;
@@ -77,6 +77,7 @@ let tiny ?(backend = Driver.Inproc) ?(seed = 11) ?(statements = 1200) ?kill_at
     kv_keys = 32;
     kill_at;
     data_dir = None;
+    domains;
   }
 
 let check_clean (r : Driver.report) =
@@ -98,6 +99,18 @@ let test_determinism () =
   check_clean c;
   if c.Driver.digest = a.Driver.digest then
     Alcotest.fail "different seed produced the same trace digest"
+
+(* Traversal parallelism must not leak into observable results: the same
+   workload at domains=4 yields byte-for-byte the digests of domains=1. *)
+let test_domains_digest_stable () =
+  let a = Driver.run (tiny ()) in
+  let d4 = Driver.run (tiny ~domains:4 ()) in
+  check_clean a;
+  check_clean d4;
+  Alcotest.(check int) "trace digest" a.Driver.digest d4.Driver.digest;
+  Alcotest.(check int)
+    "outcome digest" a.Driver.outcome_digest d4.Driver.outcome_digest;
+  Alcotest.(check int) "statements" a.Driver.statements d4.Driver.statements
 
 let test_kill_and_recover () =
   let r = Driver.run (tiny ~statements:2000 ~kill_at:900 ()) in
@@ -226,6 +239,8 @@ let () =
       ( "driver",
         [
           Alcotest.test_case "same seed, same digest" `Quick test_determinism;
+          Alcotest.test_case "digest stable at domains=4" `Quick
+            test_domains_digest_stable;
           Alcotest.test_case "kill-and-recover" `Quick test_kill_and_recover;
           Alcotest.test_case "server backend" `Quick test_server_backend;
           Alcotest.test_case "latency percentiles" `Quick
