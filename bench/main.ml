@@ -647,16 +647,25 @@ let pairs_bench ?json ~ratio ~sources ~seed () =
   match json with
   | None -> ()
   | Some path ->
-    let entry ~name ~seconds ~domains ~waves ~switches ~steals ~tasks =
+    (* [counters] is None for the scalar per-source baseline: it runs no
+       batched waves and no work-stealing tasks, so those fields are
+       null — not 0, which would read as "measured, and it was zero"
+       (json_lint enforces the distinction). *)
+    let entry ~name ~seconds ~domains ~counters =
+      let c pick =
+        match counters with
+        | None -> Sqlgraph.Metrics.Null
+        | Some cs -> Sqlgraph.Metrics.Int (pick cs)
+      in
       Sqlgraph.Metrics.Obj
         [
           ("name", Sqlgraph.Metrics.String name);
           ("seconds", Sqlgraph.Metrics.num seconds);
           ("domains", Sqlgraph.Metrics.Int domains);
-          ("waves", Sqlgraph.Metrics.Int waves);
-          ("dir_switches", Sqlgraph.Metrics.Int switches);
-          ("steals", Sqlgraph.Metrics.Int steals);
-          ("tasks", Sqlgraph.Metrics.Int tasks);
+          ("waves", c (fun (w, _, _, _) -> w));
+          ("dir_switches", c (fun (_, s, _, _) -> s));
+          ("steals", c (fun (_, _, s, _) -> s));
+          ("tasks", c (fun (_, _, _, t) -> t));
         ]
     in
     Sqlgraph.Metrics.write_file ~path
@@ -674,15 +683,16 @@ let pairs_bench ?json ~ratio ~sources ~seed () =
              Sqlgraph.Metrics.List
                [
                  entry ~name:"pairs/scalar-per-source" ~seconds:t_scalar
-                   ~domains:1 ~waves:0 ~switches:0 ~steals:0 ~tasks:0;
+                   ~domains:1 ~counters:None;
                  entry ~name:"pairs/batched-msbfs" ~seconds:t_batched
-                   ~domains:1 ~waves ~switches ~steals:steals1 ~tasks:tasks1;
+                   ~domains:1
+                   ~counters:(Some (waves, switches, steals1, tasks1));
                  entry ~name:"pairs/batched-msbfs-domains2"
-                   ~seconds:t_batched2 ~domains:2 ~waves:waves2
-                   ~switches:switches2 ~steals:steals2 ~tasks:tasks2;
+                   ~seconds:t_batched2 ~domains:2
+                   ~counters:(Some (waves2, switches2, steals2, tasks2));
                  entry ~name:"pairs/batched-msbfs-domains4"
-                   ~seconds:t_batched4 ~domains:4 ~waves:waves4
-                   ~switches:switches4 ~steals:steals4 ~tasks:tasks4;
+                   ~seconds:t_batched4 ~domains:4
+                   ~counters:(Some (waves4, switches4, steals4, tasks4));
                ] );
            ( "speedup_batched_vs_scalar",
              Sqlgraph.Metrics.num (t_scalar /. t_batched) );

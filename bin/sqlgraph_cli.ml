@@ -64,6 +64,11 @@
      \limit ROWS;            set the per-statement row limit (0 or off: none)
      \timing;                toggle per-statement wall-clock timing
      \stats;                 execution counters of the last query
+     \stat;                  top statement fingerprints by total latency
+                             (SQL view: SELECT ... FROM
+                             sqlgraph_stat_statements)
+     \stat reset;            zero the fingerprint store (the metrics
+                             registry is untouched)
      \metrics;               cumulative session metrics (counters +
                              p50/p90/p99/max latency histograms)
      \trace on|off;          toggle span tracing
@@ -183,6 +188,14 @@ let append_metrics db ~sql ~ms ~ok =
             [
               ("schema", Sqlgraph.Metrics.String "sqlgraph-metrics-v1");
               ("sql", Sqlgraph.Metrics.String sql);
+              ( "fingerprint",
+                match Sqlgraph.Db.last_fingerprint db with
+                | Some f -> Sqlgraph.Metrics.String f
+                | None -> Sqlgraph.Metrics.Null );
+              ( "qid",
+                match Sqlgraph.Db.last_query_id db with
+                | Some q -> Sqlgraph.Metrics.String q
+                | None -> Sqlgraph.Metrics.Null );
               ("ms", Sqlgraph.Metrics.num ms);
               ("ok", Sqlgraph.Metrics.Bool ok);
               ( "stats",
@@ -247,6 +260,14 @@ let slow_query_check db ~sql ~ms result =
             [
               ("ts", Sqlgraph.Metrics.num (Unix.gettimeofday ()));
               ("query", Sqlgraph.Metrics.String sql);
+              ( "fingerprint",
+                match Sqlgraph.Db.last_fingerprint db with
+                | Some f -> Sqlgraph.Metrics.String f
+                | None -> Sqlgraph.Metrics.Null );
+              ( "qid",
+                match Sqlgraph.Db.last_query_id db with
+                | Some q -> Sqlgraph.Metrics.String q
+                | None -> Sqlgraph.Metrics.Null );
               ("ms", Sqlgraph.Metrics.num ms);
               ( "rows",
                 match outcome_rows result with
@@ -467,6 +488,32 @@ let repl db =
            | [ "\\timeout"; ms ] -> set_timeout ms
            | [ "\\limit"; rows ] -> set_max_rows rows
            | [ "\\stats" ] -> print_stats !db
+           | [ "\\stat" ] ->
+             (* top fingerprints by cumulative latency; the SQL view of
+                the same data is SELECT ... FROM sqlgraph_stat_statements *)
+             let entries = Sqlgraph.Stat_store.entries (Sqlgraph.Db.stat_store !db) in
+             if entries = [] then print_endline "no statements observed yet"
+             else begin
+               Printf.printf "%-16s %8s %10s %9s  %s\n" "fingerprint" "calls"
+                 "total_ms" "mean_ms" "query";
+               List.iteri
+                 (fun i (e : Sqlgraph.Stat_store.entry) ->
+                   if i < 10 then
+                     Printf.printf "%-16s %8d %10.2f %9.2f  %s\n"
+                       (Sql.Fingerprint.to_hex e.fingerprint)
+                       e.calls e.total_ms
+                       (e.total_ms /. float_of_int (max 1 e.calls))
+                       e.query)
+                 entries;
+               if List.length entries > 10 then
+                 Printf.printf "(%d more; query sqlgraph_stat_statements)\n"
+                   (List.length entries - 10)
+             end
+           | [ "\\stat"; "reset" ] ->
+             (* zero the fingerprint store only; the metrics registry
+                keeps accumulating (uptime, histograms) *)
+             Sqlgraph.Db.reset_statement_stats !db;
+             print_endline "statement statistics reset"
            | [ "\\metrics" ] ->
              print_string
                (Telemetry.Registry.to_table (Sqlgraph.Db.registry !db))

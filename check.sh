@@ -116,6 +116,17 @@ grep -q '"speedup_batched_vs_scalar"' BENCH_pairs_smoke.json || {
   cat BENCH_pairs_smoke.json
   exit 1
 }
+# Scalar entries must report traversal counters as null (not 0): the
+# scalar baseline runs no batched waves and no stealable tasks.
+dune exec test/json_lint.exe -- --bench-pairs BENCH_pairs_smoke.json || {
+  echo "FAIL: BENCH_pairs_smoke.json failed the null-vs-zero counter lint"
+  cat BENCH_pairs_smoke.json
+  exit 1
+}
+dune exec test/json_lint.exe -- --bench-pairs BENCH_pairs.json || {
+  echo "FAIL: committed BENCH_pairs.json failed the null-vs-zero counter lint"
+  exit 1
+}
 
 echo "== bench pairs scaling gate (domains=4 <= 0.9x domains=1)"
 # Full-size workload (ratio 1.0, 512 sources — the committed
@@ -490,4 +501,97 @@ digest2=$(sed -n 's/.*"digest": "\([0-9a-f]*\)".*/\1/p' BENCH_sim_smoke.json | h
 }
 echo "   50k statements, 0 violations, digest $digest1 reproduced"
 
-echo "OK: build, tests, fault-injection, EXPLAIN ANALYZE, batched traversal, bench, telemetry, durability, server and sim smokes all passed"
+echo "== introspection smoke (sqlgraph_stat_statements over a live server)"
+idir=$(mktemp -d /tmp/sqlgraph_check_in_XXXXXX)
+isock="$idir/server.sock"
+trap 'rm -f "$script" "$out" "$ea_script" "$metrics" "$ms_script" "$obs_script" "$prom" "$slowlog" "$ack" "$srv_log" BENCH_smoke.json BENCH_pairs_smoke.json BENCH_pairs_scaling.json TRACE_smoke.json BENCH_wal_smoke.json BENCH_server_smoke.json BENCH_sim_smoke.json; rm -rf "$ddir" "$sdir" "$ackdir" "$idir"' EXIT
+"$cli" serve --socket "$isock" --data-dir "$idir" > "$srv_log" 2>&1 &
+srv_pid=$!
+i=0
+while [ "$i" -lt 100 ] && [ ! -S "$isock" ]; do sleep 0.1; i=$((i + 1)); done
+[ -S "$isock" ] || {
+  echo "FAIL: introspection server did not create $isock:"
+  cat "$srv_log"
+  exit 1
+}
+# A workload whose SELECTs all share one fingerprint (the constants
+# differ; the normalized shape does not).
+{
+  echo "CREATE TABLE g (src INTEGER, dst INTEGER)"
+  echo "INSERT INTO g VALUES (1, 2), (2, 3), (1, 3), (3, 4)"
+  i=0
+  while [ "$i" -lt 50 ]; do
+    echo "SELECT CHEAPEST SUM(1) WHERE 1 REACHES $((i % 4 + 1)) OVER g EDGE (src, dst)"
+    i=$((i + 1))
+  done
+} | "$cli" client --socket "$isock" > "$out" 2>&1
+# every statement's OK line must carry a wire query id
+n_qid=$(grep -c "^OK .* qid=[0-9a-f]*:[0-9]* " "$out" || true)
+[ "$n_qid" -ge 50 ] || {
+  echo "FAIL: only $n_qid OK lines carry a qid (expected >= 50):"
+  tail -5 "$out"
+  exit 1
+}
+"$cli" client --socket "$isock" \
+    -e "SELECT fingerprint, calls FROM sqlgraph_stat_statements ORDER BY total_ms DESC" \
+    > "$out" 2>&1 || {
+  echo "FAIL: could not query sqlgraph_stat_statements over the socket:"
+  cat "$out"; cat "$srv_log"
+  exit 1
+}
+top_calls=$(awk -F'\t' '/^ROW /{ print $2 }' "$out" | sort -rn | head -1)
+[ -n "$top_calls" ] && [ "$top_calls" -ge 50 ] || {
+  echo "FAIL: top fingerprint has calls=$top_calls, expected >= 50 (literal-insensitive normalization):"
+  cat "$out"
+  exit 1
+}
+# fingerprint count stays within the store bound (default 500)
+n_fp=$(grep -c '^ROW' "$out")
+[ "$n_fp" -ge 1 ] && [ "$n_fp" -le 500 ] || {
+  echo "FAIL: $n_fp fingerprints, expected within (0, 500]:"
+  cat "$out"
+  exit 1
+}
+# the reserved namespace is read-only, over the wire too
+"$cli" client --socket "$isock" \
+    -e "CREATE TABLE sqlgraph_mine (a INTEGER)" > "$out" 2>&1 || true
+grep -q "^ERR bind .*reserved" "$out" || {
+  echo "FAIL: CREATE TABLE sqlgraph_mine was not refused as reserved:"
+  cat "$out"
+  exit 1
+}
+kill -TERM "$srv_pid" 2>/dev/null || true
+wait "$srv_pid" 2>/dev/null || true
+# \save must exclude system tables: the saved directory (and manifest)
+# hold only base tables even though sqlgraph_stat_statements is
+# SELECTable in the same session.
+pdir="$idir/saved"
+{
+  echo "CREATE TABLE base (a INTEGER);"
+  echo "INSERT INTO base VALUES (1), (2);"
+  echo "SELECT * FROM sqlgraph_stat_statements ORDER BY total_ms DESC LIMIT 5;"
+  echo "\\save $pdir;"
+} | "$cli" repl > "$out" 2>&1
+grep -q "saved to $pdir" "$out" || {
+  echo "FAIL: \\save did not succeed alongside system tables:"
+  cat "$out"
+  exit 1
+}
+if ls "$pdir" | grep -qi "sqlgraph_"; then
+  echo "FAIL: \\save leaked system tables into $pdir:"
+  ls "$pdir"
+  exit 1
+fi
+grep -q "^base," "$pdir/_manifest.csv" || {
+  echo "FAIL: \\save manifest is missing the base table:"
+  cat "$pdir/_manifest.csv"
+  exit 1
+}
+if grep -qi "sqlgraph_" "$pdir/_manifest.csv"; then
+  echo "FAIL: \\save manifest lists system tables:"
+  cat "$pdir/_manifest.csv"
+  exit 1
+fi
+echo "   $n_qid wire qids, top fingerprint calls=$top_calls, $n_fp fingerprints, reserved namespace enforced"
+
+echo "OK: build, tests, fault-injection, EXPLAIN ANALYZE, batched traversal, bench, telemetry, durability, server, sim and introspection smokes all passed"

@@ -40,22 +40,180 @@ type t = {
   mutable readonly : bool;
       (* inspection mode (--readonly): every catalog-mutating statement
          is refused before it applies *)
+  mutable stat_store : Stat_store.t;
+      (* per-fingerprint cumulative statement stats
+         (sqlgraph_stat_statements); the server swaps in its shared
+         store so every session feeds one view *)
+  mutable stmt_seq : int; (* statements observed; the :<seq> of query ids *)
+  mutable last_query_id : string option; (* "<fp-hex>:<seq>" of the last stmt *)
+  mutable last_fingerprint : string option; (* fp hex of the last stmt *)
+  created_at : float; (* Unix time of create; drives sqlgraph_uptime_seconds *)
 }
 
+(* --- system tables (DESIGN.md §14) --------------------------------- *)
+
+let reserved_prefix = "sqlgraph_"
+
+let is_reserved_name name =
+  let n = String.lowercase_ascii name in
+  String.length n >= String.length reserved_prefix
+  && String.sub n 0 (String.length reserved_prefix) = reserved_prefix
+
+let refuse_reserved name =
+  if is_reserved_name name then
+    raise
+      (Relalg.Binder.Bind_error
+         (Printf.sprintf
+            "%s is a reserved name: sqlgraph_* tables are read-only system \
+             tables"
+            name))
+
+let stat_statements_schema =
+  Storage.Schema.of_pairs
+    [
+      ("fingerprint", Storage.Dtype.TStr);
+      ("query", Storage.Dtype.TStr);
+      ("calls", Storage.Dtype.TInt);
+      ("failures", Storage.Dtype.TInt);
+      ("gov_aborts", Storage.Dtype.TInt);
+      ("total_ms", Storage.Dtype.TFloat);
+      ("min_ms", Storage.Dtype.TFloat);
+      ("max_ms", Storage.Dtype.TFloat);
+      ("mean_ms", Storage.Dtype.TFloat);
+      ("rows", Storage.Dtype.TInt);
+      ("index_hits", Storage.Dtype.TInt);
+      ("index_misses", Storage.Dtype.TInt);
+      ("waves", Storage.Dtype.TInt);
+      ("steals", Storage.Dtype.TInt);
+    ]
+
+let stat_statements_table store =
+  Storage.Table.of_rows stat_statements_schema
+    (List.map
+       (fun (e : Stat_store.entry) ->
+         [
+           V.Str (Sql.Fingerprint.to_hex e.Stat_store.fingerprint);
+           V.Str e.Stat_store.query;
+           V.Int e.Stat_store.calls;
+           V.Int e.Stat_store.failures;
+           V.Int e.Stat_store.gov_aborts;
+           V.Float e.Stat_store.total_ms;
+           V.Float (if e.Stat_store.calls = 0 then 0. else e.Stat_store.min_ms);
+           V.Float e.Stat_store.max_ms;
+           V.Float
+             (if e.Stat_store.calls = 0 then 0.
+              else e.Stat_store.total_ms /. float_of_int e.Stat_store.calls);
+           V.Int e.Stat_store.rows;
+           V.Int e.Stat_store.index_hits;
+           V.Int e.Stat_store.index_misses;
+           V.Int e.Stat_store.waves;
+           V.Int e.Stat_store.steals;
+         ])
+       (Stat_store.entries store))
+
+let stat_graph_schema =
+  Storage.Schema.of_pairs
+    [
+      ("edge_table", Storage.Dtype.TStr);
+      ("src_cols", Storage.Dtype.TStr);
+      ("dst_cols", Storage.Dtype.TStr);
+      ("hits", Storage.Dtype.TInt);
+      ("misses", Storage.Dtype.TInt);
+    ]
+
+(* One row per enabled graph index; the hit/miss counters are
+   index-subsystem-wide (repeated per row).  With no index enabled a
+   single all-NULL-keys row still carries the counters. *)
+let stat_graph_table indices =
+  let hits = Executor.Graph_index.hits indices in
+  let misses = Executor.Graph_index.misses indices in
+  let cols l = String.concat "," (List.map string_of_int l) in
+  let rows =
+    match Executor.Graph_index.keys indices with
+    | [] -> [ [ V.Null; V.Null; V.Null; V.Int hits; V.Int misses ] ]
+    | keys ->
+      List.map
+        (fun (k : Executor.Graph_index.key) ->
+          [
+            V.Str k.Executor.Graph_index.table;
+            V.Str (cols k.Executor.Graph_index.src);
+            V.Str (cols k.Executor.Graph_index.dst);
+            V.Int hits;
+            V.Int misses;
+          ])
+        keys
+  in
+  Storage.Table.of_rows stat_graph_schema rows
+
+let stat_wal_schema =
+  Storage.Schema.of_pairs
+    [
+      ("dir", Storage.Dtype.TStr);
+      ("generation", Storage.Dtype.TInt);
+      ("logical_end", Storage.Dtype.TInt);
+      ("wal_path", Storage.Dtype.TStr);
+      ("readonly", Storage.Dtype.TBool);
+    ]
+
+let stat_sessions_schema =
+  Storage.Schema.of_pairs
+    [
+      ("sid", Storage.Dtype.TInt);
+      ("statements", Storage.Dtype.TInt);
+      ("last_qid", Storage.Dtype.TStr);
+      ("snapshot", Storage.Dtype.TInt);
+      ("in_txn", Storage.Dtype.TBool);
+      ("connected_seconds", Storage.Dtype.TFloat);
+    ]
+
+let register_virtual_table t ~name provider =
+  Storage.Catalog.register_virtual t.catalog name provider
+
+(* Default providers for a standalone (in-process) session.  The WAL
+   layer overrides sqlgraph_stat_wal with a live provider when a store
+   attaches; the server overrides sqlgraph_stat_sessions and
+   sqlgraph_metrics on each session Db with providers that close over
+   its shared state. *)
+let install_system_tables t =
+  register_virtual_table t ~name:"sqlgraph_stat_statements" (fun () ->
+      stat_statements_table t.stat_store);
+  register_virtual_table t ~name:"sqlgraph_stat_graph" (fun () ->
+      stat_graph_table t.indices);
+  register_virtual_table t ~name:"sqlgraph_stat_wal" (fun () ->
+      Storage.Table.of_rows stat_wal_schema []);
+  register_virtual_table t ~name:"sqlgraph_stat_sessions" (fun () ->
+      Storage.Table.of_rows stat_sessions_schema []);
+  register_virtual_table t ~name:"sqlgraph_metrics" (fun () ->
+      Metrics.registry_table [ t.registry ])
+
 let create () =
-  {
-    catalog = Storage.Catalog.create ();
-    indices = Executor.Graph_index.create ();
-    last_stats = None;
-    snapshot = None;
-    parallelism = 1;
-    registry = Telemetry.Registry.create ();
-    slow_query_ms = None;
-    durability = None;
-    readonly = false;
-  }
+  let t =
+    {
+      catalog = Storage.Catalog.create ();
+      indices = Executor.Graph_index.create ();
+      last_stats = None;
+      snapshot = None;
+      parallelism = 1;
+      registry = Telemetry.Registry.create ();
+      slow_query_ms = None;
+      durability = None;
+      readonly = false;
+      stat_store = Stat_store.create ();
+      stmt_seq = 0;
+      last_query_id = None;
+      last_fingerprint = None;
+      created_at = Unix.gettimeofday ();
+    }
+  in
+  install_system_tables t;
+  t
 
 let catalog t = t.catalog
+let stat_store t = t.stat_store
+let set_stat_store t s = t.stat_store <- s
+let reset_statement_stats t = Stat_store.reset t.stat_store
+let last_query_id t = t.last_query_id
+let last_fingerprint t = t.last_fingerprint
 let set_durability t d = t.durability <- d
 let in_transaction t = t.snapshot <> None
 let load_table t ~name table = Storage.Catalog.replace t.catalog name table
@@ -362,9 +520,13 @@ let exec_stmt_mem t ~params ~optimize ~gov stmt =
               "unknown option %s (available: parallelism, slow_query_ms)"
               other)))
   | Sql.Ast.Update { table; assignments; where } ->
+    refuse_reserved table;
     exec_update t ~params ~gov ~table ~assignments ~where
-  | Sql.Ast.Delete { table; where } -> exec_delete t ~params ~gov ~table ~where
+  | Sql.Ast.Delete { table; where } ->
+    refuse_reserved table;
+    exec_delete t ~params ~gov ~table ~where
   | Sql.Ast.Create_table (name, defs) ->
+    refuse_reserved name;
     if Storage.Catalog.mem t.catalog name then
       raise
         (Relalg.Binder.Bind_error (Printf.sprintf "table %s already exists" name));
@@ -384,11 +546,13 @@ let exec_stmt_mem t ~params ~optimize ~gov stmt =
       (Storage.Table.create (Storage.Schema.make fields));
     Created
   | Sql.Ast.Drop_table name ->
+    refuse_reserved name;
     if not (Storage.Catalog.drop t.catalog name) then
       raise
         (Relalg.Binder.Bind_error (Printf.sprintf "unknown table %s" name));
     Dropped
   | Sql.Ast.Create_table_as (name, q) ->
+    refuse_reserved name;
     if Storage.Catalog.mem t.catalog name then
       raise
         (Relalg.Binder.Bind_error (Printf.sprintf "table %s already exists" name));
@@ -413,6 +577,7 @@ let exec_stmt_mem t ~params ~optimize ~gov stmt =
          (List.init (Storage.Table.arity result) (Storage.Table.column result)));
     Created
   | Sql.Ast.Insert { table; columns; source } -> (
+    refuse_reserved table;
     match Storage.Catalog.find t.catalog table with
     | None ->
       raise (Relalg.Binder.Bind_error (Printf.sprintf "unknown table %s" table))
@@ -554,6 +719,9 @@ let absorb_stats t ~dt ~failed ~delta =
   Reg.set_gauge reg "sqlgraph_parallelism"
     (float_of_int t.parallelism)
     ~help:"Traversal domains per batch (SET parallelism)";
+  Reg.set_gauge reg "sqlgraph_uptime_seconds"
+    (Unix.gettimeofday () -. t.created_at)
+    ~help:"Seconds since this session's Db was created";
   match delta with
   | None -> ()
   | Some (s : Executor.Interp.stats) ->
@@ -596,16 +764,31 @@ let absorb_stats t ~dt ~failed ~delta =
         s.graph_traverse_seconds
         ~help:"Traversal time per statement (seconds)"
 
-(* Every statement enters through here: allocate a query id for the
-   tracer, run under a "statement" span (closed on any unwind), time it,
-   absorb counters into the registry, and — the stale-stats fix — clear
-   [last_stats] on failure so [\stats] can never silently report the
-   previous statement. *)
-let observe_stmt t f =
+(* Every statement enters through here: fingerprint the text, allocate
+   a query id (fingerprint hex + per-session sequence, stamped on the
+   "statement" span so a trace dump joins against
+   sqlgraph_stat_statements), run under that span (closed on any
+   unwind), time it, absorb counters into the registry and the
+   fingerprint store, and — the stale-stats fix — clear [last_stats] on
+   failure so [\stats] can never silently report the previous
+   statement.
+
+   The fingerprint store records the *same* wall-clock delta the
+   sqlgraph_statement_seconds histogram observes, so the store's total
+   latency reconciles with the registry exactly. *)
+let observe_stmt ?(rows_of = fun _ -> 0) t ~sql f =
   ignore (Telemetry.Trace.next_query ());
+  t.stmt_seq <- t.stmt_seq + 1;
+  let fp, norm = Sql.Fingerprint.of_sql sql in
+  let fp_hex = Sql.Fingerprint.to_hex fp in
+  let qid = Printf.sprintf "%s:%d" fp_hex t.stmt_seq in
+  t.last_query_id <- Some qid;
+  t.last_fingerprint <- Some fp_hex;
   let before = t.last_stats in
   let t0 = Unix.gettimeofday () in
-  let r = guard (fun () -> Telemetry.Trace.span "statement" f) in
+  let r =
+    guard (fun () -> Telemetry.Trace.span ~attrs:[ ("qid", qid) ] "statement" f)
+  in
   let dt = Unix.gettimeofday () -. t0 in
   let failed = Result.is_error r in
   if failed then t.last_stats <- None;
@@ -615,14 +798,37 @@ let observe_stmt t f =
     | _ -> None
   in
   absorb_stats t ~dt ~failed ~delta;
+  let gov_abort =
+    match r with Error (Error.Resource_error _) -> true | _ -> false
+  in
+  let hits, misses, waves, steals =
+    match delta with
+    | Some (s : Executor.Interp.stats) ->
+      ( s.Executor.Interp.index_hits,
+        s.Executor.Interp.index_misses,
+        s.Executor.Interp.trav_waves,
+        s.Executor.Interp.trav_steals )
+    | None -> (0, 0, 0, 0)
+  in
+  Stat_store.record t.stat_store ~fingerprint:fp ~query:norm
+    ~ms:(dt *. 1000.)
+    ~rows:(match r with Ok v -> rows_of v | Error _ -> 0)
+    ~failed ~gov_abort ~index_hits:hits ~index_misses:misses ~waves ~steals;
   r
+
+let outcome_rows = function
+  | Selected r -> Resultset.nrows r
+  | Inserted n | Updated n | Deleted n -> n
+  | Created | Dropped | Explained _ | Option_set _ | Began | Committed
+  | Rolled_back ->
+    0
 
 let exec t ?(params = [||]) ?(budget = Governor.no_limits) ?governor sql =
   (* [?governor] lets a caller hold the governor while the statement
      runs — the CLI's SIGINT handler cancels it cooperatively, the
      server cancels it on shutdown — instead of the per-call default. *)
   let gov = match governor with Some g -> g | None -> Governor.start budget in
-  observe_stmt t (fun () ->
+  observe_stmt ~rows_of:outcome_rows t ~sql (fun () ->
       exec_stmt t ~sql ~params ~optimize:Relalg.Rewriter.default_options ~gov
         (Telemetry.Trace.span "parse" (fun () -> Sql.Parser.parse_stmt sql)))
 
@@ -645,7 +851,7 @@ let exec_script_each t ?(budget = Governor.no_limits) ~f sql =
       | stmt :: rest ->
         let sql_text = Sql.Pretty.stmt_to_string stmt in
         let r =
-          observe_stmt t (fun () ->
+          observe_stmt ~rows_of:outcome_rows t ~sql:sql_text (fun () ->
               exec_stmt t ~sql:sql_text ~params:[||]
                 ~optimize:Relalg.Rewriter.default_options
                 ~gov:(Governor.start budget) stmt)
@@ -669,7 +875,7 @@ let exec_script t ?budget sql =
 
 let query t ?(params = [||]) ?(optimize = Relalg.Rewriter.default_options)
     ?(budget = Governor.no_limits) sql =
-  observe_stmt t (fun () ->
+  observe_stmt ~rows_of:Resultset.nrows t ~sql (fun () ->
       match
         Telemetry.Trace.span "parse" (fun () -> Sql.Parser.parse_stmt sql)
       with

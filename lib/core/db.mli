@@ -197,3 +197,59 @@ val set_durability : t -> durability option -> unit
 (** [in_transaction db] — a BEGIN snapshot is open (checkpointing is
     refused mid-transaction). *)
 val in_transaction : t -> bool
+
+(** {1 Introspection (DESIGN.md §14)}
+
+    Every Db resolves read-only virtual system tables under reserved
+    [sqlgraph_*] names: [sqlgraph_stat_statements] (per-fingerprint
+    cumulative statement stats), [sqlgraph_stat_graph] (graph indices
+    and cache hit/miss counters), [sqlgraph_stat_wal] (live when a WAL
+    store is attached), [sqlgraph_stat_sessions] (populated by the
+    server) and [sqlgraph_metrics] (one row per registry counter/gauge
+    value and histogram percentile).  They compose with ordinary
+    SELECT/WHERE/ORDER BY but are refused by DML/DDL, excluded from
+    BEGIN snapshots and never persisted. *)
+
+(** [is_reserved_name n] — [n] is in the reserved [sqlgraph_*] system
+    namespace (case-insensitive). *)
+val is_reserved_name : string -> bool
+
+(** [register_virtual_table db ~name provider] — register (or replace)
+    a virtual table materialized fresh on every scan.  Used by
+    {!Wal.open_dir} (live [sqlgraph_stat_wal]) and the server (live
+    [sqlgraph_stat_sessions] / combined [sqlgraph_metrics] on each
+    session's private Db). *)
+val register_virtual_table :
+  t -> name:string -> (unit -> Storage.Table.t) -> unit
+
+(** [stat_store db] — the bounded per-fingerprint statement-stats store
+    behind [sqlgraph_stat_statements].  {!exec}, {!exec_script_each} and
+    {!query} record every statement's fingerprint, latency (the exact
+    delta the [sqlgraph_statement_seconds] histogram observes), row
+    count and traversal counters here. *)
+val stat_store : t -> Stat_store.t
+
+(** [set_stat_store db store] — share a store across Dbs (the server
+    points every session's private Db at the writer Db's store, so the
+    whole server workload lands in one view). *)
+val set_stat_store : t -> Stat_store.t -> unit
+
+(** [reset_statement_stats db] — zero the fingerprint store ([\stat
+    reset]); the metrics registry is deliberately untouched. *)
+val reset_statement_stats : t -> unit
+
+(** [last_query_id db] — the query id ([<fingerprint-hex>:<seq>], with
+    [seq] monotone per Db) of the most recent statement, as stamped on
+    its trace span; [None] before the first statement. *)
+val last_query_id : t -> string option
+
+(** [last_fingerprint db] — the 16-hex-digit fingerprint of the most
+    recent statement's normalized text. *)
+val last_fingerprint : t -> string option
+
+(** Schemas of the provider-overridable system tables, shared by the
+    default (empty) providers and the live ones in {!Wal} and the
+    server. *)
+
+val stat_wal_schema : Storage.Schema.t
+val stat_sessions_schema : Storage.Schema.t

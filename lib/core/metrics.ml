@@ -204,6 +204,44 @@ let stats_json (s : Executor.Interp.stats) =
           ] );
     ]
 
+(* The sqlgraph_metrics system table (DESIGN.md §14): one row per
+   counter/gauge value and per histogram percentile, so registry state
+   is SQL-queryable.  [registry_table] concatenates several registries
+   (the server renders its shared server registry after the writer Db's
+   session registry). *)
+let registry_schema =
+  Storage.Schema.of_pairs
+    [
+      ("name", Storage.Dtype.TStr);
+      ("kind", Storage.Dtype.TStr);
+      ("field", Storage.Dtype.TStr);
+      ("value", Storage.Dtype.TFloat);
+      ("help", Storage.Dtype.TStr);
+    ]
+
+let registry_rows reg =
+  let module V = Storage.Value in
+  let cell f = if Float.is_finite f then V.Float f else V.Null in
+  Telemetry.Registry.fold reg ~init:[] ~f:(fun acc name ~help m ->
+      let row kind field v = [ V.Str name; V.Str kind; V.Str field; v; V.Str help ] in
+      match m with
+      | Telemetry.Registry.Counter c ->
+        row "counter" "value" (V.Float (float_of_int c)) :: acc
+      | Telemetry.Registry.Gauge g -> row "gauge" "value" (cell g) :: acc
+      | Telemetry.Registry.Histogram p ->
+        let open Telemetry.Registry in
+        row "histogram" "max" (cell p.max)
+        :: row "histogram" "p99" (cell p.p99)
+        :: row "histogram" "p90" (cell p.p90)
+        :: row "histogram" "p50" (cell p.p50)
+        :: row "histogram" "sum" (cell p.sum)
+        :: row "histogram" "count" (V.Float (float_of_int p.count))
+        :: acc)
+  |> List.rev
+
+let registry_table regs =
+  Storage.Table.of_rows registry_schema (List.concat_map registry_rows regs)
+
 let write_file ~path j =
   let oc = open_out path in
   Fun.protect

@@ -612,9 +612,25 @@ let dur_commit t () =
 
 let dur_rollback t () = t.txn_buf <- []
 
+(* Live sqlgraph_stat_wal provider (DESIGN.md §14): replaces the Db's
+   default empty provider with one that reads this store. *)
+let register_stat_table t db =
+  Db.register_virtual_table db ~name:"sqlgraph_stat_wal" (fun () ->
+      Storage.Table.of_rows Db.stat_wal_schema
+        [
+          [
+            Storage.Value.Str t.dir;
+            Storage.Value.Int t.gen;
+            Storage.Value.Int (logical_end t);
+            Storage.Value.Str (wal_path t);
+            Storage.Value.Bool t.readonly;
+          ];
+        ])
+
 let attach t db =
   t.registry <- Some (Db.registry db);
   sync_registry t;
+  register_stat_table t db;
   Db.set_durability db
     (Some
        {
@@ -826,7 +842,11 @@ let open_dir ?(fsync = true) ?(readonly = false) dir =
           in
           t.stats.c_replayed <- replayed;
           t.stats.c_truncated <- truncated;
-          if readonly then Db.set_readonly db true else attach t db;
+          if readonly then begin
+            Db.set_readonly db true;
+            register_stat_table t db
+          end
+          else attach t db;
           ( t,
             db,
             {

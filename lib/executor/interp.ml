@@ -386,7 +386,11 @@ and run_node ?outer ctx (plan : L.plan) : T.t =
   | L.Scan { table; _ } -> (
     match Storage.Catalog.find ctx.catalog table with
     | Some t -> t
-    | None -> rerror "table %s disappeared during execution" table)
+    | None -> (
+      (* virtual system tables materialize fresh per scan *)
+      match Storage.Catalog.virtual_provider ctx.catalog table with
+      | Some provider -> provider ()
+      | None -> rerror "table %s disappeared during execution" table))
   | L.One ->
     (* a single anonymous row feeding FROM-less SELECTs; the hidden column
        is never referenced (the binder gives One an empty schema) *)

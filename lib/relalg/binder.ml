@@ -76,7 +76,18 @@ let resolve_table ctx name =
     | Some table ->
       L.Scan
         { table = norm name; schema = Rschema.of_storage (Storage.Table.schema table) }
-    | None -> err "unknown table %s" name)
+    | None -> (
+      (* virtual system tables (the sqlgraph_stat family) resolve after base
+         tables: materialize once here just to learn the schema — the
+         executor's Scan re-materializes a fresh copy at run time *)
+      match Storage.Catalog.virtual_provider ctx.catalog name with
+      | Some provider ->
+        L.Scan
+          {
+            table = norm name;
+            schema = Rschema.of_storage (Storage.Table.schema (provider ()));
+          }
+      | None -> err "unknown table %s" name))
 
 (* Cheapest-sum registrations: filled in a first pass over the select
    items, laid out after the FROM schema, consumed during binding. *)

@@ -84,16 +84,21 @@ let err_busy ~retry_ms msg = Printf.sprintf "ERR busy retry_ms=%d %s" retry_ms (
 
 (* Render one successful outcome as its response lines (ROW lines plus
    the terminal OK).  [snapshot] is the session's table-version-vector
-   sequence number — the fuzzer asserts it never decreases per session. *)
-let ok_outcome ~snapshot (o : Sqlgraph.Db.exec_outcome) =
-  let fin verb = [ Printf.sprintf "OK %s snapshot=%d" verb snapshot ] in
+   sequence number — the fuzzer asserts it never decreases per session.
+   [qid] is the statement's query id (<fingerprint-hex>:<seq>, sequence
+   monotone per session): echoed on the OK line so a client-side trace
+   joins against the server's sqlgraph_stat_statements /
+   sqlgraph_stat_sessions rows. *)
+let ok_outcome ?qid ~snapshot (o : Sqlgraph.Db.exec_outcome) =
+  let q = match qid with None -> "" | Some q -> " qid=" ^ q in
+  let fin verb = [ Printf.sprintf "OK %s%s snapshot=%d" verb q snapshot ] in
   match o with
   | Sqlgraph.Db.Selected r ->
     let rows = List.map row (Sqlgraph.Resultset.rows r) in
     rows
     @ [
-        Printf.sprintf "OK SELECT rows=%d snapshot=%d" (Sqlgraph.Resultset.nrows r)
-          snapshot;
+        Printf.sprintf "OK SELECT rows=%d%s snapshot=%d"
+          (Sqlgraph.Resultset.nrows r) q snapshot;
       ]
   | Sqlgraph.Db.Explained text ->
     let lines =
@@ -101,7 +106,7 @@ let ok_outcome ~snapshot (o : Sqlgraph.Db.exec_outcome) =
     in
     List.map row_text lines
     @ [
-        Printf.sprintf "OK EXPLAIN rows=%d snapshot=%d" (List.length lines)
+        Printf.sprintf "OK EXPLAIN rows=%d%s snapshot=%d" (List.length lines) q
           snapshot;
       ]
   | Sqlgraph.Db.Inserted n -> fin (Printf.sprintf "INSERT %d" n)
@@ -127,6 +132,24 @@ let clean_request line =
   let n = String.length line in
   if n > 0 && line.[n - 1] = ';' then String.trim (String.sub line 0 (n - 1))
   else line
+
+(* Parse "qid=<fp>:<seq>" off a terminal OK line. *)
+let qid_of_line line =
+  let key = " qid=" in
+  let kl = String.length key in
+  let n = String.length line in
+  let rec find i =
+    if i + kl > n then None
+    else if String.sub line i kl = key then begin
+      let j = ref (i + kl) in
+      while !j < n && line.[!j] <> ' ' do
+        incr j
+      done;
+      Some (String.sub line (i + kl) (!j - i - kl))
+    end
+    else find (i + 1)
+  in
+  find 0
 
 (* Parse "snapshot=<n>" off a terminal OK line ([None] on ERR/BYE). *)
 let snapshot_of_line line =

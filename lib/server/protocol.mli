@@ -30,9 +30,14 @@ val err_busy : retry_ms:int -> string -> string
 (** Admission-control rejection: [ERR busy retry_ms=<n> ...] — the
     client should back off and retry. *)
 
-val ok_outcome : snapshot:int -> Sqlgraph.Db.exec_outcome -> string list
+val ok_outcome :
+  ?qid:string -> snapshot:int -> Sqlgraph.Db.exec_outcome -> string list
 (** The full response for a successful statement: zero or more [ROW]
-    lines plus the terminal [OK ... snapshot=<v>] line. *)
+    lines plus the terminal [OK ... [qid=<fp>:<seq>] snapshot=<v>]
+    line.  [qid] is the statement's query id — fingerprint hex plus a
+    per-session sequence number — joining the acknowledgement to the
+    server's [sqlgraph_stat_statements] / [sqlgraph_stat_sessions]
+    rows. *)
 
 val is_terminal : string -> bool
 (** The line ends a response ([OK] / [ERR] / [BYE] prefixed). *)
@@ -42,3 +47,6 @@ val clean_request : string -> string
 
 val snapshot_of_line : string -> int option
 (** Parse [snapshot=<n>] out of a terminal line, if present. *)
+
+val qid_of_line : string -> string option
+(** Parse [qid=<fp>:<seq>] out of a terminal line, if present. *)

@@ -78,6 +78,21 @@ type t = {
   mutable stop_w : Unix.file_descr option;
   metrics : Reg.t;
   metrics_mu : Mutex.t;
+  session_infos : (int, session_info) Hashtbl.t;
+      (* sid -> live stats; guarded by [mu]; backs sqlgraph_stat_sessions *)
+}
+
+(* One connected session's introspection row (sqlgraph_stat_sessions).
+   Mutable fields are updated by the owning session thread via
+   {!session_note} under [mu]; readers materialize the table under the
+   same lock. *)
+and session_info = {
+  si_sid : int;
+  mutable si_statements : int;
+  mutable si_last_qid : string option;
+  mutable si_snapshot : int;
+  mutable si_in_txn : bool;
+  si_connected : float; (* Unix time of admission *)
 }
 
 let metric_inc t ?help name n =
@@ -96,6 +111,51 @@ let metric_observe t ?help name v =
   Mutex.unlock t.metrics_mu
 
 let metrics t = t.metrics
+
+(* Server-wide sqlgraph_metrics rows: the server registry plus any
+   [extra] registries (the shared Db's, or a session's private one) —
+   best-effort live read under the metrics mutex. *)
+let metrics_table ?(extra = []) t =
+  Mutex.lock t.metrics_mu;
+  let tbl = Sqlgraph.Metrics.registry_table (extra @ [ t.metrics ]) in
+  Mutex.unlock t.metrics_mu;
+  tbl
+
+(* --- per-session introspection ------------------------------------- *)
+
+(* Record the outcome of one served statement against the session's
+   sqlgraph_stat_sessions row. *)
+let session_note t ~sid ~qid ~snapshot ~in_txn =
+  Mutex.lock t.mu;
+  (match Hashtbl.find_opt t.session_infos sid with
+  | Some si ->
+    si.si_statements <- si.si_statements + 1;
+    (match qid with Some _ -> si.si_last_qid <- qid | None -> ());
+    si.si_snapshot <- snapshot;
+    si.si_in_txn <- in_txn
+  | None -> ());
+  Mutex.unlock t.mu
+
+let sessions_table t =
+  let module V = Storage.Value in
+  let now = Unix.gettimeofday () in
+  Mutex.lock t.mu;
+  let infos = Hashtbl.fold (fun _ si acc -> si :: acc) t.session_infos [] in
+  let rows =
+    infos
+    |> List.sort (fun a b -> compare a.si_sid b.si_sid)
+    |> List.map (fun si ->
+           [
+             V.Int si.si_sid;
+             V.Int si.si_statements;
+             (match si.si_last_qid with Some q -> V.Str q | None -> V.Null);
+             V.Int si.si_snapshot;
+             V.Bool si.si_in_txn;
+             V.Float (now -. si.si_connected);
+           ])
+  in
+  Mutex.unlock t.mu;
+  Storage.Table.of_rows Sqlgraph.Db.stat_sessions_schema rows
 
 (* Publish the current catalog as an immutable snapshot: copy only the
    tables whose version moved.  Runs with the writer lock held (the
@@ -173,8 +233,16 @@ let create ?(config = default_config) ~db ~store () =
       stop_w = Some stop_w;
       metrics;
       metrics_mu;
+      session_infos = Hashtbl.create 16;
     }
   in
+  (* Live introspection providers on the shared Db (DESIGN.md §14):
+     override the empty defaults so a SELECT served by any session sees
+     the server's sessions and the combined metric registries. *)
+  Sqlgraph.Db.register_virtual_table db ~name:"sqlgraph_stat_sessions"
+    (fun () -> sessions_table t);
+  Sqlgraph.Db.register_virtual_table db ~name:"sqlgraph_metrics" (fun () ->
+      metrics_table ~extra:[ Sqlgraph.Db.registry db ] t);
   (* seed the snapshot with whatever recovery (or the embedder) loaded *)
   Mutex.lock writer;
   publish_locked t;
@@ -214,6 +282,15 @@ let admit t =
     else begin
       t.sessions <- t.sessions + 1;
       t.next_sid <- t.next_sid + 1;
+      Hashtbl.replace t.session_infos t.next_sid
+        {
+          si_sid = t.next_sid;
+          si_statements = 0;
+          si_last_qid = None;
+          si_snapshot = 0;
+          si_in_txn = false;
+          si_connected = Unix.gettimeofday ();
+        };
       `Ok t.next_sid
     end
   in
@@ -230,9 +307,10 @@ let admit t =
   | `Stopping -> ());
   r
 
-let leave t =
+let leave t ~sid =
   Mutex.lock t.mu;
   t.sessions <- t.sessions - 1;
+  Hashtbl.remove t.session_infos sid;
   let active = t.sessions in
   Mutex.unlock t.mu;
   metric_gauge t "sqlgraph_server_sessions_active" (float_of_int active)

@@ -55,8 +55,25 @@ val stopping : t -> bool
 val admit : t -> [ `Ok of int | `Full | `Stopping ]
 (** Try to enter a session slot; [`Ok sid] carries the session id. *)
 
-val leave : t -> unit
+val leave : t -> sid:int -> unit
 val active_sessions : t -> int
+
+(** {1 Introspection (DESIGN.md §14)} *)
+
+val session_note :
+  t -> sid:int -> qid:string option -> snapshot:int -> in_txn:bool -> unit
+(** Record one served statement against the session's
+    [sqlgraph_stat_sessions] row: bump its statement count and stamp
+    the query id, observed snapshot version and transaction flag. *)
+
+val sessions_table : t -> Storage.Table.t
+(** Materialize [sqlgraph_stat_sessions]: one row per connected
+    session. *)
+
+val metrics_table : ?extra:Telemetry.Registry.t list -> t -> Storage.Table.t
+(** Materialize [sqlgraph_metrics] from the server registry plus any
+    [extra] registries (the shared Db's, a session's private one) —
+    a best-effort live read. *)
 
 (** {1 Write path} *)
 

@@ -44,6 +44,11 @@ type t = {
   mutable last_version : int; (* latest snapshot version observed (reported) *)
   mutable loaded_version : int; (* snapshot version session_db actually holds *)
   mutable holding_writer : bool; (* BEGIN..COMMIT keeps the writer lock *)
+  mutable stmt_seq : int;
+      (* statements executed by this session, across both the private
+         and the shared Db — the :<seq> of its query ids, monotone per
+         session by construction *)
+  mutable last_qid : string option; (* latest query id (wire + stat_sessions) *)
   gov_mu : Mutex.t;
   mutable current_gov : Governor.t option; (* in-flight statement's governor *)
   mutable thread : Thread.t option;
@@ -169,11 +174,24 @@ let exec_with_gov t db sql =
   Mutex.lock t.gov_mu;
   t.current_gov <- None;
   Mutex.unlock t.gov_mu;
-  r
+  (* Query id: the statement's fingerprint (just stamped on [db] by
+     Db.exec) plus this session's own sequence number.  The session
+     allocates the sequence — statements interleave across the private
+     and shared Db, so neither Db's counter is session-monotone.  Safe
+     to read off the shared Db: we hold the writer lock whenever a
+     statement runs there. *)
+  t.stmt_seq <- t.stmt_seq + 1;
+  let qid =
+    Option.map
+      (fun fp -> Printf.sprintf "%s:%d" fp t.stmt_seq)
+      (Db.last_fingerprint db)
+  in
+  (match qid with Some _ -> t.last_qid <- qid | None -> ());
+  (r, qid)
 
-let render t r =
+let render t ?qid r =
   match r with
-  | Ok o -> Protocol.ok_outcome ~snapshot:t.last_version o
+  | Ok o -> Protocol.ok_outcome ?qid ~snapshot:t.last_version o
   | Error e -> [ Protocol.err e ]
 
 (* Run one statement that holds (or already held) the writer lock, then
@@ -183,7 +201,7 @@ let render t r =
    awaited here. *)
 let exec_write_prepare t ~release sql =
   let shared = Scheduler.db t.sched in
-  let r = exec_with_gov t shared sql in
+  let r, qid = exec_with_gov t shared sql in
   (* publish even after a failed statement: the shared Db's state —
      whatever it is — is what the next snapshot must show *)
   Scheduler.publish t.sched;
@@ -192,7 +210,7 @@ let exec_write_prepare t ~release sql =
   if release then Scheduler.writer_release t.sched;
   match r with
   | Error _ -> (render t r, None)
-  | Ok o -> (Protocol.ok_outcome ~snapshot:t.last_version o, Some target)
+  | Ok o -> (Protocol.ok_outcome ?qid ~snapshot:t.last_version o, Some target)
 
 (* [last_version] can run ahead of [loaded_version]: a write observes
    the new snapshot immediately (it made it), but the private replica
@@ -245,7 +263,8 @@ type item =
   | Immediate of string list
   | Gated of string list * int
       (* rendered, but ack'd only after an fsync covers the target *)
-  | Deferred of Db.exec_outcome * int ref
+  | Deferred of Db.exec_outcome * int ref * string option
+      (* outcome, snapshot-version ref, query id: rendered late *)
 
 (* Execute one request inside a batch. *)
 let execute t b sql =
@@ -258,22 +277,28 @@ let execute t b sql =
     | Sql.Ast.Set_option _ ->
       (* session-local knobs (parallelism, limits) live on the private Db *)
       batch_flush t b;
-      Immediate (render t (exec_with_gov t t.session_db sql))
+      let r, qid = exec_with_gov t t.session_db sql in
+      Immediate (render t ?qid r)
     | Sql.Ast.Select _ | Sql.Ast.Explain _ ->
-      if t.holding_writer then
+      if t.holding_writer then begin
         (* in-transaction read: read-your-writes on the shared Db (safe —
            we hold the writer lock, nothing else can touch it) *)
-        Immediate (render t (exec_with_gov t (Scheduler.db t.sched) sql))
+        let r, qid = exec_with_gov t (Scheduler.db t.sched) sql in
+        Immediate (render t ?qid r)
+      end
       else begin
         (* publish any batched writes first: read-your-writes *)
         batch_flush t b;
         refresh t;
-        Immediate (render t (exec_with_gov t t.session_db sql))
+        let r, qid = exec_with_gov t t.session_db sql in
+        Immediate (render t ?qid r)
       end
     | Sql.Ast.Begin_txn -> (
-      if t.holding_writer then
+      if t.holding_writer then begin
         (* nested BEGIN: let the shared Db produce its usual error *)
-        Immediate (render t (exec_with_gov t (Scheduler.db t.sched) sql))
+        let r, qid = exec_with_gov t (Scheduler.db t.sched) sql in
+        Immediate (render t ?qid r)
+      end
       else begin
         batch_flush t b;
         match Scheduler.writer_acquire t.sched with
@@ -281,18 +306,19 @@ let execute t b sql =
           Immediate [ Protocol.err_busy ~retry_ms "write queue full" ]
         | `Ok -> (
           match exec_with_gov t (Scheduler.db t.sched) sql with
-          | Ok _ as r ->
+          | (Ok _ as r), qid ->
             t.holding_writer <- true;
-            Immediate (render t r)
-          | Error _ as r ->
+            Immediate (render t ?qid r)
+          | (Error _ as r), qid ->
             Scheduler.writer_release t.sched;
-            Immediate (render t r))
+            Immediate (render t ?qid r))
       end)
     | Sql.Ast.Commit_txn | Sql.Ast.Rollback_txn ->
       if not t.holding_writer then begin
         (* no open transaction: the private Db raises the usual error *)
         batch_flush t b;
-        Immediate (render t (exec_with_gov t t.session_db sql))
+        let r, qid = exec_with_gov t t.session_db sql in
+        Immediate (render t ?qid r)
       end
       else begin
         t.holding_writer <- false;
@@ -305,20 +331,22 @@ let execute t b sql =
         | (resp, None), _ -> Immediate resp
       end
     | _ when is_write stmt ->
-      if t.holding_writer then
+      if t.holding_writer then begin
         (* inside BEGIN: apply + buffer; durability (and publication)
            happen at COMMIT, atomically with the rest of the txn *)
-        Immediate (render t (exec_with_gov t (Scheduler.db t.sched) sql))
+        let r, qid = exec_with_gov t (Scheduler.db t.sched) sql in
+        Immediate (render t ?qid r)
+      end
       else if b.wlock then (
         (* already mid-run: keep the lock, defer the publish *)
         match exec_with_gov t (Scheduler.db t.sched) sql with
-        | Ok o ->
+        | Ok o, qid ->
           let v = ref t.last_version in
           b.vrefs <- v :: b.vrefs;
-          Deferred (o, v)
-        | Error _ as r ->
+          Deferred (o, v, qid)
+        | (Error _ as r), qid ->
           (* errors carry no snapshot: render now, but keep batching *)
-          Immediate (render t r))
+          Immediate (render t ?qid r))
       else (
         match Scheduler.writer_acquire t.sched with
         | `Busy retry_ms ->
@@ -326,14 +354,15 @@ let execute t b sql =
         | `Ok -> (
           b.wlock <- true;
           match exec_with_gov t (Scheduler.db t.sched) sql with
-          | Ok o ->
+          | Ok o, qid ->
             let v = ref t.last_version in
             b.vrefs <- v :: b.vrefs;
-            Deferred (o, v)
-          | Error _ as r -> Immediate (render t r)))
+            Deferred (o, v, qid)
+          | (Error _ as r), qid -> Immediate (render t ?qid r)))
     | _ ->
       batch_flush t b;
-      Immediate (render t (exec_with_gov t t.session_db sql)))
+      let r, qid = exec_with_gov t t.session_db sql in
+      Immediate (render t ?qid r))
 
 (* Execute every request of [batch] in order, then acknowledge them all
    at once: the durability waits collapse into one group-commit wait on
@@ -377,6 +406,8 @@ let run_batch t batch =
                   "sqlgraph_server_statement_seconds"
                   (Unix.gettimeofday () -. t0)
                   ~help:"Served statement latency";
+                Scheduler.session_note t.sched ~sid:t.sid ~qid:t.last_qid
+                  ~snapshot:t.last_version ~in_txn:t.holding_writer;
                 Some item
               end)
           batch)
@@ -408,7 +439,8 @@ let run_batch t batch =
         | Immediate resp, _ -> resp
         | (Gated _ | Deferred _), Error e -> [ Protocol.err e ]
         | Gated (resp, _), Ok () -> resp
-        | Deferred (o, v), Ok () -> Protocol.ok_outcome ~snapshot:!v o)
+        | Deferred (o, v, qid), Ok () ->
+          Protocol.ok_outcome ?qid ~snapshot:!v o)
       items
   in
   if out <> [] then send t out;
@@ -427,7 +459,7 @@ let cleanup t =
   end;
   (try Unix.close t.fd with _ -> ());
   Telemetry.Trace.unregister_thread_track ();
-  Scheduler.leave t.sched
+  Scheduler.leave t.sched ~sid:t.sid
 
 let bye_close t reason =
   (try send t [ Protocol.bye reason ] with Peer_gone -> ());
@@ -498,16 +530,38 @@ let run t =
     cleanup t)
 
 let spawn sched ~sid fd =
+  let session_db = Db.create () in
+  let shared = Scheduler.db sched in
+  (* Introspection wiring (DESIGN.md §14): reads run on the private Db,
+     so its system tables must show *server* state, not the replica's
+     defaults.  The fingerprint store is shared outright — every
+     session's statements land in one sqlgraph_stat_statements view —
+     and the session-scoped providers delegate to the scheduler (or the
+     shared Db, for the WAL table, which is registered there by
+     recovery). *)
+  Db.set_stat_store session_db (Db.stat_store shared);
+  (match
+     Storage.Catalog.virtual_provider (Db.catalog shared) "sqlgraph_stat_wal"
+   with
+  | Some p -> Db.register_virtual_table session_db ~name:"sqlgraph_stat_wal" p
+  | None -> ());
+  Db.register_virtual_table session_db ~name:"sqlgraph_stat_sessions"
+    (fun () -> Scheduler.sessions_table sched);
+  Db.register_virtual_table session_db ~name:"sqlgraph_metrics" (fun () ->
+      Scheduler.metrics_table sched
+        ~extra:[ Db.registry session_db; Db.registry shared ]);
   let t =
     {
       sched;
       sid;
       fd;
-      session_db = Db.create ();
+      session_db;
       seen = Hashtbl.create 16;
       last_version = -1;
       loaded_version = -1;
       holding_writer = false;
+      stmt_seq = 0;
+      last_qid = None;
       gov_mu = Mutex.create ();
       current_gov = None;
       thread = None;

@@ -26,5 +26,27 @@ val version : t -> string -> int option
 (** [touch t name] marks a table as mutated in place (e.g. after INSERT). *)
 val touch : t -> string -> unit
 
-(** [names t] is all table names, sorted. *)
+(** [names t] is all base-table names, sorted. Virtual tables are
+    deliberately excluded: every consumer of [names] (BEGIN snapshots,
+    {!Persist}, the server's snapshot publication) must only ever see
+    real, materialized state. *)
 val names : t -> string list
+
+(** {1 Virtual (system) tables}
+
+    A virtual table is a provider closure materialized fresh on every
+    scan — the engine's introspection layer (DESIGN.md §14) registers
+    the [sqlgraph_stat_*] tables here. Providers are resolved only as a
+    fallback after base tables by the binder and executor; {!find},
+    {!mem} and {!names} never report them, so DML, transaction
+    snapshots and persistence exclude them by construction. *)
+
+(** [register_virtual t name provider] registers (or replaces) a
+    provider under [name] (case-insensitive). *)
+val register_virtual : t -> string -> (unit -> Table.t) -> unit
+
+val virtual_provider : t -> string -> (unit -> Table.t) option
+val is_virtual : t -> string -> bool
+
+(** [virtual_names t] — registered virtual-table names, sorted. *)
+val virtual_names : t -> string list

@@ -6,6 +6,12 @@
      json_lint --ndjson FILE
        Every non-empty line of FILE must be a valid JSON document; at
        least one line required.
+     json_lint --bench-pairs FILE
+       FILE must be a bench `pairs` document.  Traversal counters
+       (waves, dir_switches, steals, tasks) must be null on the scalar
+       baseline entry — a scalar run has no batched waves or stealable
+       tasks, so 0 would claim a measurement that never happened — and
+       integers on every batched entry.
      json_lint --catapult FILE [--require NAME]... [--min-tracks N]
        FILE must be a Chrome trace-event (catapult) dump: an object with
        a "traceEvents" array holding > 0 complete spans (every "B" event
@@ -48,6 +54,51 @@ let lint_ndjson path =
       | Error m -> fail "%s line %d: %s" path (i + 1) m)
     lines;
   Printf.printf "%s: %d NDJSON records ok\n" path (List.length lines)
+
+let counter_fields = [ "waves"; "dir_switches"; "steals"; "tasks" ]
+
+let lint_bench_pairs path =
+  let open Testjson.Json_support in
+  let doc = parse_doc path (read_file path) in
+  (match member "suite" doc with
+  | Some (Metrics.String "pairs") -> ()
+  | _ -> fail "%s: not a bench pairs document (suite != \"pairs\")" path);
+  let results =
+    match member "results" doc with
+    | Some (Metrics.List rs) -> rs
+    | _ -> fail "%s: no results array" path
+  in
+  if results = [] then fail "%s: empty results array" path;
+  let n_scalar = ref 0 in
+  List.iter
+    (fun entry ->
+      let name =
+        match to_string_opt (member "name" entry) with
+        | Some n -> n
+        | None -> fail "%s: result entry without name" path
+      in
+      let scalar = name = "pairs/scalar-per-source" in
+      if scalar then incr n_scalar;
+      List.iter
+        (fun field ->
+          match (member field entry, scalar) with
+          | Some Metrics.Null, true -> ()
+          | Some (Metrics.Int _), false -> ()
+          | Some Metrics.Null, false ->
+            fail "%s: %s: batched entry has null %s" path name field
+          | Some _, true ->
+            fail
+              "%s: %s: scalar entry must have null %s (no batched \
+               traversal ran; 0 would claim one did)"
+              path name field
+          | Some _, false ->
+            fail "%s: %s: %s must be an integer" path name field
+          | None, _ -> fail "%s: %s: missing field %s" path name field)
+        counter_fields)
+    results;
+  if !n_scalar = 0 then
+    fail "%s: no pairs/scalar-per-source entry" path;
+  Printf.printf "%s: %d pairs entries ok\n" path (List.length results)
 
 let lint_catapult path requires min_tracks =
   let open Testjson.Json_support in
@@ -130,6 +181,7 @@ let () =
     | [] -> (mode, List.rev requires, min_tracks, file)
     | "--catapult" :: rest -> go `Catapult requires min_tracks file rest
     | "--ndjson" :: rest -> go `Ndjson requires min_tracks file rest
+    | "--bench-pairs" :: rest -> go `Bench_pairs requires min_tracks file rest
     | "--require" :: name :: rest ->
       go mode (name :: requires) min_tracks file rest
     | "--min-tracks" :: n :: rest ->
@@ -149,10 +201,11 @@ let () =
     | Some f -> f
     | None ->
       fail
-        "usage: json_lint [--catapult|--ndjson] FILE [--require NAME]... \
-         [--min-tracks N]"
+        "usage: json_lint [--catapult|--ndjson|--bench-pairs] FILE \
+         [--require NAME]... [--min-tracks N]"
   in
   match mode with
   | `Plain -> lint_plain file
   | `Ndjson -> lint_ndjson file
+  | `Bench_pairs -> lint_bench_pairs file
   | `Catapult -> lint_catapult file requires min_tracks

@@ -766,6 +766,147 @@ let test_concurrency_fuzzer =
        run_fuzz_case)
 
 (* ------------------------------------------------------------------ *)
+(* Introspection (DESIGN.md §14): wire query ids and the sqlgraph_stat_*
+   system tables over a live server *)
+
+let test_qid_parse () =
+  check
+    (Alcotest.option tstr)
+    "parses"
+    (Some "00c0ffee00c0ffee:7")
+    (Protocol.qid_of_line "OK INSERT 1 qid=00c0ffee00c0ffee:7 snapshot=42");
+  check (Alcotest.option tstr) "absent" None
+    (Protocol.qid_of_line "OK INSERT 1 snapshot=42")
+
+let qid_parts q =
+  match String.index_opt q ':' with
+  | Some i ->
+    ( String.sub q 0 i,
+      int_of_string (String.sub q (i + 1) (String.length q - i - 1)) )
+  | None -> Alcotest.failf "malformed qid %S" q
+
+let row_cells line =
+  String.split_on_char '\t'
+    (String.sub line 4 (String.length line - 4))
+
+let test_wire_introspection () =
+  with_server (fresh_db ()) (fun srv ->
+      let c = connect1 srv in
+      let req sql =
+        let resp = Client.request ~timeout_ms:5_000 c sql in
+        check tbool (sql ^ " ok") true (Client.is_ok resp);
+        resp
+      in
+      let qid_of sql =
+        match Protocol.qid_of_line (Client.terminal (req sql)) with
+        | Some q -> q
+        | None -> Alcotest.failf "no qid on the OK line of %S" sql
+      in
+      (* qids on every verb; the :<seq> is session-monotone even though
+         the statements alternate between the private and shared Db *)
+      let qids =
+        List.map qid_of
+          [
+            "SELECT COUNT(*) FROM t";
+            "INSERT INTO t VALUES (4)";
+            "SELECT COUNT(*) FROM t WHERE a > 1";
+            "SELECT COUNT(*) FROM t WHERE a > 2";
+          ]
+      in
+      let seqs = List.map (fun q -> snd (qid_parts q)) qids in
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> a < b && increasing rest
+        | _ -> true
+      in
+      check tbool "qid sequence is session-monotone" true (increasing seqs);
+      (* the two `a > k` SELECTs differ only in a literal: one shape *)
+      let fp_of q = fst (qid_parts q) in
+      check tstr "literal-insensitive wire fingerprints"
+        (fp_of (List.nth qids 2))
+        (fp_of (List.nth qids 3));
+      (* the last statement's fingerprint resolves to exactly one row of
+         sqlgraph_stat_statements, queried over the same wire *)
+      let last_fp = fp_of (List.nth qids 3) in
+      let resp =
+        req
+          "SELECT fingerprint, calls FROM sqlgraph_stat_statements ORDER BY \
+           total_ms DESC"
+      in
+      let rows = List.filter (has_prefix ~prefix:"ROW ") resp in
+      check tbool "stat_statements has rows" true (rows <> []);
+      let matching =
+        List.filter (fun r -> List.hd (row_cells r) = last_fp) rows
+      in
+      check tint "qid fingerprint resolves to exactly one row" 1
+        (List.length matching);
+      (match matching with
+      | [ r ] -> (
+        match row_cells r with
+        | [ _; calls ] ->
+          check tbool "shared shape accumulated both calls" true
+            (int_of_string calls >= 2)
+        | cells ->
+          Alcotest.failf "unexpected stat row shape: %d cells"
+            (List.length cells))
+      | _ -> ());
+      (* sqlgraph_stat_sessions: one row for this session, whose
+         last_qid is the qid the wire reported for the statement that
+         ran just before the sessions query *)
+      let marker_qid = qid_of "SELECT COUNT(*) FROM t WHERE a > 0" in
+      let resp =
+        req "SELECT sid, statements, last_qid FROM sqlgraph_stat_sessions"
+      in
+      (match List.filter (has_prefix ~prefix:"ROW ") resp with
+      | [ r ] -> (
+        match row_cells r with
+        | [ _sid; statements; last_qid ] ->
+          check tstr "stat_sessions.last_qid matches the wire qid"
+            marker_qid last_qid;
+          check tbool "statement count is live" true
+            (int_of_string statements >= List.length seqs)
+        | cells ->
+          Alcotest.failf "unexpected sessions row shape: %d cells"
+            (List.length cells))
+      | rows -> Alcotest.failf "expected 1 session row, got %d"
+                  (List.length rows));
+      (* the reserved namespace is refused over the wire *)
+      let resp =
+        Client.request ~timeout_ms:5_000 c
+          "CREATE TABLE sqlgraph_mine (a INTEGER)"
+      in
+      check tbool "reserved CREATE refused" true
+        (has_prefix ~prefix:"ERR bind" (Client.terminal resp));
+      Client.close c)
+
+(* Two sessions: qid sequences are independently monotone and the
+   sessions table shows both rows while both are connected. *)
+let test_two_session_qids () =
+  with_server (fresh_db ()) (fun srv ->
+      let c1 = connect1 srv in
+      let c2 = connect1 srv in
+      let qid_of c sql =
+        let resp = Client.request ~timeout_ms:5_000 c sql in
+        check tbool (sql ^ " ok") true (Client.is_ok resp);
+        match Protocol.qid_of_line (Client.terminal resp) with
+        | Some q -> q
+        | None -> Alcotest.failf "no qid on %S" sql
+      in
+      let s1a = snd (qid_parts (qid_of c1 "SELECT COUNT(*) FROM t")) in
+      let _ = qid_of c2 "SELECT COUNT(*) FROM t" in
+      let _ = qid_of c2 "SELECT COUNT(*) FROM t WHERE a > 1" in
+      let s1b = snd (qid_parts (qid_of c1 "SELECT COUNT(*) FROM t")) in
+      check tbool "session 1 qids advance by its own statements only" true
+        (s1b = s1a + 1);
+      let resp =
+        Client.request ~timeout_ms:5_000 c1
+          "SELECT sid FROM sqlgraph_stat_sessions ORDER BY sid"
+      in
+      check tint "two session rows" 2
+        (List.length (List.filter (has_prefix ~prefix:"ROW ") resp));
+      Client.close c1;
+      Client.close c2)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   (* sessions write to sockets the peer may have closed; surface that as
@@ -801,6 +942,13 @@ let () =
         [
           Alcotest.test_case "group commit" `Quick test_group_commit_durability;
           Alcotest.test_case "readonly inspection" `Quick test_readonly_inspection;
+        ] );
+      ( "introspection",
+        [
+          Alcotest.test_case "qid parse" `Quick test_qid_parse;
+          Alcotest.test_case "wire qids + stat tables" `Quick
+            test_wire_introspection;
+          Alcotest.test_case "two-session qids" `Quick test_two_session_qids;
         ] );
       ("fuzz", [ test_concurrency_fuzzer ]);
     ]
