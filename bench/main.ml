@@ -1008,6 +1008,147 @@ let server_bench ?json ~commits ~clients () =
     Printf.printf "wrote %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
+(* Replication: catch-up bandwidth and steady-state lag                *)
+(* ------------------------------------------------------------------ *)
+
+(* The hot standby's acceptance bar (DESIGN.md §15): a fresh replica
+   catches an existing WAL up over the wire at bulk-transfer speed
+   (reported MB/s), and in steady state — every batch shipped between
+   its fsync and its acks — the apply lag stays bounded (bytes, sampled
+   after each acknowledged commit) and drains to zero once the writer
+   stops. *)
+let repl_bench ?json ~rows ~commits () =
+  print_header "Replication (catch-up bandwidth, steady-state lag)";
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let module Server = Sqlgraph_server.Server in
+  let module Client = Sqlgraph_server.Client in
+  let module Repl = Sqlgraph_server.Replication in
+  with_temp_dir (fun pdir ->
+      with_temp_dir (fun rdir ->
+          let psock = Filename.concat pdir "primary.sock" in
+          match Sqlgraph.Wal.open_dir ~fsync:false pdir with
+          | Error e -> failwith (Sqlgraph.Error.to_string e)
+          | Ok (store, db, _) ->
+            (* a pre-existing WAL for the catch-up phase: logged rows
+               with a payload wide enough that bandwidth, not per-frame
+               overhead, dominates *)
+            Sqlgraph.Db.exec_exn db
+              "CREATE TABLE t (client INTEGER, v INTEGER, pad VARCHAR)"
+            |> ignore;
+            let pad = String.make 120 'x' in
+            for k = 1 to rows do
+              Sqlgraph.Db.exec_exn db
+                (Printf.sprintf "INSERT INTO t VALUES (0, %d, '%s')" k pad)
+              |> ignore
+            done;
+            let srv = Server.create ~db ~store:(Some store) () in
+            let hub =
+              Repl.Hub.create ~sched:(Server.scheduler srv) ~store ~db ()
+            in
+            Server.listen_unix srv psock;
+            match Sqlgraph.Wal.open_replica ~fsync:false rdir with
+            | Error e -> failwith (Sqlgraph.Error.to_string e)
+            | Ok (rstore, rdb, _) ->
+              let rsrv = Server.create ~db:rdb ~store:(Some rstore) () in
+              let target = Sqlgraph.Wal.logical_end store in
+              let t0 = Unix.gettimeofday () in
+              let standby =
+                Repl.Standby.create
+                  ~sched:(Server.scheduler rsrv)
+                  ~store:rstore ~db:rdb
+                  ~primary:(Client.Unix_ep psock) ()
+              in
+              Fun.protect
+                ~finally:(fun () ->
+                  Repl.Standby.stop standby;
+                  Repl.Hub.stop hub;
+                  Server.shutdown rsrv;
+                  Server.shutdown srv;
+                  (try Sqlgraph.Wal.close rstore with _ -> ());
+                  try Sqlgraph.Wal.close store with _ -> ())
+                (fun () ->
+                  let deadline = t0 +. 120. in
+                  while
+                    Repl.Standby.applied_offset standby < target
+                    && Unix.gettimeofday () < deadline
+                  do
+                    Thread.yield ()
+                  done;
+                  let catchup_s = Unix.gettimeofday () -. t0 in
+                  if Repl.Standby.applied_offset standby < target then
+                    failwith "replica failed to catch up within 120s";
+                  let catchup_bytes = target in
+                  let mbps =
+                    float_of_int catchup_bytes /. catchup_s /. 1.0e6
+                  in
+                  (* steady state: acked commits through the server's
+                     write path, lag sampled after every ack *)
+                  let cl = Client.connect_unix psock in
+                  let lag_sum = ref 0 and lag_max = ref 0 in
+                  let t1 = Unix.gettimeofday () in
+                  for k = 1 to commits do
+                    let lines =
+                      Client.request cl
+                        (Printf.sprintf
+                           "INSERT INTO t VALUES (1, %d, '%s')" k pad)
+                    in
+                    if not (Client.is_ok lines) then
+                      failwith ("commit refused: " ^ Client.terminal lines);
+                    let lag = Repl.Standby.lag standby in
+                    lag_sum := !lag_sum + lag;
+                    lag_max := max !lag_max lag
+                  done;
+                  let steady_s = Unix.gettimeofday () -. t1 in
+                  Client.close cl;
+                  (* quiesce: the lag must drain to zero *)
+                  let upto = Sqlgraph.Wal.logical_end store in
+                  let t2 = Unix.gettimeofday () in
+                  while
+                    Repl.Standby.applied_offset standby < upto
+                    && Unix.gettimeofday () < t2 +. 30.
+                  do
+                    Thread.yield ()
+                  done;
+                  let drain_s = Unix.gettimeofday () -. t2 in
+                  if Repl.Standby.applied_offset standby < upto then
+                    failwith "steady-state lag failed to drain within 30s";
+                  let lag_mean =
+                    float_of_int !lag_sum /. float_of_int (max 1 commits)
+                  in
+                  let steady_rate = float_of_int commits /. steady_s in
+                  Printf.printf "%-28s %14.2f MB/s   (%d bytes in %.3fs)\n"
+                    "catch-up" mbps catchup_bytes catchup_s;
+                  Printf.printf
+                    "%-28s %14.0f commits/sec   (lag mean %.0f B, max %d B, \
+                     drain %.3fs)\n\
+                     %!"
+                    "steady state" steady_rate lag_mean !lag_max drain_s;
+                  match json with
+                  | None -> ()
+                  | Some path ->
+                    Sqlgraph.Metrics.write_file ~path
+                      (Sqlgraph.Metrics.Obj
+                         [
+                           ( "schema",
+                             Sqlgraph.Metrics.String "sqlgraph-bench-v1" );
+                           ("suite", Sqlgraph.Metrics.String "repl");
+                           ("rows", Sqlgraph.Metrics.Int rows);
+                           ("commits", Sqlgraph.Metrics.Int commits);
+                           ( "catchup_bytes",
+                             Sqlgraph.Metrics.Int catchup_bytes );
+                           ("catchup_seconds", Sqlgraph.Metrics.num catchup_s);
+                           ("catchup_mb_per_sec", Sqlgraph.Metrics.num mbps);
+                           ( "steady_commits_per_sec",
+                             Sqlgraph.Metrics.num steady_rate );
+                           ( "steady_lag_bytes_mean",
+                             Sqlgraph.Metrics.num lag_mean );
+                           ( "steady_lag_bytes_max",
+                             Sqlgraph.Metrics.Int !lag_max );
+                           ("drain_seconds", Sqlgraph.Metrics.num drain_s);
+                         ]);
+                    Printf.printf "wrote %s\n%!" path)))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1333,6 +1474,28 @@ let server_cmd =
       const (fun commits clients json -> server_bench ?json ~commits ~clients ())
       $ server_commits_arg $ server_clients_arg $ server_json_arg)
 
+let repl_rows_arg =
+  let doc = "Rows in the pre-existing WAL the replica catches up on." in
+  Arg.(value & opt int 5000 & info [ "rows" ] ~doc)
+
+let repl_commits_arg =
+  let doc = "Acknowledged commits in the steady-state phase." in
+  Arg.(value & opt int 400 & info [ "commits" ] ~doc)
+
+let repl_json_arg =
+  let doc =
+    "Write the replication results to this file as JSON (schema \
+     sqlgraph-bench-v1), e.g. BENCH_repl.json."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let repl_cmd =
+  cmd "repl"
+    "Replication: replica catch-up bandwidth and steady-state apply lag."
+    Term.(
+      const (fun rows commits json -> repl_bench ?json ~rows ~commits ())
+      $ repl_rows_arg $ repl_commits_arg $ repl_json_arg)
+
 (* ------------------------------------------------------------------ *)
 (* sim: the discrete-event workload simulator (stress tier) *)
 
@@ -1466,5 +1629,5 @@ let () =
             ablation_heap_cmd; ablation_rewrite_cmd; ablation_csr_cmd;
             ablation_index_cmd; ablation_dict_cmd; ablation_parallel_cmd;
             ablation_vectorized_cmd; baselines_cmd; pairs_cmd; wal_cmd;
-            server_cmd; sim_cmd; micro_cmd; all_cmd;
+            server_cmd; repl_cmd; sim_cmd; micro_cmd; all_cmd;
           ]))

@@ -69,6 +69,11 @@
                              sqlgraph_stat_statements)
      \stat reset;            zero the fingerprint store (the metrics
                              registry is untouched)
+     \replica status;        replication role, peers, offsets and lag
+                             (SQL view: SELECT ... FROM
+                             sqlgraph_stat_replication)
+     \promote;               pointer only — promotion acts on a running
+                             standby server (sqlgraph promote)
      \metrics;               cumulative session metrics (counters +
                              p50/p90/p99/max latency histograms)
      \trace on|off;          toggle span tracing
@@ -531,6 +536,15 @@ let repl db =
              | Ok () -> Printf.printf "trace written to %s\n" file
              | Error e ->
                Printf.printf "error: %s\n" (Sqlgraph.Error.to_string e))
+           | [ "\\replica"; "status" ] ->
+             (* the virtual table answers in any session; an embedded
+                repl just shows the default idle row *)
+             execute !db "SELECT * FROM sqlgraph_stat_replication"
+           | [ "\\promote" ] ->
+             print_endline
+               "error: \\promote acts on a running standby server — use \
+                'sqlgraph promote --socket PATH' (or send PROMOTE over a \
+                client connection)"
            | [ "\\timing" ] ->
              timing := not !timing;
              Printf.printf "timing %s\n" (if !timing then "on" else "off")
@@ -835,17 +849,100 @@ let idle_timeout_arg =
     & info [ "idle-timeout-ms" ] ~docv:"MS"
         ~doc:"Close sessions idle longer than MS milliseconds.")
 
-let serve_main t r d obs (dd, nf, ro) socket host port max_sessions idle_ms =
+(* Parse a --warm-index spec "table:src:dst" and enable that graph
+   index, so the standby's apply loop keeps it warm.  A fresh standby
+   receives its schema over the stream, so in [defer] mode the enable
+   retries in the background until the table lands (a final failure is
+   a warning, not a fatal error — the server is already serving). *)
+let enable_warm_index ?(defer = false) db spec =
+  match String.split_on_char ':' spec with
+  | [ table; src; dst ] ->
+    let enable () = Sqlgraph.Db.create_graph_index db ~table ~src ~dst in
+    if not defer then (
+      match enable () with
+      | Ok () -> ()
+      | Error e ->
+        Printf.eprintf "error: --warm-index %s: %s\n" spec
+          (Sqlgraph.Error.to_string e);
+        exit 2)
+    else
+      ignore
+        (Thread.create
+           (fun () ->
+             let deadline = Unix.gettimeofday () +. 60. in
+             let rec go () =
+               match enable () with
+               | Ok () -> ()
+               | Error e ->
+                 if Unix.gettimeofday () < deadline then begin
+                   Unix.sleepf 0.25;
+                   go ()
+                 end
+                 else
+                   Printf.eprintf "warning: --warm-index %s: %s\n%!" spec
+                     (Sqlgraph.Error.to_string e)
+             in
+             go ())
+           ())
+  | _ ->
+    Printf.eprintf "error: --warm-index expects TABLE:SRC:DST, got %s\n" spec;
+    exit 2
+
+let serve_main t r d obs (dd, nf, ro) socket host port max_sessions idle_ms
+    replica_of warm_indexes =
   apply_limits t r None obs;
   let _, _, _, sq, _ = obs in
   if socket = None && port = None then begin
     Printf.eprintf "error: serve needs --socket PATH and/or --port N\n";
     exit 2
   end;
-  let db = make_db ~data_dir:dd ~no_fsync:nf ~readonly:ro d sq in
-  (* a read-only server never writes, so it gets no store: group commit
-     and the shutdown checkpoint would be refused by the WAL anyway *)
-  let store = if ro then None else !data_store in
+  let standby_of = ref None in
+  let db, store =
+    match replica_of with
+    | Some ep_str -> (
+      (* hot standby (DESIGN.md §15): open the data dir in replica mode
+         and stream the primary's WAL into it *)
+      let primary =
+        try Sqlgraph_server.Client.parse_endpoint ep_str
+        with Invalid_argument msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 2
+      in
+      let dir =
+        match dd with
+        | Some dir -> dir
+        | None ->
+          Printf.eprintf "error: --replica-of needs --data-dir DIR\n";
+          exit 2
+      in
+      if ro then begin
+        Printf.eprintf "error: --replica-of and --readonly conflict\n";
+        exit 2
+      end;
+      match Sqlgraph.Wal.open_replica ~fsync:(not nf) dir with
+      | Error e ->
+        Printf.eprintf "error: %s\n" (Sqlgraph.Error.to_string e);
+        exit 2
+      | Ok (store, db, r) ->
+        data_store := Some store;
+        standby_of := Some primary;
+        Printf.printf
+          "standby of %s: generation %d, %d records replayed%s\n%!" ep_str
+          r.Sqlgraph.Wal.rec_gen r.Sqlgraph.Wal.rec_replayed
+          (if r.Sqlgraph.Wal.rec_truncated_bytes > 0 then
+             Printf.sprintf " (%d torn bytes truncated)"
+               r.Sqlgraph.Wal.rec_truncated_bytes
+           else "");
+        (match d with Some n -> Sqlgraph.Db.set_parallelism db n | None -> ());
+        Sqlgraph.Db.set_slow_query_ms db sq;
+        (db, Some store))
+    | None ->
+      let db = make_db ~data_dir:dd ~no_fsync:nf ~readonly:ro d sq in
+      (* a read-only server never writes, so it gets no store: group
+         commit and the shutdown checkpoint would be refused anyway *)
+      (db, if ro then None else !data_store)
+  in
+  List.iter (enable_warm_index ~defer:(!standby_of <> None) db) warm_indexes;
   let config =
     {
       Sqlgraph_server.Scheduler.default_config with
@@ -855,6 +952,21 @@ let serve_main t r d obs (dd, nf, ro) socket host port max_sessions idle_ms =
     }
   in
   let srv = Sqlgraph_server.Server.create ~config ~db ~store () in
+  let sched = Sqlgraph_server.Server.scheduler srv in
+  (* replication role: a durable primary hosts the hub (standbys may
+     attach any time); --replica-of starts the streaming standby *)
+  let repl_hub, standby =
+    match (!standby_of, store) with
+    | Some primary, Some st ->
+      ( None,
+        Some
+          (Sqlgraph_server.Replication.Standby.create ~sched ~store:st ~db
+             ~primary ()) )
+    | None, Some st ->
+      ( Some (Sqlgraph_server.Replication.Hub.create ~sched ~store:st ~db ()),
+        None )
+    | _ -> (None, None)
+  in
   (match socket with
   | Some path ->
     Sqlgraph_server.Server.listen_unix srv path;
@@ -884,75 +996,142 @@ let serve_main t r d obs (dd, nf, ro) socket host port max_sessions idle_ms =
     Unix.sleepf 0.1
   done;
   print_endline "shutting down: draining sessions...";
+  Option.iter Sqlgraph_server.Replication.Standby.stop standby;
+  Option.iter Sqlgraph_server.Replication.Hub.stop repl_hub;
   Sqlgraph_server.Server.shutdown srv;
   write_prometheus db;
   close_store ();
   dump_trace ();
   print_endline "bye"
 
+let replica_of_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replica-of" ] ~docv:"ENDPOINT"
+        ~doc:
+          "Run as a hot standby of the primary at ENDPOINT (unix:/path or \
+           host:port): stream its WAL into --data-dir, serve read-only \
+           snapshot queries, and accept $(b,sqlgraph promote) to take over \
+           writes after a primary failure.")
+
+let warm_index_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "warm-index" ] ~docv:"TABLE:SRC:DST"
+        ~doc:
+          "Enable a graph index on TABLE(SRC, DST) at startup (repeatable). \
+           On a standby the apply loop rebuilds it after every applied \
+           batch, so the first path query after promotion hits a warm \
+           cache.")
+
 let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve the database to many concurrent sessions (snapshot-isolated \
-          reads, group-committed writes, admission control).")
+          reads, group-committed writes, admission control, WAL-streaming \
+          replication).")
     Term.(
       const serve_main $ timeout_arg $ max_rows_arg $ domains_arg $ obs_args
       $ dur_args $ socket_arg $ host_arg $ port_arg $ max_sessions_arg
-      $ idle_timeout_arg)
+      $ idle_timeout_arg $ replica_of_arg $ warm_index_arg)
 
 (* --- client: line-protocol client for serve ------------------------ *)
 
-let client_main socket host port exec_sql =
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
-  let conn () =
+(* Resolve the endpoint list a client (or promote) command targets:
+   --endpoints wins, else --socket / --port. *)
+let client_endpoints socket host port endpoints =
+  let module C = Sqlgraph_server.Client in
+  match endpoints with
+  | Some list -> (
+    match
+      String.split_on_char ',' list
+      |> List.map String.trim
+      |> List.filter (( <> ) "")
+      |> List.map C.parse_endpoint
+    with
+    | [] ->
+      Printf.eprintf "error: --endpoints is empty\n";
+      exit 2
+    | eps -> eps
+    | exception Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2)
+  | None -> (
     match (socket, port) with
-    | Some path, _ -> Sqlgraph_server.Client.connect_unix path
-    | None, Some p ->
-      Sqlgraph_server.Client.connect_tcp (if host = "" then "127.0.0.1" else host) p
+    | Some path, _ -> [ C.Unix_ep path ]
+    | None, Some p -> [ C.Tcp_ep ((if host = "" then "127.0.0.1" else host), p) ]
     | None, None ->
-      Printf.eprintf "error: client needs --socket PATH or --port N\n";
+      Printf.eprintf
+        "error: client needs --socket PATH, --port N or --endpoints LIST\n";
+      exit 2)
+
+let client_main socket host port endpoints retries backoff_ms exec_sql =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  let module C = Sqlgraph_server.Client in
+  let eps = client_endpoints socket host port endpoints in
+  let pool = C.Pool.create ~retries ~backoff_ms eps in
+  let failed = ref false in
+  let round sql =
+    match C.Pool.request pool sql with
+    | lines ->
+      List.iter print_endline lines;
+      let terminal = C.terminal lines in
+      if not (C.is_ok lines) then failed := true;
+      (* BYE means the server is done with us *)
+      String.length terminal >= 3 && String.sub terminal 0 3 = "BYE"
+    | exception C.Pool.Exhausted msg ->
+      Printf.eprintf "error: %s\n" msg;
+      C.Pool.close pool;
       exit 2
   in
-  match conn () with
-  | exception e ->
-    Printf.eprintf "error: cannot connect: %s\n" (Printexc.to_string e);
-    exit 2
-  | c ->
-    let failed = ref false in
-    let round sql =
-      match Sqlgraph_server.Client.request c sql with
-      | lines ->
-        List.iter print_endline lines;
-        let terminal = Sqlgraph_server.Client.terminal lines in
-        if not (Sqlgraph_server.Client.is_ok lines) then failed := true;
-        (* BYE means the server is done with us *)
-        String.length terminal >= 3 && String.sub terminal 0 3 = "BYE"
-      | exception Sqlgraph_server.Client.Closed msg ->
-        Printf.eprintf "error: %s\n" msg;
-        Sqlgraph_server.Client.close c;
-        exit 2
+  (match exec_sql with
+  | Some script ->
+    let stmts =
+      String.split_on_char ';' script
+      |> List.map String.trim
+      |> List.filter (( <> ) "")
     in
-    print_endline (Sqlgraph_server.Client.hello c);
-    (match exec_sql with
-    | Some script ->
-      let stmts =
-        String.split_on_char ';' script
-        |> List.map String.trim
-        |> List.filter (( <> ) "")
-      in
-      ignore (List.exists round stmts)
-    | None ->
-      (* pipe mode: one statement per stdin line *)
-      let rec go () =
-        match In_channel.input_line stdin with
-        | None -> ()
-        | Some line when String.trim line = "" -> go ()
-        | Some line -> if round line then () else go ()
-      in
-      go ());
-    Sqlgraph_server.Client.close c;
-    exit (if !failed then 1 else 0)
+    ignore (List.exists round stmts)
+  | None ->
+    (* pipe mode: one statement per stdin line *)
+    let rec go () =
+      match In_channel.input_line stdin with
+      | None -> ()
+      | Some line when String.trim line = "" -> go ()
+      | Some line -> if round line then () else go ()
+    in
+    go ());
+  C.Pool.close pool;
+  exit (if !failed then 1 else 0)
+
+let endpoints_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "endpoints" ] ~docv:"LIST"
+        ~doc:
+          "Comma-separated server endpoints (unix:/path or host:port), tried \
+           in order with failover: on connection loss, busy rejection or a \
+           standby's read-only refusal the client rotates to the next one \
+           with bounded exponential backoff.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry budget per statement across busy hints, reconnects and \
+           failover; the exit status is nonzero only once it is exhausted.")
+
+let backoff_arg =
+  Arg.(
+    value & opt int 25
+    & info [ "backoff-ms" ] ~docv:"MS"
+        ~doc:
+          "Initial retry backoff, doubled per attempt up to a 2 s cap; an \
+           $(b,ERR busy retry_ms=n) hint raises a single sleep to n.")
 
 let client_cmd =
   let exec_arg =
@@ -963,11 +1142,43 @@ let client_cmd =
           ~doc:
             "Execute a ';'-separated statement list and exit (otherwise \
              statements are read from stdin, one per line). Exit status: 0 \
-             all OK, 1 a statement failed, 2 connection error.")
+             all OK, 1 a statement failed, 2 connection error / retries \
+             exhausted.")
   in
   Cmd.v
     (Cmd.info "client" ~doc:"Connect to a running $(b,sqlgraph serve).")
-    Term.(const client_main $ socket_arg $ host_arg $ port_arg $ exec_arg)
+    Term.(
+      const client_main $ socket_arg $ host_arg $ port_arg $ endpoints_arg
+      $ retries_arg $ backoff_arg $ exec_arg)
+
+(* --- promote: turn a standby into the primary ---------------------- *)
+
+let promote_main socket host port endpoints =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  let module C = Sqlgraph_server.Client in
+  let eps = client_endpoints socket host port endpoints in
+  let ep = List.hd eps in
+  match C.connect_endpoint ep with
+  | exception e ->
+    Printf.eprintf "error: cannot connect to %s: %s\n" (C.endpoint_name ep)
+      (Printexc.to_string e);
+    exit 2
+  | c ->
+    let lines = C.request ~timeout_ms:30_000 c "PROMOTE" in
+    List.iter print_endline lines;
+    C.close c;
+    exit (if C.is_ok lines then 0 else 1)
+
+let promote_cmd =
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:
+         "Promote the standby at --socket/--port (or the first of \
+          --endpoints) to primary: fence the replication stream, checkpoint \
+          the applied state into a fresh generation, and start accepting \
+          writes.")
+    Term.(
+      const promote_main $ socket_arg $ host_arg $ port_arg $ endpoints_arg)
 
 (* ---- stress: the discrete-event workload simulator ---- *)
 
@@ -1076,4 +1287,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ repl_cmd; run_cmd; demo_cmd; serve_cmd; client_cmd; stress_cmd ]))
+          [
+            repl_cmd;
+            run_cmd;
+            demo_cmd;
+            serve_cmd;
+            client_cmd;
+            promote_cmd;
+            stress_cmd;
+          ]))

@@ -594,4 +594,158 @@ if grep -qi "sqlgraph_" "$pdir/_manifest.csv"; then
 fi
 echo "   $n_qid wire qids, top fingerprint calls=$top_calls, $n_fp fingerprints, reserved namespace enforced"
 
-echo "OK: build, tests, fault-injection, EXPLAIN ANALYZE, batched traversal, bench, telemetry, durability, server, sim and introspection smokes all passed"
+echo "== replication: failover smoke (8 clients, kill -9 primary mid-burst, promote standby)"
+fpdir=$(mktemp -d /tmp/sqlgraph_check_fp_XXXXXX)
+frdir=$(mktemp -d /tmp/sqlgraph_check_fr_XXXXXX)
+fackdir=$(mktemp -d /tmp/sqlgraph_check_fa_XXXXXX)
+psock="$fpdir/primary.sock"
+rsock="$frdir/standby.sock"
+plog=$(mktemp /tmp/sqlgraph_check_XXXXXX.plog)
+rlog=$(mktemp /tmp/sqlgraph_check_XXXXXX.rlog)
+trap 'rm -f "$script" "$out" "$ea_script" "$metrics" "$ms_script" "$obs_script" "$prom" "$slowlog" "$ack" "$srv_log" "$plog" "$rlog" BENCH_smoke.json BENCH_pairs_smoke.json BENCH_pairs_scaling.json TRACE_smoke.json BENCH_wal_smoke.json BENCH_server_smoke.json BENCH_sim_smoke.json BENCH_repl_smoke.json; rm -rf "$ddir" "$sdir" "$ackdir" "$idir" "$fpdir" "$frdir" "$fackdir"' EXIT
+"$cli" serve --socket "$psock" --data-dir "$fpdir" > "$plog" 2>&1 &
+ppid=$!
+i=0
+while [ "$i" -lt 100 ] && [ ! -S "$psock" ]; do sleep 0.1; i=$((i + 1)); done
+[ -S "$psock" ] || {
+  echo "FAIL: primary did not create $psock:"
+  cat "$plog"
+  exit 1
+}
+"$cli" serve --socket "$rsock" --data-dir "$frdir" --replica-of "$psock" \
+    > "$rlog" 2>&1 &
+rpid=$!
+i=0
+while [ "$i" -lt 100 ] && [ ! -S "$rsock" ]; do sleep 0.1; i=$((i + 1)); done
+[ -S "$rsock" ] || {
+  echo "FAIL: standby did not create $rsock:"
+  cat "$rlog"
+  exit 1
+}
+"$cli" client --socket "$psock" \
+    -e "CREATE TABLE t (c INTEGER, v INTEGER)" > /dev/null 2>&1 || {
+  echo "FAIL: could not create table on the primary"
+  cat "$plog"
+  exit 1
+}
+# the standby must reach steady-state streaming before the burst starts
+i=0
+while [ "$i" -lt 100 ]; do
+  "$cli" client --socket "$rsock" \
+      -e "SELECT role, state FROM sqlgraph_stat_replication" > "$out" 2>&1 || true
+  grep -q "streaming" "$out" && break
+  sleep 0.1
+  i=$((i + 1))
+done
+grep -q "streaming" "$out" || {
+  echo "FAIL: standby never reached streaming state:"
+  cat "$out"; cat "$rlog"
+  exit 1
+}
+# Eight clients stream INSERTs through the failover pool: primary first,
+# standby second.  Each statement is retried across the failover window,
+# so a clean (rc=0) client means all of its 600 INSERTs were acked.
+fpids=""
+for c in 1 2 3 4 5 6 7 8; do
+  {
+    i=0
+    while [ "$i" -lt 600 ]; do
+      echo "INSERT INTO t VALUES ($c, $i)"
+      i=$((i + 1))
+    done
+  } | "$cli" client --endpoints "$psock,$rsock" --retries 12 --backoff-ms 50 \
+      > "$fackdir/c$c" 2>&1 &
+  fpids="$fpids $!"
+done
+sleep 0.15
+# replica reads are served mid-burst
+"$cli" client --socket "$rsock" -e "SELECT COUNT(*) FROM t" > "$out" 2>&1 || {
+  echo "FAIL: standby refused a read mid-burst:"
+  cat "$out"
+  exit 1
+}
+grep -q "^ROW" "$out" || {
+  echo "FAIL: standby read produced no row mid-burst:"
+  cat "$out"
+  exit 1
+}
+kill -9 "$ppid" 2>/dev/null || true
+wait "$ppid" 2>/dev/null || true
+# Drain before fencing: promotion discards unapplied socket bytes, so
+# wait for the standby to notice the dead primary (it leaves streaming
+# state only after consuming everything the primary sent).
+i=0
+while [ "$i" -lt 100 ]; do
+  "$cli" client --socket "$rsock" \
+      -e "SELECT state FROM sqlgraph_stat_replication" > "$out" 2>&1 || true
+  grep -q "streaming" "$out" || break
+  sleep 0.1
+  i=$((i + 1))
+done
+drained=$(sed -n 's/^ROW \([0-9][0-9]*\)$/\1/p' "$out" | head -1)
+"$cli" client --socket "$rsock" -e "SELECT COUNT(*) FROM t" > "$out" 2>&1 || true
+drained=$(sed -n 's/^ROW \([0-9][0-9]*\)$/\1/p' "$out" | head -1)
+"$cli" promote --socket "$rsock" > "$out" 2>&1 || {
+  echo "FAIL: promote exited nonzero:"
+  cat "$out"; cat "$rlog"
+  exit 1
+}
+grep -q "^OK PROMOTE" "$out" || {
+  echo "FAIL: promote did not answer OK PROMOTE:"
+  cat "$out"
+  exit 1
+}
+# every client must finish within its retry budget
+for pid in $fpids; do
+  wait "$pid" || {
+    echo "FAIL: a client exhausted its retry budget across the failover:"
+    tail -3 "$fackdir"/c*
+    exit 1
+  }
+done
+facked=$(cat "$fackdir"/c* | grep -c "^OK INSERT" || true)
+[ "$facked" -eq 4800 ] || {
+  echo "FAIL: clients exited clean but acked $facked/4800 INSERTs"
+  exit 1
+}
+# Every acked commit survives on the promoted standby.  A retry after a
+# lost ack may duplicate a row (at-least-once), so the bound is >=.
+for c in 1 2 3 4 5 6 7 8; do
+  "$cli" client --socket "$rsock" \
+      -e "SELECT COUNT(*) FROM t WHERE c = $c" > "$out" 2>&1 || {
+    echo "FAIL: post-promotion count for client $c failed:"
+    cat "$out"
+    exit 1
+  }
+  survived=$(sed -n 's/^ROW \([0-9][0-9]*\)$/\1/p' "$out" | head -1)
+  [ -n "$survived" ] && [ "$survived" -ge 600 ] || {
+    echo "FAIL: client $c acked 600 INSERTs but only ${survived:-0} survived promotion"
+    cat "$rlog"
+    exit 1
+  }
+done
+# the promoted standby accepts writes
+"$cli" client --socket "$rsock" \
+    -e "INSERT INTO t VALUES (9, 0)" > "$out" 2>&1 && grep -q "^OK INSERT" "$out" || {
+  echo "FAIL: promoted standby refused a write:"
+  cat "$out"
+  exit 1
+}
+kill -TERM "$rpid" 2>/dev/null || true
+wait "$rpid" 2>/dev/null || true
+echo "   $facked acked inserts across 8 failover clients (${drained:-?} durable at promotion), all survived"
+
+echo "== bench repl --json smoke"
+dune exec bench/main.exe -- repl --rows 2000 --commits 200 \
+    --json BENCH_repl_smoke.json > "$out" 2>&1 || {
+  echo "FAIL: bench repl exited nonzero:"
+  cat "$out"
+  exit 1
+}
+dune exec test/json_lint.exe -- --bench-repl BENCH_repl_smoke.json || {
+  echo "FAIL: BENCH_repl_smoke.json failed the repl lint:"
+  cat BENCH_repl_smoke.json
+  exit 1
+}
+
+echo "OK: build, tests, fault-injection, EXPLAIN ANALYZE, batched traversal, bench, telemetry, durability, server, sim, introspection and replication smokes all passed"

@@ -166,6 +166,23 @@ let stat_sessions_schema =
       ("connected_seconds", Storage.Dtype.TFloat);
     ]
 
+(* One row per replication link: on a primary, one per attached replica;
+   on a replica, one for its upstream.  Empty outside a replicated
+   server (the default provider below); lib/server/replication.ml
+   installs the live provider. *)
+let stat_replication_schema =
+  Storage.Schema.of_pairs
+    [
+      ("role", Storage.Dtype.TStr);
+      ("state", Storage.Dtype.TStr);
+      ("peer", Storage.Dtype.TStr);
+      ("generation", Storage.Dtype.TInt);
+      ("shipped_offset", Storage.Dtype.TInt);
+      ("applied_offset", Storage.Dtype.TInt);
+      ("lag_bytes", Storage.Dtype.TInt);
+      ("last_heartbeat_seconds", Storage.Dtype.TFloat);
+    ]
+
 let register_virtual_table t ~name provider =
   Storage.Catalog.register_virtual t.catalog name provider
 
@@ -183,14 +200,19 @@ let install_system_tables t =
       Storage.Table.of_rows stat_wal_schema []);
   register_virtual_table t ~name:"sqlgraph_stat_sessions" (fun () ->
       Storage.Table.of_rows stat_sessions_schema []);
+  register_virtual_table t ~name:"sqlgraph_stat_replication" (fun () ->
+      Storage.Table.of_rows stat_replication_schema []);
   register_virtual_table t ~name:"sqlgraph_metrics" (fun () ->
       Metrics.registry_table [ t.registry ])
 
-let create () =
+let create ?indices () =
   let t =
     {
       catalog = Storage.Catalog.create ();
-      indices = Executor.Graph_index.create ();
+      indices =
+        (match indices with
+        | Some ix -> ix
+        | None -> Executor.Graph_index.create ());
       last_stats = None;
       snapshot = None;
       parallelism = 1;
@@ -216,7 +238,16 @@ let last_query_id t = t.last_query_id
 let last_fingerprint t = t.last_fingerprint
 let set_durability t d = t.durability <- d
 let in_transaction t = t.snapshot <> None
-let load_table t ~name table = Storage.Catalog.replace t.catalog name table
+let load_table ?version t ~name table =
+  match version with
+  | None -> Storage.Catalog.replace t.catalog name table
+  | Some v -> Storage.Catalog.replace_at t.catalog name table ~version:v
+
+let indices t = t.indices
+
+(* Pre-build every enabled graph index over the current catalog (the
+   replica's warm path; see Graph_index.warm). *)
+let warm_graph_indexes t = Executor.Graph_index.warm t.indices ~catalog:t.catalog
 let parallelism t = t.parallelism
 let set_parallelism t n = t.parallelism <- max 1 n
 let registry t = t.registry

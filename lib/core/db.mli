@@ -21,15 +21,33 @@ type t
     timings and graph statistics at [Debug] level. *)
 val log_src : Logs.src
 
-(** [create ()] — an empty in-memory database. *)
-val create : unit -> t
+(** [create ()] — an empty in-memory database.  [?indices] shares an
+    existing graph-index cache instead of creating a private one: the
+    server hands every session database the shared database's instance,
+    so a graph built by any session (or warmed by the replica's apply
+    loop) is a cache hit for all of them.  The shared instance is
+    thread-safe; coherence across catalogs relies on version mirroring
+    (see {!load_table}'s [?version]). *)
+val create : ?indices:Executor.Graph_index.t -> unit -> t
 
 val catalog : t -> Storage.Catalog.t
 
+val indices : t -> Executor.Graph_index.t
+(** The graph-index cache (pass to [create ?indices] to share). *)
+
 (** [load_table db ~name table] — register a pre-built columnar table
     (bulk loading path used by the generators and benchmarks). Replaces
-    any existing table of that name. *)
-val load_table : t -> name:string -> Storage.Table.t -> unit
+    any existing table of that name, bumping its version — or, with
+    [?version], setting it explicitly so a session catalog mirrors the
+    publisher's version and the shared graph-index cache stays coherent
+    across sessions. *)
+val load_table : ?version:int -> t -> name:string -> Storage.Table.t -> unit
+
+(** [warm_graph_indexes db] — pre-build every enabled graph index over
+    the current catalog (no-op for keys already fresh); returns how many
+    were built.  The replica's apply loop warms after catch-up so the
+    first post-failover path query hits the cache. *)
+val warm_graph_indexes : t -> int
 
 (** Outcome of a statement. *)
 type exec_outcome =
@@ -253,3 +271,4 @@ val last_fingerprint : t -> string option
 
 val stat_wal_schema : Storage.Schema.t
 val stat_sessions_schema : Storage.Schema.t
+val stat_replication_schema : Storage.Schema.t

@@ -28,7 +28,11 @@ type spec =
           server's sites "accept" (connection dropped at admission),
           "session_read" (connection dies mid-read), "group_fsync" (the
           shared group-commit fsync fails) and "shutdown_drain" (crash
-          between drain and the final checkpoint), ... *)
+          between drain and the final checkpoint), and replication's
+          sites "repl_send" (a shipped chunk dies on the wire),
+          "repl_apply" (the standby fails mid-apply), "repl_handshake"
+          (attach dies under the writer lock) and "promote_fence" (the
+          promotion fence fails, leaving the standby a standby), ... *)
   | At_site_after of { site : string; after : int }
       (** raise at the [after]-th checkpoint of the named site — only
           hits of that site count ([site=S,after=N] in the env var) *)

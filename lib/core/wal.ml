@@ -179,6 +179,7 @@ let frame_overhead = 8 (* length + crc words *)
 let max_payload = 64 * 1024 * 1024
 
 type kind = Autocommit | Txn_stmt | Commit_marker
+type record = kind * V.t array * string
 
 let kind_char = function
   | Autocommit -> 'A'
@@ -270,6 +271,64 @@ let decode_payload s =
         | c -> raise (Corrupt (Printf.sprintf "unknown parameter tag %C" c)))
   in
   (kind, params, String.sub s !off (len - !off))
+
+(* A framed record rendered standalone — the shape replication ships
+   over the wire and tests synthesize. *)
+let encode_record ~kind ~sql ~params =
+  let a = arena_create 256 in
+  encode_payload a ~kind ~sql ~params;
+  frame (Bytes.sub_string a.a_data 0 a.a_len)
+
+(* Reassembly buffer: the replica receives the primary's log as raw byte
+   chunks split at arbitrary boundaries (mid-header, mid-crc, mid-
+   payload).  Frames are extracted only once complete and crc-checked,
+   so a partial tail never reaches the replica's own log — its log is
+   frame-aligned by construction and a torn local tail can only come
+   from the replica's own crash. *)
+module Reassembly = struct
+  type buf = { b : Buffer.t; mutable consumed : int }
+
+  let create () = { b = Buffer.create 4096; consumed = 0 }
+  let feed r s = Buffer.add_string r.b s
+  let pending r = Buffer.length r.b - r.consumed
+
+  let compact r =
+    if r.consumed > 0 then
+      if r.consumed = Buffer.length r.b then begin
+        Buffer.clear r.b;
+        r.consumed <- 0
+      end
+      else if r.consumed > 1 lsl 16 then begin
+        let rest = Buffer.sub r.b r.consumed (pending r) in
+        Buffer.clear r.b;
+        Buffer.add_string r.b rest;
+        r.consumed <- 0
+      end
+
+  let pop r =
+    let avail = pending r in
+    let pos = r.consumed in
+    if avail < frame_overhead then None
+    else begin
+      let hdr = Buffer.sub r.b pos frame_overhead in
+      let plen = read_u32 hdr 0 in
+      let crc = read_u32 hdr 4 in
+      if plen > max_payload then raise (Corrupt "absurd record length");
+      if avail < frame_overhead + plen then None
+      else begin
+        let payload = Buffer.sub r.b (pos + frame_overhead) plen in
+        if crc32 payload <> crc then raise (Corrupt "checksum mismatch");
+        let raw = Buffer.sub r.b pos (frame_overhead + plen) in
+        r.consumed <- pos + frame_overhead + plen;
+        compact r;
+        Some (raw, decode_payload payload)
+      end
+    end
+
+  let clear r =
+    Buffer.clear r.b;
+    r.consumed <- 0
+end
 
 (* [scan text] walks the log body after the magic header and returns the
    decoded records plus the byte offset of the first torn, checksum-
@@ -543,6 +602,52 @@ let fsync_now t =
     sync_registry t
   end
 
+(* ------------------------------------------------------------------ *)
+(* Replication support (lib/server/replication.ml).
+
+   The primary re-reads durable byte ranges of the live log to ship them
+   ([read_range] — a fresh read-only fd per call, so shipping races
+   neither the O_APPEND writer nor a concurrent catch-up read); the
+   replica appends the complete frames it reassembled verbatim
+   ([append_frames] — same bytes, same offsets, so a replica's log is a
+   byte-identical mirror of the primary's shipped prefix). *)
+
+let read_range t ~pos ~len =
+  if len <= 0 then ""
+  else begin
+    let fd = Unix.openfile (wal_path t) [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        ignore (Unix.lseek fd pos Unix.SEEK_SET);
+        let b = Bytes.create len in
+        let r = ref 0 in
+        while !r < len do
+          let n = write_retry (fun () -> Unix.read fd b !r (len - !r)) in
+          if n = 0 then
+            raise (Sys_error "wal: range read beyond the flushed end");
+          r := !r + n
+        done;
+        Bytes.unsafe_to_string b)
+  end
+
+(* [append_frames t ~count s] — append [count] pre-framed, crc-checked
+   records as raw bytes (log-before-apply on the replica: the frame
+   lands in the local log before its statement touches the database). *)
+let append_frames t ~count s =
+  check_usable t;
+  flush t;
+  write_all t.fd s;
+  t.offset <- t.offset + String.length s;
+  t.stmt_start <- t.offset;
+  t.stats.c_records <- t.stats.c_records + count;
+  t.stats.c_bytes <- t.stats.c_bytes + String.length s;
+  if t.do_fsync && not t.deferred then begin
+    Unix.fsync t.fd;
+    t.stats.c_fsyncs <- t.stats.c_fsyncs + 1
+  end;
+  sync_registry t
+
 (* Truncate the live log back to logical offset [target] — the repair
    path after a failed append/fsync/apply.  A target inside the
    unflushed buffer is a pure memory operation; one behind the durable
@@ -744,7 +849,7 @@ let replay db records =
     records;
   (!replayed, !skipped)
 
-let open_dir ?(fsync = true) ?(readonly = false) dir =
+let open_dir ?(fsync = true) ?(readonly = false) ?(replica = false) dir =
   Db.protect (fun () ->
       Trace.span "wal_replay" (fun () ->
           if not (Sys.file_exists dir) then
@@ -846,6 +951,16 @@ let open_dir ?(fsync = true) ?(readonly = false) dir =
             Db.set_readonly db true;
             register_stat_table t db
           end
+          else if replica then begin
+            (* hot standby: the store appends (shipped frames, raw) but
+               the database refuses session DML, and no durability hooks
+               are installed — the primary already framed every record,
+               re-logging through exec would double-write *)
+            Db.set_readonly db true;
+            t.registry <- Some (Db.registry db);
+            sync_registry t;
+            register_stat_table t db
+          end
           else attach t db;
           ( t,
             db,
@@ -916,6 +1031,48 @@ let checkpoint t db =
           sync_registry t;
           (try rm_rf (ckpt_dir t.dir old_gen) with _ -> ());
           (try Sys.remove (wal_file t.dir old_gen) with _ -> ())))
+
+(* ------------------------------------------------------------------ *)
+(* Hot standby (lib/server/replication.ml) *)
+
+let open_replica ?fsync dir = open_dir ?fsync ~replica:true dir
+let checkpoint_path ~dir ~gen = ckpt_dir dir gen
+
+(* Full-resync fence: the replica received a complete checkpoint for
+   [gen] (already written to [ckpt_dir dir gen] by the caller); start a
+   fresh log for that generation and move the pointer.  Ordering matches
+   [checkpoint]: the new log exists before CURRENT names it, so a crash
+   at any point leaves either the old generation or the new one. *)
+let reset_generation t ~gen:g =
+  check_usable t;
+  let fd' = create_wal_file ~do_fsync:t.do_fsync t.dir g in
+  (try write_file_atomic (current_file t.dir) (string_of_int g)
+   with e ->
+     (try Unix.close fd' with _ -> ());
+     raise e);
+  (try Unix.close t.fd with _ -> ());
+  t.fd <- fd';
+  t.gen <- g;
+  t.offset <- header_size;
+  t.stmt_start <- header_size;
+  t.out.a_len <- 0;
+  t.txn_buf <- [];
+  gc_stale t.dir ~keep:g
+
+(* Promotion: fence the replicated generation behind a checkpoint of the
+   applied state (any shipped-but-uncommitted transaction tail in the old
+   log is discarded with it), then install the durability hooks and start
+   accepting writes.  After this the store is indistinguishable from a
+   primary's. *)
+let promote t db =
+  Db.protect (fun () ->
+      Fault.hit ~site:"promote_fence";
+      check_usable t;
+      (match checkpoint t db with
+      | Ok () -> ()
+      | Error e -> raise (Sys_error ("promote fence failed: " ^ Error.to_string e)));
+      attach t db;
+      Db.set_readonly db false)
 
 (* ------------------------------------------------------------------ *)
 

@@ -55,7 +55,11 @@ type recovery = {
     ({!Db.set_readonly}), and every append path of the store raises.
     Safe to point at a directory another process is actively serving. *)
 val open_dir :
-  ?fsync:bool -> ?readonly:bool -> string -> (t * Db.t * recovery, Error.t) result
+  ?fsync:bool ->
+  ?readonly:bool ->
+  ?replica:bool ->
+  string ->
+  (t * Db.t * recovery, Error.t) result
 
 (** [checkpoint t db] — write the full state as generation g+1 (an atomic
     {!Persist.save}), start a fresh log, then atomically move the
@@ -110,3 +114,98 @@ val wal_path : t -> string
 val crc32 : string -> int
 (** IEEE CRC32 of a string (checksum of every record's payload);
     [crc32 "123456789" = 0xCBF43926]. *)
+
+(** {1 Replication (lib/server/replication.ml, DESIGN.md §15)}
+
+    A hot standby mirrors the primary's data directory byte for byte:
+    the primary re-reads durable log ranges and ships them raw; the
+    replica reassembles complete frames from the byte stream, appends
+    them verbatim to its own log (same offsets), and applies each
+    statement to its in-memory database.  Fault site: [promote_fence]. *)
+
+type kind = Autocommit | Txn_stmt | Commit_marker
+(** Record kinds: 'A' applies immediately, 'S' buffers until its 'C'
+    commit marker (a trailing 'S' run with no marker is an
+    unacknowledged transaction and must not be applied). *)
+
+type record = kind * Storage.Value.t array * string
+(** A decoded record: kind, parameter vector, SQL text. *)
+
+exception Corrupt of string
+(** A frame failed its length or checksum validation. *)
+
+val header_size : int
+(** Bytes of the ["SQLGWAL1"] magic header — the logical offset of the
+    first record in every log file. *)
+
+val encode_record :
+  kind:kind -> sql:string -> params:Storage.Value.t array -> string
+(** Render one record as its framed wire/log bytes
+    ([u32 LE length | u32 LE crc32 | payload]). *)
+
+(** Reassembles framed records from a byte stream split at arbitrary
+    chunk boundaries (mid-header, mid-crc, mid-payload).  Frames surface
+    only once complete and checksum-verified, so partial bytes never
+    reach the replica's log. *)
+module Reassembly : sig
+  type buf
+
+  val create : unit -> buf
+
+  val feed : buf -> string -> unit
+  (** Append a received chunk. *)
+
+  val pop : buf -> (string * record) option
+  (** Next complete frame as [(raw bytes, decoded record)], or [None]
+      when only a partial frame is buffered.  Raises {!Corrupt} on a
+      checksum or length violation (the stream is unrecoverable). *)
+
+  val pending : buf -> int
+  (** Buffered bytes not yet consumed (nonzero = a frame in flight). *)
+
+  val clear : buf -> unit
+  (** Drop buffered bytes — promotion fences a partial frame away. *)
+end
+
+val read_range : t -> pos:int -> len:int -> string
+(** Re-read [len] bytes of the live log starting at byte [pos], through
+    a fresh read-only fd.  The range must be flushed ([pos + len] at or
+    below the durable end) — shipping only ever reads behind the group
+    commit's fsync target. *)
+
+val append_frames : t -> count:int -> string -> unit
+(** Append [count] complete, already-framed records verbatim (the
+    replica's log-before-apply step).  Flushes and, when fsync is
+    enabled, syncs — a crash between append and apply replays from the
+    local log. *)
+
+val replay : Db.t -> record list -> int * int
+(** Apply decoded records to [db] with the recovery semantics ('S'
+    buffers until 'C'); returns [(replayed, skipped)]. *)
+
+val open_replica :
+  ?fsync:bool -> string -> (t * Db.t * recovery, Error.t) result
+(** Open (creating if missing) a data directory as a hot standby:
+    normal recovery and tail truncation, but the returned database
+    refuses session DML ({!Db.set_readonly}) and no durability hooks are
+    installed — {!append_frames} is the only write path until
+    {!promote}. *)
+
+val reset_generation : t -> gen:int -> unit
+(** Full-resync fence: after the caller has written a complete shipped
+    checkpoint for [gen] into the directory, start a fresh log for that
+    generation, atomically repoint [CURRENT], and GC stale files. *)
+
+val promote : t -> Db.t -> (unit, Error.t) result
+(** Promote a replica store opened with {!open_replica}: fence the
+    replicated generation behind a checkpoint of the applied state
+    (discarding any shipped-but-uncommitted transaction tail), install
+    durability hooks, and clear the database's read-only flag.  Fault
+    site [promote_fence]. *)
+
+val checkpoint_path : dir:string -> gen:int -> string
+(** The checkpoint directory for generation [gen] under [dir]. *)
+
+val write_file_atomic : string -> string -> unit
+(** Write a file via tmp + fsync + rename (+ directory fsync) — the
+    replica uses it to land shipped checkpoint files. *)

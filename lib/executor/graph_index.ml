@@ -11,45 +11,96 @@ type t = {
   cache : (key, entry) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
+  mu : Mutex.t;
+      (* one index instance is shared by the server's shared database and
+         every session database (so a graph warmed by the replica's apply
+         loop is a hit for the first session query); plain hashtables need
+         the lock under concurrent sessions *)
 }
 
 let create () =
-  { enabled = Hashtbl.create 8; cache = Hashtbl.create 8; hits = 0; misses = 0 }
+  {
+    enabled = Hashtbl.create 8;
+    cache = Hashtbl.create 8;
+    hits = 0;
+    misses = 0;
+    mu = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 let normalise k = { k with table = String.lowercase_ascii k.table }
 
-let enable t k = Hashtbl.replace t.enabled (normalise k) ()
+let enable t k = locked t (fun () -> Hashtbl.replace t.enabled (normalise k) ())
 
 let disable t k =
   let k = normalise k in
-  Hashtbl.remove t.enabled k;
-  Hashtbl.remove t.cache k
+  locked t (fun () ->
+      Hashtbl.remove t.enabled k;
+      Hashtbl.remove t.cache k)
 
-let is_enabled t k = Hashtbl.mem t.enabled (normalise k)
+let is_enabled t k = locked t (fun () -> Hashtbl.mem t.enabled (normalise k))
 
 let lookup t k ~version =
   let k = normalise k in
-  match Hashtbl.find_opt t.cache k with
-  | Some e when e.version = version ->
-    t.hits <- t.hits + 1;
-    Some (e.runtime, e.edges)
-  | Some _ ->
-    Hashtbl.remove t.cache k;
-    t.misses <- t.misses + 1;
-    None
-  | None ->
-    t.misses <- t.misses + 1;
-    None
+  locked t (fun () ->
+      match Hashtbl.find_opt t.cache k with
+      | Some e when e.version = version ->
+        t.hits <- t.hits + 1;
+        Some (e.runtime, e.edges)
+      | Some _ ->
+        Hashtbl.remove t.cache k;
+        t.misses <- t.misses + 1;
+        None
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
 
 let store t k ~version runtime edges =
   let k = normalise k in
-  if Hashtbl.mem t.enabled k then
-    Hashtbl.replace t.cache k { version; runtime; edges }
+  locked t (fun () ->
+      if Hashtbl.mem t.enabled k then
+        Hashtbl.replace t.cache k { version; runtime; edges })
 
 let keys t =
-  Hashtbl.fold (fun k () acc -> k :: acc) t.enabled []
+  locked t (fun () -> Hashtbl.fold (fun k () acc -> k :: acc) t.enabled [])
   |> List.sort (fun a b -> String.compare a.table b.table)
 
-let clear_cache t = Hashtbl.reset t.cache
-let hits t = t.hits
-let misses t = t.misses
+let clear_cache t = locked t (fun () -> Hashtbl.reset t.cache)
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+
+(* [warm t ~catalog] — build (or refresh) the cached graph of every
+   enabled key whose base table exists in [catalog], exactly as the
+   executor would on a cache miss (build_multi + prepare_bidir, so both
+   traversal directions are ready).  The replica's apply loop calls this
+   after catching up, so the first post-failover path query is a cache
+   hit instead of paying the dominating construction cost.  Returns the
+   number of graphs built; keys whose table is absent are skipped. *)
+let warm t ~catalog =
+  let built = ref 0 in
+  List.iter
+    (fun k ->
+      match Storage.Catalog.find catalog k.table with
+      | None -> ()
+      | Some edges -> (
+        let version =
+          match Storage.Catalog.version catalog k.table with
+          | Some v -> v
+          | None -> 0
+        in
+        match lookup t k ~version with
+        | Some _ -> ()
+        | None ->
+          let col i = Storage.Table.column edges i in
+          let runtime =
+            Graph.Runtime.build_multi ~src:(List.map col k.src)
+              ~dst:(List.map col k.dst)
+          in
+          Graph.Runtime.prepare_bidir runtime;
+          store t k ~version runtime edges;
+          incr built))
+    (keys t);
+  !built

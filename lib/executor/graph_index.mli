@@ -44,3 +44,11 @@ val clear_cache : t -> unit
 
 val hits : t -> int
 val misses : t -> int
+
+(** [warm t ~catalog] — pre-build the cached graph of every enabled key
+    whose base table exists in [catalog] (build + [prepare_bidir], as
+    the executor would on a miss); returns how many were built. The
+    replica's apply loop warms after catch-up so the first post-failover
+    path query hits the cache. Thread-safe, like every operation here:
+    one index instance is shared across the server's session threads. *)
+val warm : t -> catalog:Storage.Catalog.t -> int

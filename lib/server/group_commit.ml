@@ -44,6 +44,14 @@ type t = {
   mutable groups : int; (* fsync rounds completed successfully *)
   mutable grouped_commits : int; (* sessions acknowledged across them *)
   observe_group : int -> unit; (* histogram callback (scheduler registry) *)
+  mutable ship : (from:int -> upto:int -> unit) option;
+      (* replication hook: after a successful fsync and *before* the
+         waiting commits are acknowledged, the leader hands the newly
+         durable byte range to the replication hub — so a replica's
+         socket holds every acknowledged frame even if the primary is
+         kill -9'd the instant after the ack (semi-synchronous
+         shipping).  The hook must swallow per-replica send failures:
+         a dead replica drops out of the set, it never fails a commit. *)
 }
 
 let create ~writer ~store ~observe_group =
@@ -61,7 +69,10 @@ let create ~writer ~store ~observe_group =
     groups = 0;
     grouped_commits = 0;
     observe_group;
+    ship = None;
   }
+
+let set_ship t f = t.ship <- f
 
 let stats t =
   Mutex.lock t.mu;
@@ -94,6 +105,7 @@ let wait_durable t target =
           (* everyone waiting right now appended before this flush, so
              they are exactly the commits this fsync will acknowledge *)
           let group = t.waiting in
+          let shipped_from = t.synced_upto in
           Mutex.unlock t.mu;
           let result =
             match
@@ -114,6 +126,12 @@ let wait_durable t target =
               with exn -> Error exn)
             | Error _ as e -> e
           in
+          (* ship-before-ack: the durable range reaches the replicas'
+             sockets before any waiter is woken (see [ship] above) *)
+          (match (result, t.ship) with
+          | Ok upto, Some ship when upto > shipped_from -> (
+            try ship ~from:shipped_from ~upto with _ -> ())
+          | _ -> ());
           Mutex.lock t.mu;
           t.leader_active <- false;
           t.epoch <- t.epoch + 1;

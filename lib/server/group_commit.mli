@@ -26,3 +26,12 @@ val wait_durable : t -> int -> unit
 val stats : t -> int * int
 (** [(fsync rounds completed, commits acknowledged across them)] —
     rounds ≪ commits is group commit working. *)
+
+val set_ship : t -> (from:int -> upto:int -> unit) option -> unit
+(** Install the replication ship hook: after each successful batch
+    fsync, and {e before} the batch's commits are acknowledged, the
+    leader calls it with the newly durable log byte range — so every
+    acknowledged frame reaches the replicas' sockets even if the
+    primary dies the instant after the ack (semi-synchronous shipping).
+    The hook must handle its own per-replica failures; an exception is
+    swallowed and never fails the commit round. *)

@@ -133,6 +133,114 @@ let clean_request line =
   if n > 0 && line.[n - 1] = ';' then String.trim (String.sub line 0 (n - 1))
   else line
 
+(* ------------------------------------------------------------------ *)
+(* Replication verbs (DESIGN.md §15).
+
+   A standby opens an ordinary connection and, instead of SQL, sends
+
+     REPLICA gen=<g> offset=<o>
+
+   naming the generation + log offset it already holds.  The session
+   hands the fd to the replication hub, which answers with either a
+   direct tail stream or a full resync:
+
+     REPL SNAP gen=<g> files=<n>         full resync: checkpoint follows
+     REPL FILE name=<esc> data=<esc>     one checkpoint file (n times)
+     REPL TAIL gen=<g> from=<o>          log streaming starts at <o>
+     REPL WAL off=<o> count=<k> snap=<v> data=<esc>
+                                         <k> framed records at offset <o>
+     REPL PING upto=<o> snap=<v>         heartbeat (idle keepalive)
+
+   [snap] carries the primary's published snapshot version, so a
+   promoted replica publishes at or above every version a client has
+   already observed (cross-failover snapshot monotonicity).  Escaped
+   [data] is binary-safe: {!escape} maps exactly the bytes that could
+   break one-line framing.  A PROMOTE verb on a replica session fences
+   the standby and turns it into a primary (OK PROMOTE gen=<g>). *)
+
+let replica_handshake ~gen ~offset =
+  Printf.sprintf "REPLICA gen=%d offset=%d" gen offset
+
+let repl_snap ~gen ~files = Printf.sprintf "REPL SNAP gen=%d files=%d" gen files
+
+let repl_file ~name ~data =
+  Printf.sprintf "REPL FILE name=%s data=%s" (escape name) (escape data)
+
+let repl_tail ~gen ~from = Printf.sprintf "REPL TAIL gen=%d from=%d" gen from
+
+let repl_wal ~off ~count ~snap ~data =
+  Printf.sprintf "REPL WAL off=%d count=%d snap=%d data=%s" off count snap
+    (escape data)
+
+let repl_ping ~upto ~snap = Printf.sprintf "REPL PING upto=%d snap=%d" upto snap
+
+(* Parse [key=<int>] out of a space-separated line. *)
+let int_field line key =
+  let key = key ^ "=" in
+  let kl = String.length key in
+  let n = String.length line in
+  let rec find i =
+    if i + kl > n then None
+    else if
+      String.sub line i kl = key && (i = 0 || line.[i - 1] = ' ')
+    then begin
+      let j = ref (i + kl) in
+      while !j < n && line.[!j] >= '0' && line.[!j] <= '9' do
+        incr j
+      done;
+      int_of_string_opt (String.sub line (i + kl) (!j - i - kl))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+(* The [data=] field runs to end of line (escaped bytes may contain
+   spaces); everything before it is fixed-format fields. *)
+let data_field line =
+  let key = " data=" in
+  let kl = String.length key in
+  let n = String.length line in
+  let rec find i =
+    if i + kl > n then None
+    else if String.sub line i kl = key then
+      Some (unescape (String.sub line (i + kl) (n - i - kl)))
+    else find (i + 1)
+  in
+  find 0
+
+(* [name=<esc>] — a file name: escaped, no spaces once escaped since
+   checkpoint file names never contain any. *)
+let name_field line =
+  let key = " name=" in
+  let kl = String.length key in
+  let n = String.length line in
+  let rec find i =
+    if i + kl > n then None
+    else if String.sub line i kl = key then begin
+      let j = ref (i + kl) in
+      while !j < n && line.[!j] <> ' ' do
+        incr j
+      done;
+      Some (unescape (String.sub line (i + kl) (!j - i - kl)))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let has_prefix line p =
+  String.length line >= String.length p && String.sub line 0 (String.length p) = p
+
+let parse_replica_handshake line =
+  if not (has_prefix line "REPLICA") then None
+  else
+    match (int_field line "gen", int_field line "offset") with
+    | Some gen, Some offset -> Some (gen, offset)
+    | _ -> None
+
+(* Parse the backoff hint off an [ERR busy retry_ms=<n> ...] line. *)
+let retry_ms_of_line line =
+  if has_prefix line "ERR busy" then int_field line "retry_ms" else None
+
 (* Parse "qid=<fp>:<seq>" off a terminal OK line. *)
 let qid_of_line line =
   let key = " qid=" in

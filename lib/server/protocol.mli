@@ -50,3 +50,34 @@ val snapshot_of_line : string -> int option
 
 val qid_of_line : string -> string option
 (** Parse [qid=<fp>:<seq>] out of a terminal line, if present. *)
+
+val retry_ms_of_line : string -> int option
+(** Parse the backoff hint off an [ERR busy retry_ms=<n> ...] line;
+    [None] for every other line. *)
+
+(** {1 Replication verbs} (DESIGN.md §15)
+
+    A standby sends [REPLICA gen=<g> offset=<o>] instead of SQL; the
+    primary answers with an optional [REPL SNAP]/[REPL FILE]* full
+    resync, then [REPL TAIL] and a stream of [REPL WAL] / [REPL PING]
+    lines.  The escaped [data=] field is binary-safe and always last on
+    its line. *)
+
+val replica_handshake : gen:int -> offset:int -> string
+val repl_snap : gen:int -> files:int -> string
+val repl_file : name:string -> data:string -> string
+val repl_tail : gen:int -> from:int -> string
+val repl_wal : off:int -> count:int -> snap:int -> data:string -> string
+val repl_ping : upto:int -> snap:int -> string
+
+val parse_replica_handshake : string -> (int * int) option
+(** [(gen, offset)] from a [REPLICA ...] line; [None] otherwise. *)
+
+val int_field : string -> string -> int option
+(** [int_field line key] — parse a space-delimited [key=<int>] field. *)
+
+val data_field : string -> string option
+(** The unescaped [data=] payload (runs to end of line). *)
+
+val name_field : string -> string option
+(** The unescaped [name=] field of a [REPL FILE] line. *)

@@ -80,6 +80,13 @@ type t = {
   metrics_mu : Mutex.t;
   session_infos : (int, session_info) Hashtbl.t;
       (* sid -> live stats; guarded by [mu]; backs sqlgraph_stat_sessions *)
+  mutable repl_attach : (Unix.file_descr -> gen:int -> offset:int -> unit) option;
+      (* installed by the replication hub (primary role): a session that
+         reads a REPLICA handshake hands its fd over and exits without
+         closing it *)
+  mutable promote_hook : (unit -> (int, string) result) option;
+      (* installed on a standby: the PROMOTE verb fences the old
+         generation and returns the new one *)
 }
 
 (* One connected session's introspection row (sqlgraph_stat_sessions).
@@ -187,6 +194,16 @@ let publish_locked t =
     Mutex.unlock t.mu
   end
 
+(* Raise the published snapshot version to at least [v] without touching
+   the table map.  The replica's apply loop calls this with the snapshot
+   version that rode the stream ([snap=] on REPL WAL / REPL PING), so a
+   client that failed over observes a version at or above everything it
+   saw on the old primary — snapshot monotonicity across promotion. *)
+let set_publish_floor t v =
+  Mutex.lock t.mu;
+  if v > t.published_version then t.published_version <- v;
+  Mutex.unlock t.mu
+
 (* Session I/O goes through Unix.select, whose fd_set breaks for
    descriptors >= FD_SETSIZE (1024).  Keep the session cap comfortably
    below that so session fds — which sit above the listeners, the stop
@@ -234,6 +251,8 @@ let create ?(config = default_config) ~db ~store () =
       metrics;
       metrics_mu;
       session_infos = Hashtbl.create 16;
+      repl_attach = None;
+      promote_hook = None;
     }
   in
   (* Live introspection providers on the shared Db (DESIGN.md §14):
@@ -253,6 +272,43 @@ let config t = t.config
 let db t = t.db
 let store t = t.store
 let stop_fd t = t.stop_r
+
+(* --- replication wiring (lib/server/replication.ml) ---------------- *)
+
+(* Handler installation races only with session threads *reading* the
+   hooks, so both go under [mu]. *)
+let set_repl_attach t f =
+  Mutex.lock t.mu;
+  t.repl_attach <- f;
+  Mutex.unlock t.mu
+
+let repl_attach t =
+  Mutex.lock t.mu;
+  let f = t.repl_attach in
+  Mutex.unlock t.mu;
+  f
+
+let set_promote_hook t f =
+  Mutex.lock t.mu;
+  t.promote_hook <- f;
+  Mutex.unlock t.mu
+
+let promote_hook t =
+  Mutex.lock t.mu;
+  let f = t.promote_hook in
+  Mutex.unlock t.mu;
+  f
+
+(* Install the hub's ship hook on the group-commit batcher (no-op for an
+   in-memory server — nothing durable means nothing to replicate). *)
+let set_ship t f =
+  match t.gc with None -> () | Some gc -> Group_commit.set_ship gc f
+
+(* The raw writer mutex, for the replication paths that cannot go
+   through {!writer_acquire}'s load shedding: the hub's full-resync
+   critical section and the standby's apply loop both need the lock
+   unconditionally. *)
+let writer_lock t = t.writer
 
 let stopping t =
   Mutex.lock t.mu;
@@ -387,7 +443,9 @@ let refresh_snapshot t ~session_db ~seen ~last_version =
         match Hashtbl.find_opt seen name with
         | Some sv when sv = pv -> ()
         | _ ->
-          Sqlgraph.Db.load_table session_db ~name tbl;
+          (* mirror the publisher's version so the shared graph-index
+             cache keys stay coherent across session catalogs *)
+          Sqlgraph.Db.load_table ~version:pv session_db ~name tbl;
           Hashtbl.replace seen name pv)
       t.published;
     let stale =

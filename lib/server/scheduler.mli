@@ -123,3 +123,43 @@ val metrics : t -> Telemetry.Registry.t
 val metric_inc : t -> ?help:string -> string -> int -> unit
 val metric_gauge : t -> ?help:string -> string -> float -> unit
 val metric_observe : t -> ?help:string -> string -> float -> unit
+
+(** {1 Replication wiring (DESIGN.md §15)}
+
+    The scheduler itself is role-agnostic; {!Replication} installs the
+    hooks that give it a role.  On a primary, [set_repl_attach] receives
+    standby handshakes and [set_ship] forwards each group-commit batch;
+    on a standby, [set_promote_hook] serves the PROMOTE verb and
+    [set_publish_floor] keeps the published snapshot version at or above
+    everything the old primary acknowledged. *)
+
+val set_repl_attach :
+  t -> (Unix.file_descr -> gen:int -> offset:int -> unit) option -> unit
+(** Install the hub's handshake handler: a session that reads a
+    [REPLICA gen=.. offset=..] line hands its socket over (without
+    closing it) and exits. *)
+
+val repl_attach :
+  t -> (Unix.file_descr -> gen:int -> offset:int -> unit) option
+
+val set_promote_hook : t -> (unit -> (int, string) result) option -> unit
+(** Install the standby's promotion handler; [Ok gen] is the fenced new
+    generation reported on the [OK PROMOTE gen=<g>] line. *)
+
+val promote_hook : t -> (unit -> (int, string) result) option
+
+val set_ship : t -> (from:int -> upto:int -> unit) option -> unit
+(** Forward to {!Group_commit.set_ship} (no-op without a store): ship
+    each newly durable byte range to the replicas before the batch's
+    commits are acknowledged. *)
+
+val set_publish_floor : t -> int -> unit
+(** Raise the published snapshot version to at least the given value
+    (no table changes) — the standby applies the [snap=] values riding
+    the stream so post-failover reads never observe a version below one
+    already seen on the old primary. *)
+
+val writer_lock : t -> Mutex.t
+(** The raw writer mutex, for replication paths that must bypass
+    {!writer_acquire}'s load shedding (full-resync snapshot, standby
+    apply loop). *)

@@ -399,6 +399,25 @@ let run_batch t batch =
                 quit := true;
                 None
               end
+              else if String.uppercase_ascii sql = "PROMOTE" then
+                (* standby promotion (DESIGN.md §15): fence the old
+                   generation and start accepting writes.  Only
+                   meaningful on a server whose Replication.Replica
+                   installed the hook. *)
+                Some
+                  (Immediate
+                     (match Scheduler.promote_hook t.sched with
+                     | None ->
+                       [ Protocol.err_protocol "not a replica: nothing to promote" ]
+                     | Some f -> (
+                       match f () with
+                       | Ok gen ->
+                         t.last_version <- Scheduler.snapshot_version t.sched;
+                         [
+                           Printf.sprintf "OK PROMOTE gen=%d snapshot=%d" gen
+                             t.last_version;
+                         ]
+                       | Error msg -> [ Protocol.err_protocol msg ])))
               else begin
                 let t0 = Unix.gettimeofday () in
                 let item = execute t b sql in
@@ -503,6 +522,21 @@ let run t =
                (Printf.sprintf "request exceeds %d bytes" cfg.max_line_bytes);
            ];
          loop ()
+       | Line first when Protocol.parse_replica_handshake first <> None -> (
+         (* A standby announcing itself (DESIGN.md §15): hand the socket
+            to the replication hub and leave the session slot — the fd
+            now belongs to the hub, so skip the usual close. *)
+         let gen, offset =
+           Option.get (Protocol.parse_replica_handshake first)
+         in
+         match Scheduler.repl_attach t.sched with
+         | None ->
+           send t [ Protocol.err_protocol "replication not enabled" ];
+           loop ()
+         | Some attach ->
+           Telemetry.Trace.unregister_thread_track ();
+           Scheduler.leave t.sched ~sid:t.sid;
+           attach t.fd ~gen ~offset)
        | Line first ->
          (* drain every complete request already buffered: they form one
             batch with a single shared durability wait and one response
@@ -530,8 +564,12 @@ let run t =
     cleanup t)
 
 let spawn sched ~sid fd =
-  let session_db = Db.create () in
+  (* The private Db shares the server's graph-index cache: a graph built
+     by any session — or warmed by a standby's apply loop — is a cache
+     hit for every other session's path queries (version mirroring in
+     Scheduler.refresh_snapshot keeps the keys coherent). *)
   let shared = Scheduler.db sched in
+  let session_db = Db.create ~indices:(Db.indices shared) () in
   (* Introspection wiring (DESIGN.md §14): reads run on the private Db,
      so its system tables must show *server* state, not the replica's
      defaults.  The fingerprint store is shared outright — every
@@ -544,6 +582,13 @@ let spawn sched ~sid fd =
      Storage.Catalog.virtual_provider (Db.catalog shared) "sqlgraph_stat_wal"
    with
   | Some p -> Db.register_virtual_table session_db ~name:"sqlgraph_stat_wal" p
+  | None -> ());
+  (match
+     Storage.Catalog.virtual_provider (Db.catalog shared)
+       "sqlgraph_stat_replication"
+   with
+  | Some p ->
+    Db.register_virtual_table session_db ~name:"sqlgraph_stat_replication" p
   | None -> ());
   Db.register_virtual_table session_db ~name:"sqlgraph_stat_sessions"
     (fun () -> Scheduler.sessions_table sched);

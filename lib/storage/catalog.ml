@@ -28,6 +28,14 @@ let replace t name table =
     e.version <- e.version + 1
   | None -> Hashtbl.replace t.tables key { table; version = 0 }
 
+let replace_at t name table ~version =
+  let key = norm name in
+  match Hashtbl.find_opt t.tables key with
+  | Some e ->
+    e.table <- table;
+    e.version <- version
+  | None -> Hashtbl.replace t.tables key { table; version }
+
 let find t name =
   Option.map (fun e -> e.table) (Hashtbl.find_opt t.tables (norm name))
 

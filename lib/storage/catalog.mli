@@ -13,6 +13,13 @@ val add : t -> string -> Table.t -> unit
 (** [replace t name table] registers or overwrites, bumping the version. *)
 val replace : t -> string -> Table.t -> unit
 
+(** [replace_at t name table ~version] registers or overwrites, setting
+    the version explicitly instead of bumping — a session catalog
+    mirroring published tables adopts the publisher's version so that
+    version-keyed caches (the shared graph-index cache) stay coherent
+    across every session holding a copy of the same published table. *)
+val replace_at : t -> string -> Table.t -> version:int -> unit
+
 val find : t -> string -> Table.t option
 val mem : t -> string -> bool
 

@@ -12,6 +12,12 @@
        baseline entry — a scalar run has no batched waves or stealable
        tasks, so 0 would claim a measurement that never happened — and
        integers on every batched entry.
+     json_lint --bench-repl FILE
+       FILE must be a bench `repl` document: catch-up bandwidth
+       (catchup_mb_per_sec) strictly positive, steady-state lag fields
+       (steady_lag_bytes_mean/max) present and non-negative, and the
+       drain time bounded — a replica that never drains is not a
+       standby.
      json_lint --catapult FILE [--require NAME]... [--min-tracks N]
        FILE must be a Chrome trace-event (catapult) dump: an object with
        a "traceEvents" array holding > 0 complete spans (every "B" event
@@ -100,6 +106,39 @@ let lint_bench_pairs path =
     fail "%s: no pairs/scalar-per-source entry" path;
   Printf.printf "%s: %d pairs entries ok\n" path (List.length results)
 
+let lint_bench_repl path =
+  let open Testjson.Json_support in
+  let doc = parse_doc path (read_file path) in
+  (match member "suite" doc with
+  | Some (Metrics.String "repl") -> ()
+  | _ -> fail "%s: not a bench repl document (suite != \"repl\")" path);
+  let to_num_opt = function
+    | Some (Metrics.Float f) -> Some f
+    | Some (Metrics.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  let num field =
+    match to_num_opt (member field doc) with
+    | Some f -> f
+    | None -> fail "%s: missing or non-numeric %s" path field
+  in
+  let mbps = num "catchup_mb_per_sec" in
+  if mbps <= 0. then
+    fail "%s: catchup_mb_per_sec must be > 0 (got %g)" path mbps;
+  if num "catchup_bytes" <= 0. then fail "%s: catchup_bytes must be > 0" path;
+  let mean = num "steady_lag_bytes_mean" in
+  if mean < 0. then fail "%s: steady_lag_bytes_mean must be >= 0" path;
+  let lag_max = num "steady_lag_bytes_max" in
+  if lag_max < 0. then fail "%s: steady_lag_bytes_max must be >= 0" path;
+  if mean > lag_max then
+    fail "%s: steady_lag_bytes_mean %g exceeds max %g" path mean lag_max;
+  let drain = num "drain_seconds" in
+  if drain < 0. || drain > 30. then
+    fail "%s: drain_seconds out of range: %g" path drain;
+  Printf.printf "%s: repl bench ok (catch-up %.2f MB/s, lag mean %.0f B, max \
+                 %.0f B)\n"
+    path mbps mean lag_max
+
 let lint_catapult path requires min_tracks =
   let open Testjson.Json_support in
   let doc = parse_doc path (read_file path) in
@@ -182,6 +221,7 @@ let () =
     | "--catapult" :: rest -> go `Catapult requires min_tracks file rest
     | "--ndjson" :: rest -> go `Ndjson requires min_tracks file rest
     | "--bench-pairs" :: rest -> go `Bench_pairs requires min_tracks file rest
+    | "--bench-repl" :: rest -> go `Bench_repl requires min_tracks file rest
     | "--require" :: name :: rest ->
       go mode (name :: requires) min_tracks file rest
     | "--min-tracks" :: n :: rest ->
@@ -201,11 +241,12 @@ let () =
     | Some f -> f
     | None ->
       fail
-        "usage: json_lint [--catapult|--ndjson|--bench-pairs] FILE \
-         [--require NAME]... [--min-tracks N]"
+        "usage: json_lint [--catapult|--ndjson|--bench-pairs|--bench-repl] \
+         FILE [--require NAME]... [--min-tracks N]"
   in
   match mode with
   | `Plain -> lint_plain file
   | `Ndjson -> lint_ndjson file
   | `Bench_pairs -> lint_bench_pairs file
+  | `Bench_repl -> lint_bench_repl file
   | `Catapult -> lint_catapult file requires min_tracks
